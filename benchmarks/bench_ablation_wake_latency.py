@@ -1,0 +1,47 @@
+"""Ablation — power-gating wake-up latency vs NBTI benefit and latency.
+
+DESIGN.md §7 extension.  The paper assumes cheap sleep transistors; this
+bench sweeps the wake-up latency of a gated buffer and reports both the
+reliability benefit (MD-VC duty under sensor-wise) and the performance
+cost (average packet latency), exposing the trade-off the methodology
+rides.
+"""
+
+from __future__ import annotations
+
+from conftest import env_cycles, env_warmup, publish, run_once
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+
+WAKE_LATENCIES = (0, 1, 4, 8)
+
+
+def bench_ablation_wake_latency(benchmark):
+    def build():
+        out = {}
+        for wake in WAKE_LATENCIES:
+            scenario = ScenarioConfig(
+                num_nodes=4, num_vcs=2, injection_rate=0.2,
+                wake_latency=wake,
+                cycles=env_cycles(8_000), warmup=env_warmup(),
+            )
+            result = run_scenario(scenario)
+            out[wake] = (result.md_duty, result.net_stats.avg_packet_latency)
+        return out
+
+    sweep = run_once(benchmark, build)
+    lines = ["Wake-latency ablation (sensor-wise, 2 VCs, inj 0.2)"]
+    for wake, (duty, latency) in sweep.items():
+        lines.append(
+            f"  wake = {wake} cycles -> MD duty {duty:6.2f}%, "
+            f"avg packet latency {latency:6.2f} cycles"
+        )
+    publish("ablation_wake_latency", "\n".join(lines))
+
+    latencies = [lat for _, lat in sweep.values()]
+    # Longer wake-ups cost performance...
+    assert latencies[-1] >= latencies[0]
+    # ...but the NBTI benefit persists at every wake latency.
+    for duty, _ in sweep.values():
+        assert duty < 60.0

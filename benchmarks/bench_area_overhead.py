@@ -1,0 +1,37 @@
+"""E5 — Sec. III-D / Fig. 1B: area overhead of the sensor-wise additions.
+
+Reproduces every number of the paper's feasibility argument for the
+reference router (4 ports, 4 VCs, 4-flit buffers, 64-bit flits, 45 nm):
+16 sensors ~= 3.25 % of the router, control sidebands ~= 3.8 % of one
+64-bit data link, policy logic negligible, total < 4 % of the NoC.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import publish, run_once
+
+from repro.area import RouterGeometry, compute_overhead_report
+
+
+def bench_area_overhead(benchmark):
+    report = run_once(benchmark, compute_overhead_report)
+    publish("area_overhead", report.as_text())
+
+    assert report.sensor_count == 16
+    assert report.sensor_fraction_of_router == pytest.approx(0.0325, abs=0.004)
+    assert report.control_fraction_of_link == pytest.approx(0.038, abs=0.004)
+    assert report.policy_fraction_of_router < 0.01
+    assert report.total_fraction_of_noc < 0.04
+
+
+def bench_area_overhead_2vc(benchmark):
+    """Companion datapoint: the 2-VC router used by Tables III/IV."""
+
+    def build():
+        return compute_overhead_report(RouterGeometry(num_vcs=2))
+
+    report = run_once(benchmark, build)
+    publish("area_overhead_2vc", report.as_text())
+    assert report.sensor_count == 8
+    assert report.total_fraction_of_noc < 0.05

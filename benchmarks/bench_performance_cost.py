@@ -1,0 +1,48 @@
+"""Extension — network-performance cost of the recovery policies.
+
+The paper reports reliability and area but not the latency/throughput
+cost of keeping only one idle VC awake.  This bench quantifies it:
+average packet latency and delivered throughput per policy at a
+moderate load.  Gating costs a few cycles of average latency (wake-up +
+reduced VC availability); throughput is preserved below saturation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import env_cycles, env_warmup, publish, run_once
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_policies
+
+POLICIES = ("baseline", "rr-no-sensor", "sensor-wise-no-traffic", "sensor-wise")
+
+
+def bench_performance_cost(benchmark):
+    scenario = ScenarioConfig(
+        num_nodes=4, num_vcs=2, injection_rate=0.2,
+        cycles=env_cycles(8_000), warmup=env_warmup(),
+    )
+
+    def build():
+        return run_policies(scenario, POLICIES)
+
+    results = run_once(benchmark, build)
+    lines = ["Performance cost of NBTI recovery (4-core, 2 VCs, inj 0.2)"]
+    for policy in POLICIES:
+        stats = results[policy].net_stats
+        lines.append(
+            f"  {policy:<24s} latency {stats.avg_packet_latency:6.2f} cyc, "
+            f"throughput {stats.throughput_flits_per_node_cycle:.4f} flits/node/cyc"
+        )
+    publish("performance_cost", "\n".join(lines))
+
+    base = results["baseline"].net_stats
+    for policy in POLICIES[1:]:
+        stats = results[policy].net_stats
+        # Throughput is preserved below saturation...
+        assert stats.throughput_flits_per_node_cycle == pytest.approx(
+            base.throughput_flits_per_node_cycle, rel=0.05
+        )
+        # ...and the latency cost of gating stays bounded (< 15 cycles).
+        assert stats.avg_packet_latency < base.avg_packet_latency + 15.0

@@ -1,0 +1,13 @@
+"""E1 — Table I: the experimental setup of the reproduction."""
+
+from __future__ import annotations
+
+from conftest import publish, run_once
+
+from repro.experiments.config import format_experimental_setup
+
+
+def bench_table1_setup(benchmark):
+    text = run_once(benchmark, format_experimental_setup)
+    publish("table1_setup", text)
+    assert "45nm" in text

@@ -1,0 +1,37 @@
+"""E3 — Table III: NBTI-duty-cycle per VC, uniform traffic, 2 VCs.
+
+Same protocol as Table II with 2 VCs per input port.  Shape checks:
+every Gap positive; rr-no-sensor spreads duty evenly over the two VCs.
+"""
+
+from __future__ import annotations
+
+from conftest import env_cycles, env_warmup, publish, run_once
+
+from repro.experiments.tables import run_synthetic_table
+
+
+def bench_table3_synthetic_2vc(benchmark, results_cache):
+    def build():
+        return run_synthetic_table(
+            num_vcs=2, cycles=env_cycles(), warmup=env_warmup()
+        )
+
+    table = run_once(benchmark, build)
+    results_cache["table3"] = table
+    publish("table3_synthetic_2vc", table.format())
+
+    assert len(table.rows) == 6
+    for row in table.rows:
+        assert row.gap > 0.0, f"non-positive gap on {row.label}"
+        rr = row.duty["rr-no-sensor"]
+        # Round-robin cannot discriminate VCs: both shares stay close.
+        assert abs(rr[0] - rr[1]) < 8.0, f"{row.label}: rr skewed {rr}"
+        # The no-traffic ablation always stresses one VC more than the
+        # cooperative policy's worst VC; at light load that reserved VC
+        # is pinned near 100 % duty.
+        assert max(row.duty["sensor-wise-no-traffic"]) >= (
+            max(row.duty["sensor-wise"]) - 5.0
+        )
+        if row.label.endswith("inj0.10"):
+            assert max(row.duty["sensor-wise-no-traffic"]) > 85.0

@@ -1,0 +1,44 @@
+"""E4 — Table IV: benchmark-mix ("real") traffic, 2 VCs, avg/std over
+iterations.
+
+Protocol (paper Sec. IV-C): for each architecture, every iteration picks
+a random benchmark mix (one SPLASH2/WCET profile per core); the PV
+sample — hence the most-degraded VC — is frozen across iterations.
+Measured ports: 4c r0-E/r1-W/r2-E/r3-W and 16c r0-E/r5-E/r10-E/r15-E.
+
+Shape checks mirror the paper's two observations:
+* the average Gap on the MD VC is positive on (nearly) every port, and
+* sensor-wise is *stable*: its MD-VC std does not exceed rr-no-sensor's
+  on most measured ports.
+"""
+
+from __future__ import annotations
+
+from conftest import env_cycles, env_iterations, env_warmup, publish, run_once
+
+from repro.experiments.tables import run_real_table
+
+
+def bench_table4_real_traffic(benchmark, results_cache):
+    def build():
+        return run_real_table(
+            num_vcs=2,
+            iterations=env_iterations(),
+            cycles=env_cycles(10_000),
+            warmup=env_warmup(),
+        )
+
+    table = run_once(benchmark, build)
+    results_cache["table4"] = table
+    publish("table4_real_traffic", table.format())
+
+    assert len(table.rows) == 8
+    positive_gaps = sum(row.gap > 0.0 for row in table.rows)
+    # The paper's Table IV has all 8 gaps positive; with scaled-down
+    # simulations we accept one marginal port.
+    assert positive_gaps >= 7, f"only {positive_gaps}/8 positive gaps"
+    stable_ports = sum(row.md_std_improved for row in table.rows)
+    assert stable_ports >= 5, f"sensor-wise less stable on {8 - stable_ports}/8 ports"
+    # Headline scale: the best real-traffic gap reaches >= 10 % points
+    # (18.9 % in the paper).
+    assert max(table.gaps()) > 8.0

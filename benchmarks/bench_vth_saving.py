@@ -1,0 +1,41 @@
+"""E6 — Sec. V: net NBTI Vth saving vs the non-NBTI-aware baseline.
+
+The paper extracts absolute Vth values with the model of [7] (our
+calibrated Eq. 1) from the measured duty cycles and reports a net saving
+of up to **54.2 %** for sensor-wise against the baseline NoC.  The
+saving is strongly sub-linear in duty cycle (dVth ~ alpha^(1/6)), so a
+~1 % duty cycle is what the 54 % figure corresponds to.  The 4-VC,
+0.3-injection scenario lands sensor-wise's most-degraded VC in exactly
+that regime (at lighter loads the MD VC recovers *completely*, which
+projects to a degenerate 100 % saving — stronger than the paper, but
+uninformative as a comparison point).
+"""
+
+from __future__ import annotations
+
+from conftest import env_cycles, env_warmup, publish, run_once
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.tables import run_vth_saving
+
+
+def bench_vth_saving(benchmark):
+    scenario = ScenarioConfig(
+        num_nodes=4,
+        num_vcs=4,
+        injection_rate=0.3,
+        cycles=env_cycles(),
+        warmup=env_warmup(),
+    )
+
+    def build():
+        return run_vth_saving(scenario, years=3.0)
+
+    report = run_once(benchmark, build)
+    publish("vth_saving", report.format())
+
+    savings = {row.policy: row.saving_vs_baseline for row in report.rows}
+    assert savings["baseline"] == 0.0
+    assert savings["sensor-wise"] > savings["rr-no-sensor"] > 0.0
+    # Paper headline: up to 54.2 % saving for the proposed policy.
+    assert 0.45 <= savings["sensor-wise"] <= 1.0

@@ -1,0 +1,61 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one table/figure/claim of the paper.  The
+simulated cycle counts are scaled down from the paper's 30e6 (see
+DESIGN.md §3) and can be raised via environment variables:
+
+* ``REPRO_BENCH_CYCLES`` — measured cycles per run (default 12000).
+* ``REPRO_BENCH_WARMUP`` — warm-up cycles (default 2000).
+* ``REPRO_BENCH_ITERATIONS`` — benchmark-mix iterations for Table IV
+  (default 10, as in the paper).
+
+Every benchmark prints its table and appends it to
+``benchmarks/output/results.txt`` so EXPERIMENTS.md can be refreshed
+from one place.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Directory where benchmark tables are written.
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def env_cycles(default: int = 12_000) -> int:
+    return int(os.environ.get("REPRO_BENCH_CYCLES", default))
+
+
+def env_warmup(default: int = 2_000) -> int:
+    return int(os.environ.get("REPRO_BENCH_WARMUP", default))
+
+
+def env_iterations(default: int = 10) -> int:
+    return int(os.environ.get("REPRO_BENCH_ITERATIONS", default))
+
+
+def publish(name: str, text: str) -> None:
+    """Print a benchmark's table and archive it under benchmarks/output."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    with open(OUTPUT_DIR / f"{name}.txt", "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def results_cache():
+    """Session-wide cache so benches can share expensive table runs."""
+    return {}
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The interesting output of these benchmarks is the regenerated table,
+    not the wall-clock statistics, so a single round is enough.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

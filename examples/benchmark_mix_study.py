@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Realistic workload study: benchmark mixes on a 16-core mesh.
+
+Mirrors the paper's Sec. IV-C protocol on a smaller budget: three random
+SPLASH2/WCET benchmark mixes run on a 16-core mesh (2 VCs) under both
+rr-no-sensor and sensor-wise, with a frozen process-variation sample.
+For each measured port along the mesh diagonal the script reports the
+per-iteration most-degraded-VC duty cycles, their mean/std, and the Gap
+— reproducing the paper's stability observation (the sensor-wise std on
+the MD VC is the smaller one).
+
+Run with ``python examples/benchmark_mix_study.py``
+(about a minute of simulation).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import REAL_TRAFFIC, ScenarioConfig
+from repro.experiments.runner import run_scenario
+from repro.stats.summary import mean, std
+
+ITERATIONS = 3
+POLICIES = ("rr-no-sensor", "sensor-wise")
+POINTS = ((0, "east"), (5, "east"), (10, "east"), (15, "west"))
+
+
+def main() -> None:
+    base = ScenarioConfig(
+        num_nodes=16, num_vcs=2, traffic=REAL_TRAFFIC,
+        cycles=8_000, warmup=1_500,
+    )
+    print(f"16-core mesh, {ITERATIONS} random benchmark mixes, "
+          f"policies: {', '.join(POLICIES)}\n")
+
+    md_duties = {(policy, point): [] for policy in POLICIES for point in POINTS}
+    md_vc = {}
+    for iteration in range(ITERATIONS):
+        for policy in POLICIES:
+            result = run_scenario(base.with_policy(policy), iteration=iteration)
+            for point in POINTS:
+                router, port = point
+                md = result.md_at(router, port)
+                md_vc[point] = md
+                md_duties[(policy, point)].append(result.duty_at(router, port)[md])
+        print(f"  iteration {iteration}: traffic mix "
+              f"{result.scenario.label} simulated for both policies")
+
+    print()
+    header = (f"{'Port':<10s} {'MD':<3s} "
+              f"{'rr-no-sensor avg(std)':<24s} "
+              f"{'sensor-wise avg(std)':<24s} {'Gap':<6s} stable?")
+    print(header)
+    print("-" * len(header))
+    for point in POINTS:
+        router, port = point
+        rr = md_duties[("rr-no-sensor", point)]
+        sw = md_duties[("sensor-wise", point)]
+        gap = mean(rr) - mean(sw)
+        stable = "yes" if std(sw) <= std(rr) else "no"
+        print(f"16c-r{router}-{port[0].upper():<4s} VC{md_vc[point]} "
+              f"{mean(rr):6.1f}% ({std(rr):4.1f})        "
+              f"{mean(sw):6.1f}% ({std(sw):4.1f})        "
+              f"{gap:+5.1f}%  {stable}")
+
+    print()
+    print("Positive Gap = the cooperative sensor-wise policy relieved the")
+    print("most-degraded buffer; 'stable' = its duty varied less across")
+    print("benchmark mixes than the round-robin reference (paper Table IV).")
+
+
+if __name__ == "__main__":
+    main()

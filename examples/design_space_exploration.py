@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Design-space exploration: VC count and buffer depth vs everything.
+
+The sensor-wise methodology interacts with the router's buffer
+organization: more VCs mean more recovery freedom (the paper's Table II
+vs III observation) but also more area and more sensors.  This example
+sweeps {2, 4} VCs x {2, 4}-flit buffers on a 4-core mesh and reports,
+for each design point:
+
+* the sensor-wise most-degraded-VC duty cycle and the Gap vs
+  rr-no-sensor (reliability),
+* average packet latency (performance),
+* router area and the sensor-wise overhead percentage (cost), and
+* the projected 3-year Vth saving.
+
+Run with ``python examples/design_space_exploration.py``.
+"""
+
+from __future__ import annotations
+
+from repro.area import RouterGeometry, compute_overhead_report, router_area_um2
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_policies
+from repro.nbti.constants import SECONDS_PER_YEAR
+from repro.nbti.model import NBTIModel
+
+DESIGN_POINTS = [(2, 2), (2, 4), (4, 2), (4, 4)]  # (num_vcs, buffer_depth)
+RATE = 0.2
+CYCLES = 10_000
+
+
+def main() -> None:
+    model = NBTIModel.calibrated()
+    print(f"4-core mesh, uniform traffic at {RATE} flits/cycle/node, "
+          f"{CYCLES} measured cycles\n")
+    header = (f"{'VCs':>3s} {'depth':>5s} | {'MD duty':>8s} {'Gap':>6s} "
+              f"{'latency':>8s} | {'area um^2':>10s} {'overhead':>8s} "
+              f"| {'Vth saving':>10s}")
+    print(header)
+    print("-" * len(header))
+    for num_vcs, depth in DESIGN_POINTS:
+        scenario = ScenarioConfig(
+            num_nodes=4, num_vcs=num_vcs, buffer_depth=depth,
+            injection_rate=RATE, cycles=CYCLES, warmup=1_500,
+        )
+        results = run_policies(scenario, ("rr-no-sensor", "sensor-wise"))
+        md = results["sensor-wise"].md_vc
+        sw_duty = results["sensor-wise"].duty_cycles[md]
+        gap = results["rr-no-sensor"].duty_cycles[md] - sw_duty
+        latency = results["sensor-wise"].net_stats.avg_packet_latency
+
+        geometry = RouterGeometry(
+            num_ports=4, num_vcs=num_vcs, buffer_depth=depth,
+            flit_width_bits=64,
+        )
+        area = router_area_um2(geometry)
+        overhead = compute_overhead_report(geometry).total_fraction_of_noc
+
+        saving = model.saving(sw_duty / 100.0, 1.0, 3 * SECONDS_PER_YEAR)
+        print(f"{num_vcs:>3d} {depth:>5d} | {sw_duty:7.1f}% {gap:5.1f}% "
+              f"{latency:8.1f} | {area:10.0f} {100 * overhead:7.2f}% "
+              f"| {100 * saving:9.1f}%")
+
+    print()
+    print("Reading the table: doubling the VCs collapses the most-degraded")
+    print("duty cycle (more steering freedom) and doubles the Vth saving,")
+    print("for ~10-20% more router area and ~1.6 points more sensor-wise")
+    print("overhead; deeper buffers mostly buy latency. The overhead stays")
+    print("below ~4% across the whole design space (paper Sec. III-D).")
+
+
+if __name__ == "__main__":
+    main()

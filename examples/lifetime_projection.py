@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Lifetime study: project measured duty cycles over a 10-year horizon.
+
+The duty cycles a policy achieves in simulation translate into threshold
+-voltage drift through the calibrated long-term reaction-diffusion model
+(the paper's Eq. 1).  This example:
+
+1. measures the most-degraded VC's duty cycle under the baseline,
+   rr-no-sensor and sensor-wise policies,
+2. prints the |Vth| trajectory of that buffer over 10 years for each
+   policy (initial PV value + accumulated NBTI shift), and
+3. reports when each policy crosses a guardband (+40 mV over nominal),
+   i.e. the effective lifetime extension the methodology buys.
+
+Run with ``python examples/lifetime_projection.py``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_policies
+from repro.nbti.constants import SECONDS_PER_YEAR
+from repro.nbti.model import NBTIModel
+
+POLICIES = ("baseline", "rr-no-sensor", "sensor-wise")
+GUARDBAND_V = 0.040
+HORIZON_YEARS = (1, 2, 3, 5, 7, 10)
+
+
+def years_to_guardband(model: NBTIModel, alpha: float, guardband: float) -> float:
+    """Bisection on time: years until the shift exceeds the guardband."""
+    if model.delta_vth(alpha, 100.0 * SECONDS_PER_YEAR) < guardband:
+        return float("inf")
+    lo, hi = 0.0, 100.0
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if model.delta_vth(alpha, mid * SECONDS_PER_YEAR) < guardband:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def main() -> None:
+    scenario = ScenarioConfig(
+        num_nodes=4, num_vcs=2, injection_rate=0.2,
+        cycles=15_000, warmup=2_000,
+    )
+    model = NBTIModel.calibrated()
+    results = run_policies(scenario, POLICIES)
+    md = results["sensor-wise"].md_vc
+    initial_vth = results["sensor-wise"].initial_vths[md]
+
+    print(f"Scenario {scenario.label}; most-degraded VC{md}, "
+          f"initial |Vth| = {initial_vth * 1e3:.1f} mV\n")
+
+    header = "Policy                 duty   " + "".join(
+        f"{y:>4d}y " for y in HORIZON_YEARS
+    ) + "  guardband hit"
+    print(header)
+    print("-" * len(header))
+    for policy in POLICIES:
+        alpha = results[policy].md_duty / 100.0
+        cells = []
+        for years in HORIZON_YEARS:
+            vth = initial_vth + model.delta_vth(alpha, years * SECONDS_PER_YEAR)
+            cells.append(f"{vth * 1e3:5.0f} ")
+        hit = years_to_guardband(model, alpha, GUARDBAND_V)
+        hit_text = f"{hit:5.1f} years" if hit != float("inf") else "   never"
+        print(f"{policy:<22s} {results[policy].md_duty:5.1f}%  "
+              + "".join(cells) + f"  {hit_text}")
+
+    base_hit = years_to_guardband(
+        model, results["baseline"].md_duty / 100.0, GUARDBAND_V
+    )
+    sw_hit = years_to_guardband(
+        model, results["sensor-wise"].md_duty / 100.0, GUARDBAND_V
+    )
+    print()
+    print(f"(|Vth| in mV; guardband = nominal + {GUARDBAND_V * 1e3:.0f} mV)")
+    if sw_hit != float("inf") and base_hit != float("inf"):
+        print(f"Sensor-wise extends the guardband lifetime "
+              f"{sw_hit / base_hit:.1f}x over the baseline NoC.")
+    else:
+        print("Sensor-wise keeps the buffer inside the guardband for the "
+              "entire 100-year search window.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Full-stack aging analysis: activity -> power -> heat -> NBTI -> fmax.
+
+Beyond the paper's tables, the library closes the whole reliability
+loop.  This example runs a 16-core mesh with a hot L2 bank, then:
+
+1. estimates per-router power and steady-state **temperature** from the
+   simulated activity (hot routers run ~tens of kelvin warmer),
+2. projects each buffer's **Vth** 5 years ahead at *its own router's*
+   temperature (Arrhenius-accelerated aging on the hot tiles),
+3. translates the worst buffer's shift into a **maximum-frequency**
+   trajectory via the alpha-power delay law, and
+4. cross-checks the closed-form projection with the explicit
+   stress/recovery (short-term) integrator.
+
+Run with ``python examples/thermal_aging_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import make_policy_factory
+from repro.nbti.constants import SECONDS_PER_YEAR
+from repro.nbti.delay import frequency_trajectory, guardband_lifetime_years
+from repro.nbti.shortterm import ShortTermNBTI
+from repro.nbti.thermal import router_temperatures, thermal_aware_projection
+from repro.noc.config import NoCConfig
+from repro.noc.network import Network
+from repro.traffic.synthetic import HotspotTraffic
+
+YEARS = 5.0
+
+
+def main() -> None:
+    config = NoCConfig(num_nodes=16, num_vcs=2)
+    traffic = HotspotTraffic(
+        16, flit_rate=0.35, hotspots=[5], hotspot_fraction=0.6,
+        packet_length=4, seed=13,
+    )
+    net = Network(config, make_policy_factory("sensor-wise"), traffic)
+    print("Simulating a 16-core mesh with a hot L2 bank at tile 5...")
+    net.run(2_000)
+    net.reset_nbti()
+    net.run(10_000)
+
+    # 1. Thermal map.
+    profile = router_temperatures(net)
+    print()
+    print(profile.as_text())
+    hot = profile.hottest_router
+
+    # 2. Thermal-aware lifetime Vth projection.
+    projection = thermal_aware_projection(net, years=YEARS, profile=profile)
+    worst_key = max(projection, key=projection.get)
+    worst_vth = projection[worst_key]
+    router, port, vc = worst_key
+    device = net.devices[worst_key]
+    print()
+    print(f"Worst buffer after {YEARS:g} years: router {router}, port {port}, "
+          f"VC {vc}")
+    print(f"  initial |Vth| {device.initial_vth * 1e3:.1f} mV -> projected "
+          f"{worst_vth * 1e3:.1f} mV at {profile.temperatures_k[router] - 273.15:.0f} C "
+          f"(duty {device.duty_cycle:.1f}%)")
+
+    # 3. Frequency trajectory of that buffer's pipeline.
+    traj = frequency_trajectory(
+        net.nbti_model, device.duty_cycle, years=(1, 2, 3, 5),
+        initial_vth=device.initial_vth,
+    )
+    print()
+    print("Max-frequency trajectory (fraction of fresh fmax):")
+    for year, factor in zip(traj.years, traj.frequency_factors):
+        print(f"  year {year}: {factor:.4f}")
+    lifetime = guardband_lifetime_years(
+        net.nbti_model, device.duty_cycle, max_degradation=0.05,
+        initial_vth=device.initial_vth,
+    )
+    lifetime_text = "never" if lifetime == float("inf") else f"{lifetime:.1f} years"
+    print(f"  5% frequency guardband crossed: {lifetime_text}")
+
+    # 4. Cross-check with the explicit stress/recovery integrator.
+    short = ShortTermNBTI(net.nbti_model)
+    alpha = device.alpha
+    explicit = short.simulate_duty(alpha, SECONDS_PER_YEAR / 200, YEARS * SECONDS_PER_YEAR)
+    closed = net.nbti_model.delta_vth(alpha, YEARS * SECONDS_PER_YEAR)
+    print()
+    print(f"Model cross-check at duty {device.duty_cycle:.1f}%: closed form "
+          f"{closed * 1e3:.1f} mV vs explicit integrator {explicit * 1e3:.1f} mV")
+    print(f"Hottest router: {hot} (tile 5's neighborhood), thermal spread "
+          f"{profile.spread_k:.1f} K — hot tiles age measurably faster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` (which builds an editable wheel under PEP 517)
+cannot run.  This shim lets ``python setup.py develop`` perform the
+equivalent editable install using setuptools alone; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

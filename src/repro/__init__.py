@@ -1,0 +1,57 @@
+"""repro — reproduction of *"Sensor-wise methodology to face NBTI stress
+of NoC buffers"* (Zoni & Fornaciari, DATE 2013).
+
+The package is layered bottom-up:
+
+* :mod:`repro.nbti` — aging model, duty cycles, process variation, sensors.
+* :mod:`repro.noc` — cycle-accurate VC-router NoC simulator.
+* :mod:`repro.core` — the recovery policies (the paper's contribution).
+* :mod:`repro.traffic` — synthetic and benchmark-profile traffic.
+* :mod:`repro.area` — ORION-class area model and overhead report.
+* :mod:`repro.stats` — collectors and multi-run aggregation.
+* :mod:`repro.experiments` — scenario runners and table builders for
+  every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import quick_simulation
+>>> result = quick_simulation(policy="sensor-wise", cycles=2000)
+>>> 0.0 <= min(result.duty_cycles) <= max(result.duty_cycles) <= 100.0
+True
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__", "quick_simulation"]
+
+
+def quick_simulation(
+    policy: str = "sensor-wise",
+    num_nodes: int = 4,
+    num_vcs: int = 2,
+    injection_rate: float = 0.1,
+    cycles: int = 5000,
+    seed: int = 1,
+):
+    """Run a small uniform-traffic simulation and return a summary.
+
+    A convenience entry point for the README quickstart; the real
+    experiment API lives in :mod:`repro.experiments`.
+
+    Returns
+    -------
+    repro.experiments.runner.ScenarioResult
+        Duty cycles at the measured port plus network statistics.
+    """
+    from repro.experiments.config import ScenarioConfig
+    from repro.experiments.runner import run_scenario
+
+    scenario = ScenarioConfig(
+        num_nodes=num_nodes,
+        num_vcs=num_vcs,
+        injection_rate=injection_rate,
+        policy=policy,
+        cycles=cycles,
+        seed=seed,
+    )
+    return run_scenario(scenario)

@@ -1,0 +1,43 @@
+"""ORION-class area model and the Sec. III-D overhead report."""
+
+from repro.area.orion import (
+    RouterGeometry,
+    allocator_area_um2,
+    buffer_area_um2,
+    crossbar_area_um2,
+    link_area_um2,
+    router_area_um2,
+    tech_scale,
+)
+from repro.area.overhead import (
+    SENSOR_AREA_UM2,
+    OverheadReport,
+    compute_overhead_report,
+    down_up_wires,
+    up_down_wires,
+)
+from repro.area.power import (
+    PowerBreakdown,
+    buffer_leakage_spread,
+    compute_power_report,
+    leakage_scale,
+)
+
+__all__ = [
+    "RouterGeometry",
+    "allocator_area_um2",
+    "buffer_area_um2",
+    "crossbar_area_um2",
+    "link_area_um2",
+    "router_area_um2",
+    "tech_scale",
+    "SENSOR_AREA_UM2",
+    "OverheadReport",
+    "compute_overhead_report",
+    "down_up_wires",
+    "up_down_wires",
+    "PowerBreakdown",
+    "buffer_leakage_spread",
+    "compute_power_report",
+    "leakage_scale",
+]

@@ -1,0 +1,161 @@
+"""ORION-2.0-class analytic area model for routers and links.
+
+The paper uses ORION 2.0 to size the baseline router and its links at
+45 nm and then reports the *relative* overhead of the sensor-wise
+additions (Sec. III-D).  This module provides an analytic model with the
+same structure — buffers, crossbar, allocators, link wiring — built from
+per-technology unit areas.  Absolute values are first-order (as are
+ORION's); all reproduction claims are about the *ratios* computed in
+:mod:`repro.area.overhead`.
+
+Model structure
+---------------
+* **Buffers**: register-file cells; area = bits x cell area, plus a
+  peripheral factor for decoders/precharge.
+* **Crossbar**: matrix crossbar; area grows with (ports x width)^2 x
+  wire pitch^2.
+* **Allocators**: VA/SA arbiters; gate-count estimate for round-robin
+  arbiters of the configured radix.
+* **Links**: wire-dominated; area = wires x pitch x length, with data
+  wires routed at *global* pitch (2x minimum) and slow control
+  sideband wires at *semi-global* (minimum) pitch — which is exactly why
+  the paper's 5 control wires cost only ~3.8 % of a 64-bit data link
+  rather than 5/64 = 7.8 %.
+
+All areas in um^2; lengths in mm; technology scaling is quadratic in the
+feature size relative to the 45 nm reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.nbti.constants import TECH_45NM, TechnologyNode
+
+# ----------------------------------------------------------------------
+# 45 nm reference unit areas (first-order, ORION-2.0-class).
+# ----------------------------------------------------------------------
+#: Area of one register/SRAM buffer cell at 45 nm, um^2 (including its
+#: share of word/bit lines).
+BUFFER_CELL_UM2_45 = 1.2
+
+#: Peripheral overhead factor of a buffer bank (decoders, precharge...).
+BUFFER_PERIPHERY_FACTOR = 1.25
+
+#: Minimum (semi-global) wire pitch at 45 nm, um.
+WIRE_PITCH_UM_45 = 0.28
+
+#: Global wires (links, crossbar tracks) are routed at twice the minimum
+#: pitch for delay/noise, per ORION's wire classes.
+GLOBAL_PITCH_FACTOR = 2.0
+
+#: Area of a NAND2-equivalent gate at 45 nm, um^2.
+GATE_AREA_UM2_45 = 0.8
+
+#: Gates per round-robin arbiter request line (priority logic + grant).
+ARBITER_GATES_PER_REQ = 6
+
+#: Control/clock overhead factor applied to the summed router blocks.
+ROUTER_OVERHEAD_FACTOR = 1.3
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterGeometry:
+    """Geometry of the router whose area is being estimated.
+
+    The paper's Sec. III-D reference: 4 input/output ports, 4 VCs per
+    input port, 4 flits per buffer, 64-bit flits, 45 nm.
+    """
+
+    num_ports: int = 4
+    num_vcs: int = 4
+    buffer_depth: int = 4
+    flit_width_bits: int = 64
+    tech: TechnologyNode = TECH_45NM
+
+    def __post_init__(self) -> None:
+        if self.num_ports < 2:
+            raise ValueError(f"num_ports must be >= 2, got {self.num_ports}")
+        if self.num_vcs < 1:
+            raise ValueError(f"num_vcs must be >= 1, got {self.num_vcs}")
+        if self.buffer_depth < 1:
+            raise ValueError(f"buffer_depth must be >= 1, got {self.buffer_depth}")
+        if self.flit_width_bits < 1:
+            raise ValueError(f"flit_width_bits must be >= 1, got {self.flit_width_bits}")
+
+    @property
+    def buffer_bits(self) -> int:
+        """Total storage bits across all input ports."""
+        return self.num_ports * self.num_vcs * self.buffer_depth * self.flit_width_bits
+
+    @property
+    def sensor_count(self) -> int:
+        """One NBTI sensor per VC buffer (paper: 16 for the reference)."""
+        return self.num_ports * self.num_vcs
+
+
+def tech_scale(tech: TechnologyNode) -> float:
+    """Quadratic area scaling factor relative to the 45 nm reference."""
+    return (tech.feature_nm / 45.0) ** 2
+
+
+def buffer_area_um2(geom: RouterGeometry) -> float:
+    """Total input-buffer area of the router."""
+    cell = BUFFER_CELL_UM2_45 * tech_scale(geom.tech)
+    return geom.buffer_bits * cell * BUFFER_PERIPHERY_FACTOR
+
+
+def crossbar_area_um2(geom: RouterGeometry) -> float:
+    """Matrix-crossbar area: (ports x width x global pitch)^2."""
+    pitch = WIRE_PITCH_UM_45 * GLOBAL_PITCH_FACTOR * math.sqrt(tech_scale(geom.tech))
+    side = geom.num_ports * geom.flit_width_bits * pitch
+    return side * side
+
+
+def allocator_area_um2(geom: RouterGeometry) -> float:
+    """VA + SA arbiter area from gate counts.
+
+    VA: one ``ports x vcs``-input arbiter per output port.
+    SA: one ``vcs``-input arbiter per input port plus one
+    ``ports``-input arbiter per output port.
+    """
+    gate = GATE_AREA_UM2_45 * tech_scale(geom.tech)
+    va_requests = geom.num_ports * (geom.num_ports * geom.num_vcs)
+    sa_requests = geom.num_ports * geom.num_vcs + geom.num_ports * geom.num_ports
+    return (va_requests + sa_requests) * ARBITER_GATES_PER_REQ * gate
+
+
+def router_area_um2(geom: RouterGeometry) -> float:
+    """Total router area including control/clock overhead."""
+    blocks = buffer_area_um2(geom) + crossbar_area_um2(geom) + allocator_area_um2(geom)
+    return blocks * ROUTER_OVERHEAD_FACTOR
+
+
+def link_area_um2(
+    wires: int,
+    length_mm: float = 1.0,
+    tech: TechnologyNode = TECH_45NM,
+    global_wires: bool = True,
+) -> float:
+    """Wiring area of a link.
+
+    Parameters
+    ----------
+    wires:
+        Number of parallel wires (e.g. 64 for the paper's data link).
+    length_mm:
+        Link length; Sec. III-D compares same-length links so the ratio
+        is length-independent.
+    global_wires:
+        Data links use the global wire class (2x pitch); slow control
+        sidebands (Up_Down / Down_Up) use the minimum pitch.
+    """
+    if wires < 1:
+        raise ValueError(f"wires must be >= 1, got {wires}")
+    if length_mm <= 0:
+        raise ValueError(f"length_mm must be positive, got {length_mm}")
+    pitch = WIRE_PITCH_UM_45 * math.sqrt(tech_scale(tech))
+    if global_wires:
+        pitch *= GLOBAL_PITCH_FACTOR
+    return wires * pitch * (length_mm * 1000.0)

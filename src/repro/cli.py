@@ -1,0 +1,257 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+Examples
+--------
+::
+
+    repro-noc setup                      # Table I (experimental setup)
+    repro-noc table2 --cycles 20000      # Table II (synthetic, 4 VCs)
+    repro-noc table3                     # Table III (synthetic, 2 VCs)
+    repro-noc table4 --iterations 10     # Table IV (benchmark mixes)
+    repro-noc area                       # Sec. III-D overhead report
+    repro-noc vth --rate 0.1             # Sec. V Vth-saving projection
+    repro-noc cooperation --rate 0.1     # Sec. V cooperation gain
+    repro-noc simulate --policy sensor-wise --nodes 16 --vcs 4
+
+The defaults use scaled-down cycle counts (see DESIGN.md §3); pass
+``--cycles``/``--warmup`` for longer runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_sim_args(parser: argparse.ArgumentParser, cycles: int = 20_000) -> None:
+    parser.add_argument("--cycles", type=int, default=cycles, help="measured cycles")
+    parser.add_argument("--warmup", type=int, default=2_000, help="warm-up cycles to discard")
+    parser.add_argument("--seed", type=int, default=1, help="master seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-noc",
+        description=(
+            "Reproduction of 'Sensor-wise methodology to face NBTI stress "
+            "of NoC buffers' (DATE 2013)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("setup", help="print the Table I experimental setup")
+
+    p2 = sub.add_parser("table2", help="Table II: synthetic traffic, 4 VCs")
+    _add_sim_args(p2)
+
+    p3 = sub.add_parser("table3", help="Table III: synthetic traffic, 2 VCs")
+    _add_sim_args(p3)
+
+    p4 = sub.add_parser("table4", help="Table IV: benchmark-mix traffic, 2 VCs")
+    _add_sim_args(p4, cycles=15_000)
+    p4.add_argument("--iterations", type=int, default=10, help="benchmark mixes per scenario")
+
+    parea = sub.add_parser("area", help="Sec. III-D area-overhead report")
+    parea.add_argument("--vcs", type=int, default=4, help="VCs per input port")
+    parea.add_argument("--ports", type=int, default=4, help="router ports")
+    parea.add_argument("--flit-bits", type=int, default=64, help="flit width in bits")
+
+    pvth = sub.add_parser("vth", help="Sec. V net Vth-saving projection")
+    _add_sim_args(pvth)
+    pvth.add_argument("--nodes", type=int, default=4)
+    pvth.add_argument("--vcs", type=int, default=4)
+    pvth.add_argument("--rate", type=float, default=0.1, help="flits/cycle/node")
+    pvth.add_argument("--years", type=float, default=3.0, help="projection horizon")
+
+    pcoop = sub.add_parser("cooperation", help="Sec. V cooperation gain")
+    _add_sim_args(pcoop)
+    pcoop.add_argument("--nodes", type=int, default=4)
+    pcoop.add_argument("--vcs", type=int, default=2)
+    pcoop.add_argument("--rate", type=float, default=0.1)
+
+    pcamp = sub.add_parser(
+        "campaign", help="regenerate every paper artifact into one report"
+    )
+    _add_sim_args(pcamp, cycles=12_000)
+    pcamp.add_argument("--iterations", type=int, default=10)
+    pcamp.add_argument("--out", default="campaign_report.md", help="markdown report path")
+    pcamp.add_argument("--json-dir", default=None, help="also persist tables as JSON here")
+    pcamp.add_argument(
+        "--skip-real", action="store_true",
+        help="skip the Table IV benchmark-mix runs (the slowest part)",
+    )
+
+    psweep = sub.add_parser("sweep", help="injection-rate sweep with CSV export")
+    _add_sim_args(psweep, cycles=10_000)
+    psweep.add_argument("--nodes", type=int, default=4)
+    psweep.add_argument("--vcs", type=int, default=2)
+    psweep.add_argument(
+        "--rates", default="0.1,0.2,0.3,0.4,0.5",
+        help="comma-separated flits/cycle/node values",
+    )
+    psweep.add_argument(
+        "--policies", default="rr-no-sensor,sensor-wise",
+        help="comma-separated policy names",
+    )
+    psweep.add_argument("--csv", default=None, help="also write the sweep to this CSV")
+
+    ppow = sub.add_parser("power", help="router power/leakage report for one scenario")
+    _add_sim_args(ppow, cycles=10_000)
+    ppow.add_argument("--nodes", type=int, default=4)
+    ppow.add_argument("--vcs", type=int, default=2)
+    ppow.add_argument("--rate", type=float, default=0.2)
+    ppow.add_argument("--policy", default="sensor-wise")
+
+    psim = sub.add_parser("simulate", help="run one scenario and print a summary")
+    _add_sim_args(psim)
+    psim.add_argument("--nodes", type=int, default=4)
+    psim.add_argument("--vcs", type=int, default=2)
+    psim.add_argument("--rate", type=float, default=0.1)
+    psim.add_argument("--policy", default="sensor-wise")
+    psim.add_argument(
+        "--traffic", default="uniform",
+        help="synthetic pattern name or 'benchmark-mix'",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "setup":
+        from repro.experiments.config import format_experimental_setup
+
+        print(format_experimental_setup())
+        return 0
+
+    if args.command in ("table2", "table3"):
+        from repro.experiments.tables import run_synthetic_table
+
+        num_vcs = 4 if args.command == "table2" else 2
+        table = run_synthetic_table(
+            num_vcs=num_vcs, cycles=args.cycles, warmup=args.warmup, seed=args.seed
+        )
+        print(table.format())
+        return 0
+
+    if args.command == "table4":
+        from repro.experiments.tables import run_real_table
+
+        table = run_real_table(
+            iterations=args.iterations,
+            cycles=args.cycles,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
+        print(table.format())
+        return 0
+
+    if args.command == "area":
+        from repro.area import RouterGeometry, compute_overhead_report
+
+        geometry = RouterGeometry(
+            num_ports=args.ports, num_vcs=args.vcs, flit_width_bits=args.flit_bits
+        )
+        print(compute_overhead_report(geometry).as_text())
+        return 0
+
+    if args.command == "vth":
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.tables import run_vth_saving
+
+        scenario = ScenarioConfig(
+            num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
+            cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+        )
+        print(run_vth_saving(scenario, years=args.years).format())
+        return 0
+
+    if args.command == "cooperation":
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.tables import run_cooperation_gain
+
+        scenario = ScenarioConfig(
+            num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
+            cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+        )
+        print(run_cooperation_gain(scenario).format())
+        return 0
+
+    if args.command == "campaign":
+        from repro.experiments.campaign import CampaignConfig, run_campaign
+
+        config = CampaignConfig(
+            cycles=args.cycles,
+            warmup=args.warmup,
+            iterations=args.iterations,
+            seed=args.seed,
+            include_real_traffic=not args.skip_real,
+        )
+        result = run_campaign(config, report_path=args.out, json_dir=args.json_dir)
+        print(result.to_markdown())
+        print(f"report written to {args.out} ({result.wall_seconds:.0f}s)")
+        return 0
+
+    if args.command == "sweep":
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.sweeps import run_injection_sweep
+
+        rates = [float(r) for r in args.rates.split(",") if r]
+        policies = [p for p in args.policies.split(",") if p]
+        base = ScenarioConfig(
+            num_nodes=args.nodes, num_vcs=args.vcs,
+            cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+        )
+        sweep = run_injection_sweep(rates, policies=policies, base=base)
+        print(sweep.format())
+        if args.csv:
+            sweep.to_csv(args.csv)
+            print(f"\nwrote {args.csv}")
+        return 0
+
+    if args.command == "power":
+        from repro.area.power import compute_power_report
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import build_network
+
+        scenario = ScenarioConfig(
+            num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
+            policy=args.policy, cycles=args.cycles, warmup=args.warmup,
+            seed=args.seed,
+        )
+        network = build_network(scenario)
+        network.run(scenario.warmup)
+        network.reset_nbti()
+        network.reset_stats()
+        network.run(scenario.cycles)
+        report = compute_power_report(network)
+        print(f"scenario: {scenario.label} policy={scenario.policy}")
+        print(report.as_text())
+        print(f"average power: {report.power_mw(scenario.noc_config().technology.clock_period_s):.3f} mW")
+        return 0
+
+    if args.command == "simulate":
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import run_scenario
+
+        scenario = ScenarioConfig(
+            num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
+            policy=args.policy, traffic=args.traffic,
+            cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+        )
+        result = run_scenario(scenario)
+        print(f"scenario      : {scenario.label} policy={scenario.policy}")
+        print(f"measured port : router {scenario.measure_router} {scenario.measure_port}")
+        print(f"duty cycles   : {[round(d, 2) for d in result.duty_cycles]}")
+        print(f"MD VC         : {result.md_vc} ({result.md_duty:.2f}%)")
+        print(f"network       : {result.net_stats}")
+        print(f"wall time     : {result.wall_seconds:.2f}s")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The paper's contribution: cooperative NBTI recovery policies for VC
+buffers, plus the factory used by configs and experiment runners."""
+
+from repro.core.policies import (
+    ALL_POLICIES,
+    PAPER_POLICIES,
+    BaselinePolicy,
+    RoundRobinNoTrafficPolicy,
+    RoundRobinSensorlessPolicy,
+    SensorWisePolicy,
+    StaticReservePolicy,
+    make_policy_factory,
+)
+
+__all__ = [
+    "ALL_POLICIES",
+    "PAPER_POLICIES",
+    "BaselinePolicy",
+    "RoundRobinNoTrafficPolicy",
+    "RoundRobinSensorlessPolicy",
+    "SensorWisePolicy",
+    "StaticReservePolicy",
+    "make_policy_factory",
+]

@@ -1,0 +1,296 @@
+"""The paper's NBTI recovery policies (pre-VA stage of each upstream port).
+
+Four policies are provided:
+
+* :class:`BaselinePolicy` — the non-NBTI-aware NoC: buffers are never
+  gated, so every VC sits at a 100 % NBTI-duty-cycle.
+* :class:`RoundRobinSensorlessPolicy` — the paper's Algorithm 1
+  (*rr-no-sensor*): the best policy possible without sensors.  A
+  rotating *active candidate* picks which single VC is kept awake when
+  new traffic is waiting; with no new traffic every idle VC recovers.
+* :class:`SensorWisePolicy` — the paper's Algorithm 2 (*sensor-wise*):
+  the downstream sensors' most-degraded VC is gated first, one idle VC
+  is kept awake only when new traffic is waiting.
+* ``SensorWisePolicy(use_traffic=False)`` — the *sensor-wise-no-traffic*
+  ablation: identical, but it always assumes traffic, so one idle VC is
+  kept awake unconditionally (this is also the **non-cooperative**
+  variant: it needs no upstream traffic information, hence no
+  cooperation between the router pair).
+* :class:`RoundRobinNoTrafficPolicy` — an extra ablation completing the
+  2x2 {sensor, traffic} matrix (not in the paper's tables): round-robin
+  candidate, no traffic information.
+
+All policies are deterministic and stateless across cycles (the
+round-robin candidate derives from the cycle counter, mimicking the
+paper's "changed cyclically on a time basis").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.noc.policy_api import (
+    PolicyContext,
+    PolicyDecision,
+    RecoveryPolicy,
+)
+
+
+class BaselinePolicy(RecoveryPolicy):
+    """Non-NBTI-aware baseline: never gate anything."""
+
+    name = "baseline"
+    uses_sensor = False
+    uses_traffic = False
+    stable = True
+
+    def decide(self, ctx: PolicyContext) -> PolicyDecision:
+        return PolicyDecision.all_awake(ctx.num_vcs)
+
+
+class RoundRobinSensorlessPolicy(RecoveryPolicy):
+    """Algorithm 1: the *rr-no-sensor* reference policy.
+
+    Every ``rotation_period`` cycles the *active candidate* advances, so
+    the kept-awake duty is spread evenly over the VCs — the best one can
+    do without knowing which VC is actually the most degraded.
+
+    Parameters
+    ----------
+    rotation_period:
+        Cycles between candidate advances.  The paper only states the
+        candidate changes "cyclically on a time basis"; 64 cycles keeps
+        sleep-transistor toggling physically reasonable while mixing the
+        VCs well below the sensor sampling period.
+
+        The period must exceed the control-link latency plus the buffer
+        wake-up latency (2 cycles with the defaults): a faster rotation
+        re-gates the freshly woken candidate before it ever becomes
+        allocatable, so VC allocation starves and traffic through the
+        port live-locks (see
+        ``tests/test_paper_claims.py`` /
+        ``benchmarks/bench_ablation_rotation_period.py``).
+    """
+
+    name = "rr-no-sensor"
+    uses_sensor = False
+    uses_traffic = True
+    stable = True
+
+    def __init__(self, rotation_period: int = 64) -> None:
+        if rotation_period < 1:
+            raise ValueError(f"rotation_period must be >= 1, got {rotation_period}")
+        self.rotation_period = rotation_period
+
+    def epoch(self, cycle: int) -> int:
+        """Memoization epoch: re-evaluate whenever the candidate rotates."""
+        return cycle // self.rotation_period
+
+    def candidate(self, ctx: PolicyContext) -> int:
+        """The ``active_candidate`` VC for this cycle (line 2 of Alg. 1)."""
+        return (ctx.cycle // self.rotation_period) % ctx.num_vcs
+
+    def decide(self, ctx: PolicyContext) -> PolicyDecision:
+        candidate = self.candidate(ctx)
+        if not ctx.new_traffic:
+            # Lines 4-7: no new packets -> every idle VC may recover.
+            return PolicyDecision.gate_all(idle_vc=candidate)
+        # Lines 8-17: keep awake the first idle-or-recovering VC at or
+        # after the candidate; all other idle VCs recover.
+        offset = candidate
+        for _ in range(ctx.num_vcs):
+            if ctx.is_idle(offset) or ctx.is_recovery(offset):
+                return PolicyDecision.keep_one(offset)
+            offset = (offset + 1) % ctx.num_vcs
+        # Every VC is ACTIVE: nothing to keep idle, nothing to gate.
+        return PolicyDecision.gate_all(idle_vc=candidate)
+
+
+class RoundRobinNoTrafficPolicy(RoundRobinSensorlessPolicy):
+    """Ablation: round-robin candidate, but no traffic information.
+
+    One idle VC (the rotating candidate) is kept awake unconditionally.
+    Completes the {sensor} x {traffic} ablation matrix together with
+    *sensor-wise-no-traffic*.
+    """
+
+    name = "rr-no-sensor-no-traffic"
+    uses_sensor = False
+    uses_traffic = False
+
+    def decide(self, ctx: PolicyContext) -> PolicyDecision:
+        forced = PolicyContext(
+            cycle=ctx.cycle,
+            vc_states=ctx.vc_states,
+            new_traffic=True,
+            most_degraded_vc=ctx.most_degraded_vc,
+        )
+        return super().decide(forced)
+
+
+class StaticReservePolicy(RecoveryPolicy):
+    """Naive comparison point: permanently reserve one fixed VC.
+
+    The designated VC (default VC 0) is always kept awake; every other
+    idle VC recovers.  No sensors, no traffic information, no rotation —
+    the cheapest conceivable gating controller, and the worst of the
+    zoo: the reserved VC ages at ~100 % duty and, without process
+    variation luck, it may well *be* the most degraded one.
+    """
+
+    name = "static-reserve"
+    uses_sensor = False
+    uses_traffic = False
+    stable = True
+
+    def __init__(self, reserved_vc: int = 0) -> None:
+        if reserved_vc < 0:
+            raise ValueError(f"reserved_vc must be >= 0, got {reserved_vc}")
+        self.reserved_vc = reserved_vc
+
+    def decide(self, ctx: PolicyContext) -> PolicyDecision:
+        vc = self.reserved_vc % ctx.num_vcs
+        if ctx.is_active(vc):
+            return PolicyDecision.gate_all(idle_vc=vc)
+        return PolicyDecision.keep_one(vc)
+
+
+class SensorWisePolicy(RecoveryPolicy):
+    """Algorithm 2: the *sensor-wise* policy (the paper's contribution).
+
+    Each cycle, for one upstream output port:
+
+    1. Conceptually restore every recovering VC to idle (lines 5-8) so
+       the most-degraded VC is re-evaluated from a clean slate.
+    2. Gate the most-degraded VC first, provided at least ``boolTraffic``
+       other idle VCs remain for incoming packets (lines 9-11).
+    3. Gate the remaining idle VCs in ascending order while more than
+       ``boolTraffic`` idle VCs remain (lines 12-16); the survivor is the
+       ``idle_vc`` driven on the Up_Down link.
+    4. Assert ``enable`` iff new traffic is waiting (lines 17-18).
+
+    The engine applies only the *diffs* of the resulting awake set, so
+    step 1 never physically toggles a sleep transistor.
+
+    Parameters
+    ----------
+    use_traffic:
+        ``True`` gives the full cooperative *sensor-wise* policy;
+        ``False`` gives the *sensor-wise-no-traffic* ablation, which
+        always keeps one idle VC awake (``boolTraffic`` forced to 1).
+    """
+
+    name = "sensor-wise"
+    uses_sensor = True
+    uses_traffic = True
+    stable = True
+
+    def __init__(self, use_traffic: bool = True) -> None:
+        self.use_traffic = use_traffic
+        if not use_traffic:
+            self.name = "sensor-wise-no-traffic"
+            self.uses_traffic = False
+
+    def decide(self, ctx: PolicyContext) -> PolicyDecision:
+        bool_traffic = ctx.new_traffic if self.use_traffic else True
+        threshold = 1 if bool_traffic else 0
+        # A sensor-wise port always has a Down_Up value; ports without
+        # sensors (e.g. driving untracked ejection buffers) fall back to
+        # VC 0, which only affects gating order, not correctness.
+        md = ctx.most_degraded_vc if ctx.most_degraded_vc is not None else 0
+
+        # Lines 5-8: every non-ACTIVE VC is (conceptually) idle again.
+        idle = set(ctx.gateable_vcs())
+        count_idle = len(idle)
+        gated = set()
+
+        # Lines 9-11: recover the most-degraded VC first.
+        if md in idle and count_idle > threshold:
+            gated.add(md)
+            count_idle -= 1
+
+        # Lines 12-16: recover the remaining idle VCs in scan order.
+        survivor: Optional[int] = None
+        for vc in sorted(idle):
+            if vc in gated:
+                continue
+            if count_idle > threshold:
+                gated.add(vc)
+                count_idle -= 1
+            else:
+                survivor = vc
+
+        awake = idle - gated
+        if survivor is None:
+            survivor = md
+        # Lines 17-18: enable qualifies the idle_vc lines.
+        return PolicyDecision(
+            awake=frozenset(awake),
+            enable=bool_traffic and bool(awake),
+            idle_vc=survivor,
+        )
+
+
+#: Registry of policy names to zero-argument factories-of-factories: the
+#: outer call fixes parameters, the inner callable builds one instance
+#: per upstream port.
+_POLICY_BUILDERS: Dict[str, Callable[..., Callable[[], RecoveryPolicy]]] = {}
+
+
+def _register(name: str, builder: Callable[..., Callable[[], RecoveryPolicy]]) -> None:
+    _POLICY_BUILDERS[name] = builder
+
+
+_register("baseline", lambda **kw: BaselinePolicy)
+_register(
+    "rr-no-sensor",
+    lambda rotation_period=64, **kw: (
+        lambda: RoundRobinSensorlessPolicy(rotation_period=rotation_period)
+    ),
+)
+_register(
+    "rr-no-sensor-no-traffic",
+    lambda rotation_period=64, **kw: (
+        lambda: RoundRobinNoTrafficPolicy(rotation_period=rotation_period)
+    ),
+)
+_register("sensor-wise", lambda **kw: (lambda: SensorWisePolicy(use_traffic=True)))
+_register(
+    "sensor-wise-no-traffic",
+    lambda **kw: (lambda: SensorWisePolicy(use_traffic=False)),
+)
+_register(
+    "static-reserve",
+    lambda reserved_vc=0, **kw: (lambda: StaticReservePolicy(reserved_vc=reserved_vc)),
+)
+
+#: The three policies evaluated by the paper's tables, in table order.
+PAPER_POLICIES = ("rr-no-sensor", "sensor-wise-no-traffic", "sensor-wise")
+
+#: All registered policy names.
+ALL_POLICIES = tuple(sorted(_POLICY_BUILDERS))
+
+
+def make_policy_factory(name: str, **params) -> Callable[[], RecoveryPolicy]:
+    """Build a per-port policy factory by policy name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`ALL_POLICIES`.
+    params:
+        Policy-specific knobs (currently ``rotation_period`` for the
+        round-robin policies; unknown knobs are ignored by the others).
+
+    Example
+    -------
+    >>> factory = make_policy_factory("sensor-wise")
+    >>> factory().name
+    'sensor-wise'
+    """
+    try:
+        builder = _POLICY_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(ALL_POLICIES)
+        raise ValueError(f"unknown policy {name!r}; known policies: {known}") from None
+    return builder(**params)

@@ -1,0 +1,42 @@
+"""Plain-text table rendering used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Render a fixed-width text table.
+
+    >>> print(render_table(("a", "b"), [("1", "22")], title="T"))
+    T
+    a | b
+    --+---
+    1 | 22
+    """
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {columns}")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a percentage value the way the paper's tables do."""
+    return f"{value:.{digits}f}%"
+
+
+def pct_pair(avg: float, std: float, digits: int = 1) -> str:
+    """Format an ``avg(std)`` duty-cycle cell (Table IV style)."""
+    return f"{avg:.{digits}f}%({std:.{digits}f})"

@@ -1,0 +1,194 @@
+"""Scenario runner: build a network from a scenario, run it, harvest
+duty cycles and network statistics.
+
+The runner enforces the paper's consistency rules:
+
+* the process-variation Vth sample is frozen per {architecture,
+  traffic} pair (every policy sees the same most-degraded VC), and
+* the traffic stream is derived from (scenario seed, iteration) only —
+  never from the policy — so policies are compared on identical
+  workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.policies import make_policy_factory
+from repro.nbti.model import NBTIModel
+from repro.nbti.process_variation import ProcessVariationModel, scenario_seed
+from repro.noc.network import Network, SimStats
+from repro.noc.topology import port_id, port_name
+from repro.traffic.real import BenchmarkTraffic
+from repro.traffic.synthetic import SyntheticTraffic
+
+from repro.experiments.config import ScenarioConfig
+
+
+@dataclasses.dataclass
+class ScenarioResult:
+    """Everything harvested from one scenario run.
+
+    Attributes
+    ----------
+    scenario:
+        The configuration that produced this result.
+    iteration:
+        Traffic iteration index (benchmark-mix runs use 0..9).
+    duty_cycles:
+        NBTI-duty-cycles (%) per VC at the measured port.
+    md_vc:
+        Ground-truth most-degraded VC at the measured port (argmax of
+        the PV-sampled initial Vth — constant per scenario, as in the
+        paper).
+    port_duty:
+        Duty cycles for *every* router input port:
+        ``(router, port_name) -> [duty per VC]``.
+    initial_vths:
+        Initial |Vth| per VC at the measured port (volts).
+    port_initial_vths:
+        Initial |Vth| per VC for every router input port (volts); the
+        per-port ground-truth most-degraded VC is its argmax.
+    net_stats:
+        Latency/throughput aggregate over the measured window.
+    wall_seconds:
+        Host time the simulation took.
+    """
+
+    scenario: ScenarioConfig
+    iteration: int
+    duty_cycles: List[float]
+    md_vc: int
+    port_duty: Dict[Tuple[int, str], List[float]]
+    initial_vths: List[float]
+    port_initial_vths: Dict[Tuple[int, str], List[float]]
+    net_stats: SimStats
+    wall_seconds: float
+
+    @property
+    def md_duty(self) -> float:
+        """Duty cycle of the most-degraded VC at the measured port."""
+        return self.duty_cycles[self.md_vc]
+
+    def duty_at(self, router: int, port: str) -> List[float]:
+        """Duty cycles at an arbitrary router input port."""
+        return self.port_duty[(router, port)]
+
+    def md_at(self, router: int, port: str) -> int:
+        """Ground-truth most-degraded VC at an arbitrary input port."""
+        vths = self.port_initial_vths[(router, port)]
+        return max(range(len(vths)), key=lambda v: (vths[v], v))
+
+
+def build_traffic(scenario: ScenarioConfig, iteration: int = 0):
+    """Construct the scenario's traffic generator (policy-independent)."""
+    traffic_seed = scenario_seed(
+        "traffic", scenario.num_nodes, scenario.traffic,
+        scenario.injection_rate, scenario.seed, iteration,
+    )
+    if scenario.is_real_traffic:
+        mix_seed = scenario_seed("mix", scenario.num_nodes, scenario.seed, iteration)
+        # On multi-vnet platforms, MOESI responses ride their own vnet
+        # (protocol-deadlock separation, paper Table I).
+        response_vnet = 1 if scenario.num_vnets > 1 else 0
+        return BenchmarkTraffic.random(
+            scenario.num_nodes,
+            mix_seed=mix_seed,
+            traffic_seed=traffic_seed,
+            response_vnet=response_vnet,
+        )
+    return SyntheticTraffic(
+        scenario.traffic,
+        scenario.num_nodes,
+        flit_rate=scenario.injection_rate,
+        packet_length=scenario.packet_length,
+        seed=traffic_seed,
+    )
+
+
+def build_network(
+    scenario: ScenarioConfig,
+    iteration: int = 0,
+    nbti_model: Optional[NBTIModel] = None,
+) -> Network:
+    """Assemble the network for a scenario (traffic + policy + PV)."""
+    config = scenario.noc_config()
+    pv = ProcessVariationModel.for_technology(
+        config.technology, seed=scenario.effective_pv_seed
+    )
+    factory = make_policy_factory(
+        scenario.policy, rotation_period=scenario.rotation_period
+    )
+    return Network(
+        config,
+        factory,
+        traffic=build_traffic(scenario, iteration),
+        nbti_model=nbti_model,
+        pv_model=pv,
+    )
+
+
+def run_scenario(
+    scenario: ScenarioConfig,
+    iteration: int = 0,
+    nbti_model: Optional[NBTIModel] = None,
+) -> ScenarioResult:
+    """Run one scenario end to end and collect its measurements."""
+    started = time.perf_counter()
+    network = build_network(scenario, iteration, nbti_model)
+    if scenario.warmup:
+        network.run(scenario.warmup)
+        network.reset_nbti()
+        network.reset_stats()
+    network.run(scenario.cycles)
+    wall = time.perf_counter() - started
+
+    measured_port = port_id(scenario.measure_port)
+    total_vcs = scenario.num_vcs * scenario.num_vnets
+    duty = network.duty_cycles(scenario.measure_router, measured_port)
+    initial = [
+        network.device(scenario.measure_router, measured_port, vc).initial_vth
+        for vc in range(total_vcs)
+    ]
+    md_vc = max(range(total_vcs), key=lambda v: (initial[v], v))
+
+    port_duty: Dict[Tuple[int, str], List[float]] = {}
+    port_initial: Dict[Tuple[int, str], List[float]] = {}
+    for router in network.routers:
+        for port in router.input_ports:
+            key = (router.router_id, port_name(port))
+            port_duty[key] = router.duty_cycles(port)
+            port_initial[key] = [
+                network.device(router.router_id, port, vc).initial_vth
+                for vc in range(total_vcs)
+            ]
+
+    return ScenarioResult(
+        scenario=scenario,
+        iteration=iteration,
+        duty_cycles=duty,
+        md_vc=md_vc,
+        port_duty=port_duty,
+        initial_vths=initial,
+        port_initial_vths=port_initial,
+        net_stats=network.stats(),
+        wall_seconds=wall,
+    )
+
+
+def run_policies(
+    scenario: ScenarioConfig,
+    policies,
+    iteration: int = 0,
+) -> Dict[str, ScenarioResult]:
+    """Run the same scenario under several policies.
+
+    Traffic and PV are identical across policies by construction; only
+    the recovery decisions differ (the paper's comparison protocol).
+    """
+    return {
+        policy: run_scenario(scenario.with_policy(policy), iteration)
+        for policy in policies
+    }

@@ -1,0 +1,81 @@
+"""NBTI aging substrate: RD model, duty cycles, process variation, sensors.
+
+This package provides everything the paper's estimation framework needs on
+the reliability side:
+
+* :mod:`repro.nbti.constants` — physical constants and technology nodes.
+* :mod:`repro.nbti.model` — the closed-form long-term reaction-diffusion
+  NBTI model (the paper's Eq. 1) with calibration helpers.
+* :mod:`repro.nbti.duty_cycle` — NBTI-duty-cycle accounting.
+* :mod:`repro.nbti.process_variation` — within-die Gaussian initial-Vth
+  sampling frozen per scenario.
+* :mod:`repro.nbti.transistor` — per-buffer PMOS state (initial Vth +
+  accumulated shift).
+* :mod:`repro.nbti.sensor` — the NBTI sensor library and per-port banks.
+"""
+
+from repro.nbti.constants import (
+    SECONDS_PER_YEAR,
+    TECH_32NM,
+    TECH_45NM,
+    TECHNOLOGY_NODES,
+    TechnologyNode,
+    get_technology,
+)
+from repro.nbti.delay import (
+    ALPHA_POWER_EXPONENT,
+    FrequencyTrajectory,
+    delay_factor,
+    frequency_factor,
+    frequency_trajectory,
+    guardband_lifetime_years,
+)
+from repro.nbti.duty_cycle import DutyCycleCounter, WindowedDutyCycle
+from repro.nbti.model import NBTIModel, NBTIModelError
+from repro.nbti.shortterm import ShortTermNBTI, compare_with_long_term
+from repro.nbti.thermal import (
+    ThermalProfile,
+    router_temperatures,
+    thermal_aware_projection,
+)
+from repro.nbti.process_variation import ProcessVariationModel, scenario_seed
+from repro.nbti.sensor import (
+    IdealSensor,
+    NBTISensor,
+    NoisySensor,
+    QuantizedSensor,
+    SensorBank,
+)
+from repro.nbti.transistor import PMOSDevice
+
+__all__ = [
+    "SECONDS_PER_YEAR",
+    "TECH_32NM",
+    "TECH_45NM",
+    "TECHNOLOGY_NODES",
+    "TechnologyNode",
+    "get_technology",
+    "ALPHA_POWER_EXPONENT",
+    "FrequencyTrajectory",
+    "delay_factor",
+    "frequency_factor",
+    "frequency_trajectory",
+    "guardband_lifetime_years",
+    "DutyCycleCounter",
+    "WindowedDutyCycle",
+    "NBTIModel",
+    "NBTIModelError",
+    "ShortTermNBTI",
+    "compare_with_long_term",
+    "ThermalProfile",
+    "router_temperatures",
+    "thermal_aware_projection",
+    "ProcessVariationModel",
+    "scenario_seed",
+    "IdealSensor",
+    "NBTISensor",
+    "NoisySensor",
+    "QuantizedSensor",
+    "SensorBank",
+    "PMOSDevice",
+]

@@ -1,0 +1,140 @@
+"""Physical and technology constants for the NBTI reaction-diffusion model.
+
+The long-term NBTI model used by the paper (its Eq. 1, taken from
+Bhardwaj et al., CICC'06, and Wang et al.) needs a handful of physical
+constants plus per-technology-node parameters.  The values collected here
+follow the predictive NBTI modelling literature; where the literature
+disagrees, the value is documented and the model exposes a calibration
+helper (:func:`repro.nbti.model.NBTIModel.calibrated`) that anchors the
+absolute magnitude to a published data point, so that downstream results
+depend on ratios rather than on any single constant.
+
+Units
+-----
+Unless stated otherwise, lengths are in nanometres, times in seconds,
+voltages in volts, temperatures in kelvin and energies in electron-volts.
+The diffusion constant ``C`` therefore carries nm^2/s.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Boltzmann constant in eV/K.
+BOLTZMANN_EV: float = 8.617333262e-5
+
+#: Activation energy of hydrogen diffusion in the oxide, eV.  Krishnan et
+#: al. (IEDM'05) report values around 0.49 eV for H2 diffusion, which is
+#: the generally adopted number for the long-term RD model.
+ACTIVATION_ENERGY_EV: float = 0.49
+
+#: Pre-exponential constant of the diffusion term ``C = exp(-Ea/kT)/T0``.
+#: ``T0`` carries s/nm^2 so that ``C`` has nm^2/s.
+DIFFUSION_T0_S_PER_NM2: float = 1.0e-8
+
+#: Field acceleration constant E0 in V/nm (Wang et al. predictive model).
+FIELD_ACCELERATION_E0_V_PER_NM: float = 0.335
+
+#: Recovery front factor xi1 (dimensionless) of the long-term model.
+XI1: float = 0.9
+
+#: Recovery diffusion factor xi2 (dimensionless) of the long-term model.
+XI2: float = 0.5
+
+#: Time exponent ``n`` of the RD model; the paper (and Krishnan et al.)
+#: use n = 1/6, i.e. H2-based diffusion.
+TIME_EXPONENT_N: float = 1.0 / 6.0
+
+#: Seconds in a Julian year; used for lifetime projections.
+SECONDS_PER_YEAR: float = 365.25 * 24.0 * 3600.0
+
+
+@dataclasses.dataclass(frozen=True)
+class TechnologyNode:
+    """Per-technology parameters used by the NBTI model and by area models.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node name, e.g. ``"45nm"``.
+    feature_nm:
+        Drawn feature size in nanometres.
+    vdd:
+        Nominal supply voltage in volts.
+    vth_nominal:
+        Nominal PMOS threshold-voltage magnitude in volts.  The paper's
+        Table I gives |Vth| = 0.180 V at 45 nm and 0.160 V at 32 nm.
+    vth_sigma:
+        Standard deviation of the within-die initial-Vth distribution in
+        volts (paper Sec. IV-A: 0.005 V).
+    tox_nm:
+        Effective oxide thickness in nanometres.
+    temperature_k:
+        Default operating temperature in kelvin.
+    clock_period_s:
+        Default clock period in seconds (1 GHz in the paper's Table I).
+    """
+
+    name: str
+    feature_nm: float
+    vdd: float
+    vth_nominal: float
+    vth_sigma: float
+    tox_nm: float
+    temperature_k: float
+    clock_period_s: float
+
+    @property
+    def frequency_hz(self) -> float:
+        """Clock frequency implied by :attr:`clock_period_s`."""
+        return 1.0 / self.clock_period_s
+
+    def with_temperature(self, temperature_k: float) -> "TechnologyNode":
+        """Return a copy of this node at a different operating temperature."""
+        return dataclasses.replace(self, temperature_k=temperature_k)
+
+
+#: 45 nm node used throughout the paper's evaluation (Table I).
+TECH_45NM = TechnologyNode(
+    name="45nm",
+    feature_nm=45.0,
+    vdd=1.2,
+    vth_nominal=0.180,
+    vth_sigma=0.005,
+    tox_nm=1.1,
+    temperature_k=350.0,
+    clock_period_s=1.0e-9,
+)
+
+#: 32 nm node also listed in the paper's Table I.
+TECH_32NM = TechnologyNode(
+    name="32nm",
+    feature_nm=32.0,
+    vdd=1.2,
+    vth_nominal=0.160,
+    vth_sigma=0.005,
+    tox_nm=1.0,
+    temperature_k=350.0,
+    clock_period_s=1.0e-9,
+)
+
+#: Registry of known nodes keyed by name.
+TECHNOLOGY_NODES = {
+    TECH_45NM.name: TECH_45NM,
+    TECH_32NM.name: TECH_32NM,
+}
+
+
+def get_technology(name: str) -> TechnologyNode:
+    """Look up a :class:`TechnologyNode` by name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a known node (``"45nm"`` or ``"32nm"``).
+    """
+    try:
+        return TECHNOLOGY_NODES[name]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGY_NODES))
+        raise KeyError(f"unknown technology node {name!r}; known nodes: {known}") from None

@@ -1,0 +1,156 @@
+"""Threshold-shift to circuit-performance translation (alpha-power law).
+
+The paper motivates NBTI mitigation with its performance consequence:
+*"circuit performance degradation may reach 20 % in 10 years"* (Sec. I,
+citing Nassif et al.).  The standard translation is the alpha-power-law
+MOSFET delay model:
+
+.. math::
+
+    t_d \\;\\propto\\; \\frac{V_{dd}}{(V_{dd} - V_{th})^{\\alpha}}
+
+with the velocity-saturation exponent ``alpha ~ 1.3`` for deep-submicron
+CMOS.  A threshold shift ``dVth`` therefore slows a gate by
+``((Vdd - Vth0) / (Vdd - Vth0 - dVth))^alpha``; a pipeline's maximum
+frequency degrades by the inverse factor.
+
+This module converts the duty cycles the policies achieve into lifetime
+frequency trajectories and guardband lifetimes — the system-level
+argument for the sensor-wise methodology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+from repro.nbti.constants import SECONDS_PER_YEAR, TECH_45NM, TechnologyNode
+from repro.nbti.model import NBTIModel
+
+#: Velocity-saturation exponent of the alpha-power-law delay model.
+ALPHA_POWER_EXPONENT = 1.3
+
+
+def delay_factor(
+    delta_vth: float,
+    initial_vth: Optional[float] = None,
+    tech: TechnologyNode = TECH_45NM,
+    alpha: float = ALPHA_POWER_EXPONENT,
+) -> float:
+    """Gate-delay multiplier caused by a threshold shift.
+
+    Parameters
+    ----------
+    delta_vth:
+        NBTI shift magnitude in volts (>= 0).
+    initial_vth:
+        Pre-aging |Vth|; defaults to the technology nominal.
+    tech, alpha:
+        Technology node (supplies Vdd) and the power-law exponent.
+
+    Returns
+    -------
+    float
+        ``>= 1.0``; 1.0 when the shift is zero.
+
+    Raises
+    ------
+    ValueError
+        If the aged device no longer has positive overdrive (the
+        transistor effectively stops switching — the paper's "stuck"
+        worst case).
+    """
+    if delta_vth < 0.0:
+        raise ValueError(f"delta_vth must be >= 0, got {delta_vth}")
+    vth0 = tech.vth_nominal if initial_vth is None else initial_vth
+    overdrive0 = tech.vdd - vth0
+    overdrive = overdrive0 - delta_vth
+    if overdrive0 <= 0.0:
+        raise ValueError(f"no overdrive at initial vth {vth0} (vdd={tech.vdd})")
+    if overdrive <= 0.0:
+        raise ValueError(
+            f"aged device has no overdrive left (dVth={delta_vth * 1e3:.1f} mV)"
+        )
+    return (overdrive0 / overdrive) ** alpha
+
+
+def frequency_factor(
+    delta_vth: float,
+    initial_vth: Optional[float] = None,
+    tech: TechnologyNode = TECH_45NM,
+    alpha: float = ALPHA_POWER_EXPONENT,
+) -> float:
+    """Maximum-frequency multiplier (``<= 1.0``) after a shift."""
+    return 1.0 / delay_factor(delta_vth, initial_vth, tech, alpha)
+
+
+@dataclasses.dataclass(frozen=True)
+class FrequencyTrajectory:
+    """Max-frequency evolution of a device at a fixed duty cycle."""
+
+    duty_cycle_percent: float
+    years: List[float]
+    frequency_factors: List[float]
+
+    @property
+    def final_degradation(self) -> float:
+        """Fractional frequency loss at the last horizon (0.05 = 5 %)."""
+        return 1.0 - self.frequency_factors[-1]
+
+
+def frequency_trajectory(
+    model: NBTIModel,
+    duty_cycle_percent: float,
+    years: Sequence[float] = (1, 2, 3, 5, 7, 10),
+    initial_vth: Optional[float] = None,
+) -> FrequencyTrajectory:
+    """Project max frequency over ``years`` for a measured duty cycle."""
+    if not 0.0 <= duty_cycle_percent <= 100.0:
+        raise ValueError(f"duty cycle must be in [0, 100], got {duty_cycle_percent}")
+    alpha = duty_cycle_percent / 100.0
+    factors = []
+    for y in years:
+        shift = model.delta_vth(alpha, y * SECONDS_PER_YEAR)
+        factors.append(frequency_factor(shift, initial_vth, model.tech))
+    return FrequencyTrajectory(
+        duty_cycle_percent=duty_cycle_percent,
+        years=list(years),
+        frequency_factors=factors,
+    )
+
+
+def guardband_lifetime_years(
+    model: NBTIModel,
+    duty_cycle_percent: float,
+    max_degradation: float = 0.05,
+    initial_vth: Optional[float] = None,
+    horizon_years: float = 100.0,
+) -> float:
+    """Years until frequency degradation exceeds a guardband.
+
+    Returns ``inf`` when the guardband is never crossed within the
+    search horizon.  Solved by bisection (degradation is monotone in
+    time).
+    """
+    if not 0.0 < max_degradation < 1.0:
+        raise ValueError(f"max_degradation must be in (0, 1), got {max_degradation}")
+    alpha = duty_cycle_percent / 100.0
+
+    def degradation(years: float) -> float:
+        shift = model.delta_vth(alpha, years * SECONDS_PER_YEAR)
+        try:
+            return 1.0 - frequency_factor(shift, initial_vth, model.tech)
+        except ValueError:
+            return 1.0  # no overdrive left: fully degraded
+
+    if degradation(horizon_years) < max_degradation:
+        return math.inf
+    lo, hi = 0.0, horizon_years
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if degradation(mid) < max_degradation:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

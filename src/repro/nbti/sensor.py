@@ -1,0 +1,182 @@
+"""NBTI sensor library: models of the 45 nm multi-degradation sensor.
+
+The paper instruments every VC buffer of a downstream router with an NBTI
+sensor (one per buffer, 16 per 4x4-VC router) modelled after the 45 nm
+synthesizable multi-degradation sensor of Singh et al. [20].  The policy
+consumes a single piece of information from the sensor bank: *which VC is
+currently the most degraded*.  This module provides:
+
+* :class:`IdealSensor` — reads the true |Vth|.
+* :class:`NoisySensor` — adds zero-mean Gaussian measurement noise.
+* :class:`QuantizedSensor` — quantizes to an ADC step (optionally on top
+  of noise), matching the digital-output nature of [20].
+* :class:`SensorBank` — one sensor per VC of an input port, sampled every
+  ``sample_period`` cycles; reduces the readings to the most-degraded VC
+  id that travels over the ``Down_Up`` link.
+
+Sensor error knobs exist so the robustness of the most-degraded argmax can
+be studied (an extension beyond the paper's tables; see
+``benchmarks/bench_sensor_error.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nbti.transistor import PMOSDevice
+
+
+class NBTISensor:
+    """Base sensor: measures a device's |Vth| (volts)."""
+
+    #: Silicon area of one sensor instance in um^2, used by the area
+    #: model.  Calibrated so that 16 sensors cost ~3.25 % of the paper's
+    #: reference router (Sec. III-D); kept in sync with
+    #: ``repro.area.overhead.SENSOR_AREA_UM2`` (the canonical constant).
+    AREA_UM2: float = 72.0
+
+    def measure(self, device: PMOSDevice) -> float:
+        """Return the sensed |Vth| of ``device``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        return type(self).__name__
+
+
+class IdealSensor(NBTISensor):
+    """Noise-free sensor: returns the exact device threshold."""
+
+    def measure(self, device: PMOSDevice) -> float:
+        return device.vth()
+
+
+class NoisySensor(NBTISensor):
+    """Sensor with zero-mean Gaussian measurement noise.
+
+    Parameters
+    ----------
+    sigma_v:
+        Noise standard deviation in volts.  Singh et al. report sub-mV
+        effective resolution; 0.5 mV is the default.
+    seed:
+        Seed for the sensor's private RNG (measurements are reproducible).
+    """
+
+    def __init__(self, sigma_v: float = 0.0005, seed: int = 0) -> None:
+        if sigma_v < 0.0:
+            raise ValueError(f"sigma_v must be non-negative, got {sigma_v}")
+        self.sigma_v = sigma_v
+        self._rng = np.random.default_rng(seed)
+
+    def measure(self, device: PMOSDevice) -> float:
+        return device.vth() + float(self._rng.normal(0.0, self.sigma_v))
+
+    def describe(self) -> str:
+        return f"NoisySensor(sigma={self.sigma_v * 1e3:.2f}mV)"
+
+
+class QuantizedSensor(NBTISensor):
+    """Sensor with an ADC-style quantization step, optionally noisy.
+
+    Parameters
+    ----------
+    lsb_v:
+        Quantization step (least-significant bit) in volts.
+    inner:
+        Optional underlying sensor whose reading is quantized; defaults
+        to an :class:`IdealSensor`.
+    """
+
+    def __init__(self, lsb_v: float = 0.001, inner: Optional[NBTISensor] = None) -> None:
+        if lsb_v <= 0.0:
+            raise ValueError(f"lsb_v must be positive, got {lsb_v}")
+        self.lsb_v = lsb_v
+        self.inner = inner if inner is not None else IdealSensor()
+
+    def measure(self, device: PMOSDevice) -> float:
+        raw = self.inner.measure(device)
+        return math.floor(raw / self.lsb_v) * self.lsb_v
+
+    def describe(self) -> str:
+        return f"QuantizedSensor(lsb={self.lsb_v * 1e3:.2f}mV, inner={self.inner.describe()})"
+
+
+class SensorBank:
+    """One NBTI sensor per VC buffer of a router input port.
+
+    The bank is sampled every ``sample_period`` cycles; in between, the
+    last most-degraded verdict is held (the real sensor integrates over
+    long windows, so per-cycle resampling would be unphysical anyway).
+    Ties break toward the lowest VC id, which models a fixed priority
+    encoder in the comparator logic.
+
+    Parameters
+    ----------
+    devices:
+        The PMOS devices guarding each VC buffer, indexed by VC id.
+    sensor:
+        Measurement model shared by all sensors in the bank.
+    sample_period:
+        Cycles between measurements (default 1024).
+    """
+
+    __slots__ = ("devices", "sensor", "sample_period", "_last_md", "_last_readings", "_last_sample_cycle")
+
+    def __init__(
+        self,
+        devices: Sequence[PMOSDevice],
+        sensor: Optional[NBTISensor] = None,
+        sample_period: int = 1024,
+    ) -> None:
+        if not devices:
+            raise ValueError("a sensor bank needs at least one device")
+        if sample_period <= 0:
+            raise ValueError(f"sample_period must be positive, got {sample_period}")
+        self.devices = list(devices)
+        self.sensor = sensor if sensor is not None else IdealSensor()
+        self.sample_period = sample_period
+        self._last_readings: List[float] = [d.initial_vth for d in self.devices]
+        self._last_md = self._argmax(self._last_readings)
+        self._last_sample_cycle = -1
+
+    @staticmethod
+    def _argmax(readings: Sequence[float]) -> int:
+        best, best_v = 0, readings[0]
+        for i, v in enumerate(readings):
+            if v > best_v:
+                best, best_v = i, v
+        return best
+
+    def sample(self, cycle: int) -> int:
+        """Measure (if the period elapsed) and return the most-degraded VC.
+
+        Safe to call every cycle; actual measurements happen on cycle 0
+        and then once per ``sample_period``.
+        """
+        if self._last_sample_cycle < 0 or cycle - self._last_sample_cycle >= self.sample_period:
+            self._last_readings = [self.sensor.measure(d) for d in self.devices]
+            self._last_md = self._argmax(self._last_readings)
+            self._last_sample_cycle = cycle
+        return self._last_md
+
+    @property
+    def most_degraded(self) -> int:
+        """Most recent most-degraded VC id (without triggering a sample)."""
+        return self._last_md
+
+    @property
+    def readings(self) -> List[float]:
+        """Most recent per-VC |Vth| readings in volts."""
+        return list(self._last_readings)
+
+    def true_most_degraded(self) -> int:
+        """Ground-truth argmax over the devices' true |Vth| (diagnostics)."""
+        return self._argmax([d.vth() for d in self.devices])
+
+    def misidentification(self) -> bool:
+        """Whether the sensed MD VC currently disagrees with ground truth."""
+        return self._last_md != self.true_most_degraded()

@@ -1,0 +1,176 @@
+"""Cycle-alternating (short-term) NBTI model: explicit stress/recovery.
+
+The paper's Eq. 1 is the *long-term closed form* of the
+reaction-diffusion model — valid once millions of stress/recovery
+alternations have averaged out.  This module provides an explicit
+phase-by-phase integrator for studies the closed form cannot express
+(consolidated vs. finely chopped recovery windows, irregular duty
+patterns, what-if schedules):
+
+* **Stress** follows the RD fractional power law
+  ``dVth(t) = Ks * t^n`` composed through *equivalent stress time*
+  (``t_eq = (dVth / Ks)^(1/n)``), which makes chunked integration exact
+  for pure stress.  The prefactor ``Ks`` is tied to the calibrated
+  long-term model at full duty, so both models agree by construction at
+  ``alpha = 1``.
+* **Recovery** anneals a fraction of the accumulated shift following
+  the RD recovery front (Bhardwaj et al., CICC'06):
+
+  .. math:: \\Delta V \\leftarrow \\Delta V \\left( 1 -
+            \\frac{2\\xi_1 t_e + \\sqrt{\\xi_2 C t_r}}
+                 {2 t_{ox} + \\sqrt{C t}} \\right)
+
+For intermediate duty cycles the integrator and the closed form agree
+qualitatively (same orderings, same order of magnitude) but not
+numerically — the closed form encodes the *per-clock-cycle* alternation
+limit, while the integrator is exact for the explicit schedule it is
+given.  The tests pin down both facts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Tuple
+
+from repro.nbti.constants import SECONDS_PER_YEAR, TIME_EXPONENT_N, XI1, XI2
+from repro.nbti.model import NBTIModel
+
+#: Reference horizon used to tie the stress prefactor to the long-term
+#: model (the default calibration anchor).
+_REFERENCE_T_S = 3.0 * SECONDS_PER_YEAR
+
+
+@dataclasses.dataclass
+class ShortTermNBTI:
+    """Explicit stress/recovery phase integrator.
+
+    Parameters
+    ----------
+    model:
+        Calibrated :class:`NBTIModel` providing the physics constants
+        and the full-duty anchor the stress prefactor is tied to.
+    """
+
+    model: NBTIModel
+
+    def __post_init__(self) -> None:
+        # Ks such that pure stress matches the long-term model at the
+        # reference horizon: dVth = Ks * t^n.
+        anchor = self.model.delta_vth(1.0, _REFERENCE_T_S)
+        self._ks = anchor / _REFERENCE_T_S ** TIME_EXPONENT_N
+
+    @property
+    def stress_prefactor(self) -> float:
+        """``Ks`` of the pure-stress law ``dVth = Ks * t^n``."""
+        return self._ks
+
+    def equivalent_stress_time(self, delta_vth: float) -> float:
+        """Stress seconds that would produce ``delta_vth`` from scratch."""
+        if delta_vth < 0.0:
+            raise ValueError(f"delta_vth must be >= 0, got {delta_vth}")
+        if delta_vth == 0.0:
+            return 0.0
+        return (delta_vth / self._ks) ** (1.0 / TIME_EXPONENT_N)
+
+    def stress(self, delta_vth: float, duration_s: float) -> float:
+        """Shift after an additional stress phase of ``duration_s``."""
+        if duration_s < 0.0:
+            raise ValueError(f"duration must be >= 0, got {duration_s}")
+        if duration_s == 0.0:
+            return delta_vth
+        t_eq = self.equivalent_stress_time(delta_vth)
+        return self._ks * (t_eq + duration_s) ** TIME_EXPONENT_N
+
+    def recover(self, delta_vth: float, duration_s: float, total_time_s: float) -> float:
+        """Shift after a recovery phase of ``duration_s``.
+
+        ``total_time_s`` is the device's age (the diffusion front depth
+        grows with it, making old damage ever harder to anneal).
+        """
+        if delta_vth < 0.0:
+            raise ValueError(f"delta_vth must be >= 0, got {delta_vth}")
+        if duration_s < 0.0:
+            raise ValueError(f"duration must be >= 0, got {duration_s}")
+        if total_time_s <= 0.0:
+            raise ValueError(f"total_time must be > 0, got {total_time_s}")
+        if duration_s == 0.0 or delta_vth == 0.0:
+            return delta_vth
+        c = self.model.diffusion_constant()
+        tox = self.model.tech.tox_nm
+        te = tox
+        fraction = (2.0 * XI1 * te + math.sqrt(XI2 * c * duration_s)) / (
+            2.0 * tox + math.sqrt(c * total_time_s)
+        )
+        return delta_vth * max(0.0, 1.0 - fraction)
+
+    # ------------------------------------------------------------------
+    def simulate_duty(
+        self,
+        alpha: float,
+        period_s: float,
+        total_time_s: float,
+        initial_delta: float = 0.0,
+    ) -> float:
+        """Alternate stress/recovery at duty ``alpha`` for ``total_time_s``.
+
+        Each period of ``period_s`` seconds spends ``alpha * period_s``
+        in stress followed by the rest in recovery.
+        """
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        if period_s <= 0.0 or total_time_s <= 0.0:
+            raise ValueError("period and total time must be positive")
+        steps = max(1, int(round(total_time_s / period_s)))
+        delta = initial_delta
+        elapsed = 0.0
+        for _ in range(steps):
+            if alpha > 0.0:
+                delta = self.stress(delta, alpha * period_s)
+            elapsed += alpha * period_s
+            rest = (1.0 - alpha) * period_s
+            if rest > 0.0:
+                elapsed += rest
+                delta = self.recover(delta, rest, elapsed)
+        return delta
+
+    def trajectory(
+        self,
+        alpha: float,
+        period_s: float,
+        checkpoints_s: List[float],
+    ) -> List[Tuple[float, float]]:
+        """(time, shift) samples along a duty-cycled aging run."""
+        out: List[Tuple[float, float]] = []
+        delta = 0.0
+        previous = 0.0
+        for checkpoint in sorted(checkpoints_s):
+            span = checkpoint - previous
+            if span > 0.0:
+                delta = self.simulate_duty(
+                    alpha, period_s, span, initial_delta=delta
+                )
+            out.append((checkpoint, delta))
+            previous = checkpoint
+        return out
+
+
+def compare_with_long_term(
+    model: NBTIModel,
+    alpha: float,
+    total_time_s: float,
+    period_s: Optional[float] = None,
+) -> Tuple[float, float]:
+    """(short-term shift, long-term shift) for the same duty cycle.
+
+    A validation helper: at ``alpha = 1`` the two match by construction
+    at the reference horizon; at intermediate duty cycles they agree to
+    within a small factor (see the tests).
+    """
+    short = ShortTermNBTI(model)
+    if period_s is None:
+        period_s = total_time_s / 1000.0
+    return (
+        short.simulate_duty(alpha, period_s, total_time_s),
+        model.delta_vth(alpha, total_time_s),
+    )

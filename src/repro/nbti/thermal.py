@@ -1,0 +1,131 @@
+"""Steady-state thermal model: activity -> temperature -> aging feedback.
+
+NBTI is exponentially temperature-dependent (the diffusion Arrhenius
+term in the paper's Eq. 1), and a router's temperature follows its power
+density.  This module closes that loop at first order:
+
+* :func:`router_temperatures` — per-router steady-state temperature
+  ``T = T_ambient + R_th * P_router`` from the simulated activity (a
+  lumped thermal-resistance model; HotSpot-class RC networks reduce to
+  this in steady state).
+* :func:`thermal_aware_projection` — per-device Vth projection where
+  each device ages at *its router's* temperature instead of a global
+  one, exposing the thermal spread of a chip's aging profile.
+
+The loop is evaluated once (power -> temperature -> aging), which is
+the standard quasi-static treatment: NBTI feedback on power over a
+simulation window is negligible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.nbti.constants import SECONDS_PER_YEAR
+from repro.nbti.model import NBTIModel
+
+#: Default ambient (package) temperature in kelvin.
+DEFAULT_AMBIENT_K = 318.0  # 45 C
+
+#: Default lumped junction-to-ambient thermal resistance per tile, K/mW.
+#: Chosen so that a busy router (tens of mW at 1 GHz in this model's
+#: ORION-scale energy constants) sits a few tens of kelvin above
+#: ambient — the regime NBTI studies assume (the 45 nm node default of
+#: 350 K).
+DEFAULT_RTH_K_PER_MW = 1.5
+
+
+@dataclasses.dataclass(frozen=True)
+class ThermalProfile:
+    """Per-router steady-state temperatures of one simulated chip."""
+
+    ambient_k: float
+    rth_k_per_mw: float
+    temperatures_k: Dict[int, float]
+
+    @property
+    def hottest_router(self) -> int:
+        return max(self.temperatures_k, key=lambda r: (self.temperatures_k[r], -r))
+
+    @property
+    def spread_k(self) -> float:
+        """Hottest-to-coolest spread in kelvin."""
+        values = list(self.temperatures_k.values())
+        return max(values) - min(values)
+
+    def as_text(self) -> str:
+        lines = [
+            f"Steady-state router temperatures "
+            f"(ambient {self.ambient_k - 273.15:.0f} C, "
+            f"Rth {self.rth_k_per_mw} K/mW)"
+        ]
+        for router, temp in sorted(self.temperatures_k.items()):
+            lines.append(f"  router {router:2d}: {temp - 273.15:6.1f} C")
+        lines.append(f"  spread: {self.spread_k:.1f} K")
+        return "\n".join(lines)
+
+
+def router_temperatures(
+    network,
+    ambient_k: float = DEFAULT_AMBIENT_K,
+    rth_k_per_mw: float = DEFAULT_RTH_K_PER_MW,
+    link_length_mm: float = 1.0,
+) -> ThermalProfile:
+    """Per-router steady-state temperature from the simulated window.
+
+    ``T_r = ambient + R_th * P_r`` with ``P_r`` the router's average
+    power over the measurement window (see
+    :func:`repro.area.power.per_router_power_pj`).
+    """
+    from repro.area.power import per_router_power_pj
+
+    if ambient_k <= 0.0:
+        raise ValueError(f"ambient_k must be positive, got {ambient_k}")
+    if rth_k_per_mw < 0.0:
+        raise ValueError(f"rth_k_per_mw must be >= 0, got {rth_k_per_mw}")
+    energies = per_router_power_pj(network, link_length_mm)
+    window_cycles = max(
+        (d.counter.total_cycles for d in network.devices.values()), default=0
+    )
+    period_s = network.config.technology.clock_period_s
+    temperatures: Dict[int, float] = {}
+    for router_id, energy_pj in energies.items():
+        if window_cycles == 0:
+            power_mw = 0.0
+        else:
+            power_mw = energy_pj * 1e-12 / (window_cycles * period_s) * 1e3
+        temperatures[router_id] = ambient_k + rth_k_per_mw * power_mw
+    return ThermalProfile(
+        ambient_k=ambient_k,
+        rth_k_per_mw=rth_k_per_mw,
+        temperatures_k=temperatures,
+    )
+
+
+def thermal_aware_projection(
+    network,
+    years: float = 3.0,
+    profile: Optional[ThermalProfile] = None,
+    model: Optional[NBTIModel] = None,
+) -> Dict[tuple, float]:
+    """Project every device's |Vth| at its router's own temperature.
+
+    Returns ``{(router, port, vc): projected |Vth| in volts}``.  Devices
+    on hotter routers age faster (the Arrhenius diffusion term), so two
+    buffers with identical duty cycles can diverge — a second
+    within-die variability source on top of the PV sample.
+    """
+    if years <= 0.0:
+        raise ValueError(f"years must be positive, got {years}")
+    if profile is None:
+        profile = router_temperatures(network)
+    if model is None:
+        model = network.nbti_model
+    horizon = years * SECONDS_PER_YEAR
+    out: Dict[tuple, float] = {}
+    for (router, port, vc), device in network.devices.items():
+        temp = profile.temperatures_k[router]
+        shift = model.delta_vth(device.alpha, horizon, temperature_k=temp)
+        out[(router, port, vc)] = device.initial_vth + shift
+    return out

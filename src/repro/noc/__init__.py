@@ -1,0 +1,69 @@
+"""Cycle-accurate NoC simulator substrate (Garnet-class, pure Python).
+
+Layers:
+
+* :mod:`repro.noc.flit` / :mod:`repro.noc.buffer` — flits, packets and
+  power-gateable VC buffers.
+* :mod:`repro.noc.link` / :mod:`repro.noc.arbiter` — delay lines and
+  round-robin arbitration.
+* :mod:`repro.noc.topology` / :mod:`repro.noc.routing` — meshes, tori,
+  rings and dimension-order routing.
+* :mod:`repro.noc.input_unit` / :mod:`repro.noc.output_unit` /
+  :mod:`repro.noc.router` — the 3-stage VC router.
+* :mod:`repro.noc.interface` — network interfaces (injection/ejection).
+* :mod:`repro.noc.policy_api` — the pre-VA recovery-policy interface the
+  contribution in :mod:`repro.core` implements.
+* :mod:`repro.noc.network` — the top-level chip builder and stepper.
+"""
+
+from repro.noc.buffer import BufferError, PowerState, VCBuffer
+from repro.noc.config import NoCConfig
+from repro.noc.flit import Flit, FlitType, Packet, PacketFactory
+from repro.noc.network import Network, SimStats
+from repro.noc.policy_api import (
+    OutVCState,
+    PolicyContext,
+    PolicyDecision,
+    RecoveryPolicy,
+)
+from repro.noc.topology import (
+    EAST,
+    LOCAL,
+    NORTH,
+    SOUTH,
+    WEST,
+    Mesh2D,
+    Ring,
+    Torus2D,
+    build_topology,
+    port_id,
+    port_name,
+)
+
+__all__ = [
+    "BufferError",
+    "PowerState",
+    "VCBuffer",
+    "NoCConfig",
+    "Flit",
+    "FlitType",
+    "Packet",
+    "PacketFactory",
+    "Network",
+    "SimStats",
+    "OutVCState",
+    "PolicyContext",
+    "PolicyDecision",
+    "RecoveryPolicy",
+    "EAST",
+    "LOCAL",
+    "NORTH",
+    "SOUTH",
+    "WEST",
+    "Mesh2D",
+    "Ring",
+    "Torus2D",
+    "build_topology",
+    "port_id",
+    "port_name",
+]

@@ -1,0 +1,168 @@
+"""Power-gateable virtual-channel buffer.
+
+Every input-port VC of a router is a small flit FIFO guarded by a header
+PMOS sleep transistor (paper Sec. III-A).  The buffer has three power
+states:
+
+* ``ON`` — powered; storing flits or idle.  **NBTI stress.**
+* ``WAKING`` — supply ramping back up after a wake command; cannot accept
+  flits yet.  Counted as stress (the rail is energized).
+* ``GATED`` — supply cut by the sleep transistor.  **NBTI recovery.**
+
+Gating is only legal when the buffer is empty (the upstream router only
+gates VCs whose ``out_vc_state`` is IDLE, so this holds by construction;
+the buffer still enforces it defensively).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional
+
+from repro.nbti.transistor import PMOSDevice
+from repro.noc.flit import Flit
+
+
+class PowerState(enum.Enum):
+    """Supply state of a VC buffer."""
+
+    ON = "on"
+    WAKING = "waking"
+    GATED = "gated"
+
+
+class BufferError(RuntimeError):
+    """Raised on illegal buffer operations (overflow, push-while-gated...)."""
+
+
+class VCBuffer:
+    """A flit FIFO with power gating and NBTI accounting hooks.
+
+    Parameters
+    ----------
+    capacity:
+        Buffer depth in flits (paper: 4).
+    device:
+        Optional :class:`PMOSDevice` representing the buffer's worst PMOS;
+        when present, :meth:`nbti_tick` ages it each cycle.
+    track_nbti:
+        Whether this buffer participates in NBTI statistics (ejection
+        buffers at the NIs are excluded by default).
+    """
+
+    __slots__ = ("capacity", "device", "track_nbti", "_flits", "_state", "_wake_remaining")
+
+    def __init__(
+        self,
+        capacity: int,
+        device: Optional[PMOSDevice] = None,
+        track_nbti: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.device = device
+        self.track_nbti = track_nbti
+        self._flits: Deque[Flit] = deque()
+        self._state = PowerState.ON
+        self._wake_remaining = 0
+
+    # ------------------------------------------------------------------
+    # FIFO behaviour
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._flits)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._flits
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._flits) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._flits)
+
+    def front(self) -> Optional[Flit]:
+        """Peek the oldest buffered flit, or None when empty."""
+        return self._flits[0] if self._flits else None
+
+    def push(self, flit: Flit) -> None:
+        """Append a flit; the buffer must be powered and not full."""
+        if self._state is not PowerState.ON:
+            raise BufferError(f"push into a {self._state.value} buffer: {flit!r}")
+        if self.is_full:
+            raise BufferError(f"buffer overflow (capacity {self.capacity}): {flit!r}")
+        self._flits.append(flit)
+
+    def pop(self) -> Flit:
+        """Remove and return the oldest flit."""
+        if not self._flits:
+            raise BufferError("pop from an empty buffer")
+        return self._flits.popleft()
+
+    # ------------------------------------------------------------------
+    # Power gating
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> PowerState:
+        return self._state
+
+    @property
+    def powered(self) -> bool:
+        """True when the rail is energized (ON or WAKING) — NBTI stress."""
+        return self._state is not PowerState.GATED
+
+    @property
+    def can_accept(self) -> bool:
+        """True when a flit may be pushed this cycle."""
+        return self._state is PowerState.ON and not self.is_full
+
+    def gate(self) -> None:
+        """Cut the supply.  Only legal on an empty buffer; idempotent."""
+        if self._flits:
+            raise BufferError("cannot gate a buffer that is storing flits")
+        self._state = PowerState.GATED
+        self._wake_remaining = 0
+
+    def wake(self, latency: int = 1) -> None:
+        """Begin restoring the supply; ready after ``latency`` cycles.
+
+        Waking an already-ON buffer is a no-op; re-waking a WAKING buffer
+        does not extend its countdown.
+        """
+        if latency < 0:
+            raise ValueError(f"wake latency must be non-negative, got {latency}")
+        if self._state is PowerState.ON:
+            return
+        if self._state is PowerState.WAKING:
+            return
+        if latency == 0:
+            self._state = PowerState.ON
+        else:
+            self._state = PowerState.WAKING
+            self._wake_remaining = latency
+
+    def tick_power(self) -> None:
+        """Advance the wake countdown by one cycle (call once per cycle)."""
+        if self._state is PowerState.WAKING:
+            self._wake_remaining -= 1
+            if self._wake_remaining <= 0:
+                self._state = PowerState.ON
+
+    # ------------------------------------------------------------------
+    # NBTI hooks
+    # ------------------------------------------------------------------
+    def nbti_tick(self) -> None:
+        """Age the guarding PMOS by one cycle of stress or recovery."""
+        if self.device is not None and self.track_nbti:
+            self.device.tick(stressed=self.powered)
+
+    def __repr__(self) -> str:
+        return (
+            f"VCBuffer(len={len(self._flits)}/{self.capacity}, "
+            f"state={self._state.value})"
+        )

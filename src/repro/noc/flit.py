@@ -1,0 +1,185 @@
+"""Flits and packets: the unit of flow control and the unit of routing.
+
+The simulated network is wormhole-switched: a packet is split into flits
+(HEAD / BODY / TAIL, or HEAD_TAIL for single-flit packets).  The head flit
+carries the routing information and acquires a virtual channel at every
+hop; the tail flit releases it.  No packet mixing is allowed inside a VC
+buffer (paper Sec. III-A), which the input unit enforces.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterator, List, Optional
+
+
+class FlitType(enum.Enum):
+    """Position of a flit within its packet."""
+
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    HEAD_TAIL = "head_tail"
+
+    @property
+    def is_head(self) -> bool:
+        """True for the flit that performs routing and VC allocation."""
+        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        """True for the flit that releases the virtual channel."""
+        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+class Flit:
+    """One flow-control unit travelling through the network.
+
+    Attributes
+    ----------
+    packet_id:
+        Globally unique id of the owning packet.
+    seq:
+        Index of the flit within the packet (0 = head).
+    ftype:
+        :class:`FlitType` position marker.
+    src, dst:
+        Source and destination node (tile) ids.
+    injected_cycle:
+        Cycle at which the head of the packet entered the source queue.
+    vnet:
+        Virtual-network id (the paper uses separate data/instruction
+        vnets; the reproduction simulates one vnet at a time and keeps
+        the field for trace compatibility).
+    hops:
+        Number of router traversals so far (updated by routers).
+    arrived_cycle:
+        Cycle at which the flit was written into the *current* buffer
+        (the BW pipeline stage); -1 while in flight.  A flit becomes
+        eligible for switch allocation one cycle after arrival.
+    """
+
+    __slots__ = (
+        "packet_id", "seq", "ftype", "src", "dst", "injected_cycle", "vnet",
+        "hops", "arrived_cycle",
+    )
+
+    def __init__(
+        self,
+        packet_id: int,
+        seq: int,
+        ftype: FlitType,
+        src: int,
+        dst: int,
+        injected_cycle: int,
+        vnet: int = 0,
+    ) -> None:
+        self.packet_id = packet_id
+        self.seq = seq
+        self.ftype = ftype
+        self.src = src
+        self.dst = dst
+        self.injected_cycle = injected_cycle
+        self.vnet = vnet
+        self.hops = 0
+        self.arrived_cycle = -1
+
+    @property
+    def is_head(self) -> bool:
+        return self.ftype.is_head
+
+    @property
+    def is_tail(self) -> bool:
+        return self.ftype.is_tail
+
+    def __repr__(self) -> str:
+        return (
+            f"Flit(pkt={self.packet_id}, seq={self.seq}, {self.ftype.value}, "
+            f"{self.src}->{self.dst})"
+        )
+
+
+class Packet:
+    """A routed message, materialized as a train of flits.
+
+    Parameters
+    ----------
+    packet_id:
+        Unique id (use :class:`PacketFactory` to mint them).
+    src, dst:
+        Source and destination node ids (``src != dst``).
+    length:
+        Number of flits (>= 1).
+    injected_cycle:
+        Cycle the packet was created at the source NI.
+    vnet:
+        Virtual-network id.
+    """
+
+    __slots__ = ("packet_id", "src", "dst", "length", "injected_cycle", "vnet")
+
+    def __init__(
+        self,
+        packet_id: int,
+        src: int,
+        dst: int,
+        length: int,
+        injected_cycle: int,
+        vnet: int = 0,
+    ) -> None:
+        if length < 1:
+            raise ValueError(f"packet length must be >= 1, got {length}")
+        if src == dst:
+            raise ValueError(f"packet source and destination must differ, got {src}")
+        self.packet_id = packet_id
+        self.src = src
+        self.dst = dst
+        self.length = length
+        self.injected_cycle = injected_cycle
+        self.vnet = vnet
+
+    def flits(self) -> List[Flit]:
+        """Materialize the packet's flit train (head first, tail last)."""
+        if self.length == 1:
+            return [
+                Flit(self.packet_id, 0, FlitType.HEAD_TAIL, self.src, self.dst,
+                     self.injected_cycle, self.vnet)
+            ]
+        out: List[Flit] = []
+        for seq in range(self.length):
+            if seq == 0:
+                ftype = FlitType.HEAD
+            elif seq == self.length - 1:
+                ftype = FlitType.TAIL
+            else:
+                ftype = FlitType.BODY
+            out.append(
+                Flit(self.packet_id, seq, ftype, self.src, self.dst,
+                     self.injected_cycle, self.vnet)
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(id={self.packet_id}, {self.src}->{self.dst}, "
+            f"len={self.length}, t={self.injected_cycle})"
+        )
+
+
+class PacketFactory:
+    """Mints packets with globally unique, monotonically increasing ids."""
+
+    def __init__(self, start_id: int = 0) -> None:
+        self._ids: Iterator[int] = itertools.count(start_id)
+
+    def create(
+        self,
+        src: int,
+        dst: int,
+        length: int,
+        injected_cycle: int,
+        vnet: int = 0,
+    ) -> Packet:
+        """Create a new :class:`Packet` with the next free id."""
+        return Packet(next(self._ids), src, dst, length, injected_cycle, vnet)

@@ -1,0 +1,139 @@
+"""Link modelling: fixed-latency delay lines for flits, credits and control.
+
+A physical link between an upstream output port and a downstream input
+port carries four channels in this model:
+
+* the **data channel** (flits, ``flit_width`` bits wide),
+* the **credit channel** back to the upstream router,
+* the ``Up_Down`` **control channel** added by the methodology
+  (``log2(num_vc)`` VC-id lines + 1 enable line), and
+* the ``Down_Up`` **control channel** (``log2(num_vc)`` lines carrying the
+  most-degraded VC id).
+
+All channels share the same latency (1 cycle by default, matching the
+paper's single-cycle link traversal at 1 GHz).  :class:`DelayLine` is the
+generic building block; :class:`Channel` simply names one instance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+#: Shared empty result for :meth:`DelayLine.pop_ready`; never mutated.
+_EMPTY: List = []
+
+
+class DelayLine(Generic[T]):
+    """A FIFO with a fixed delivery latency in cycles.
+
+    Items sent at cycle ``t`` become visible to :meth:`pop_ready` at cycle
+    ``t + latency``.  Items sent on the same cycle are delivered in send
+    order (a monotone sequence number breaks heap ties).
+    """
+
+    __slots__ = ("latency", "_heap", "_seq")
+
+    def __init__(self, latency: int = 1) -> None:
+        if latency < 0:
+            raise ValueError(f"link latency must be non-negative, got {latency}")
+        self.latency = latency
+        self._heap: List[Tuple[int, int, T]] = []
+        self._seq = 0
+
+    def send(self, item: T, cycle: int) -> None:
+        """Enqueue ``item`` for delivery at ``cycle + latency``."""
+        heapq.heappush(self._heap, (cycle + self.latency, self._seq, item))
+        self._seq += 1
+
+    def pop_ready(self, cycle: int) -> List[T]:
+        """Dequeue every item whose delivery time is <= ``cycle``.
+
+        Returns a shared immutable-by-convention empty list when nothing
+        is ready (the overwhelmingly common case in a lightly loaded
+        network) — callers only iterate the result.
+        """
+        heap = self._heap
+        if not heap or heap[0][0] > cycle:
+            return _EMPTY
+        out: List[T] = []
+        while heap and heap[0][0] <= cycle:
+            out.append(heapq.heappop(heap)[2])
+        return out
+
+    def peek_ready(self, cycle: int) -> bool:
+        """Whether at least one item is deliverable at ``cycle``."""
+        return bool(self._heap) and self._heap[0][0] <= cycle
+
+    @property
+    def in_flight(self) -> int:
+        """Number of items currently travelling on the line."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return f"DelayLine(latency={self.latency}, in_flight={self.in_flight})"
+
+
+class Channel(DelayLine[T]):
+    """A named :class:`DelayLine`, for nicer diagnostics."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, latency: int = 1) -> None:
+        super().__init__(latency)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Channel({self.name!r}, latency={self.latency}, in_flight={self.in_flight})"
+
+
+class LossyChannel(Channel[T]):
+    """A channel that drops items — a fault-injection instrument.
+
+    The simulator's correctness contract assumes reliable links; this
+    class exists to *test* that assumption: dropping ``Up_Down`` wake
+    commands, for example, desynchronizes the upstream power view from
+    the downstream buffers and must surface as a hard error rather than
+    silent corruption (see ``tests/test_fault_injection.py``).
+
+    Parameters
+    ----------
+    drop_probability:
+        Independent per-item drop chance in ``[0, 1]``.
+    seed:
+        Seed of the private drop RNG (runs stay reproducible).
+    drop_filter:
+        Optional predicate; only items for which it returns True are
+        eligible for dropping (e.g. only ``("wake", vc)`` commands).
+    """
+
+    __slots__ = ("drop_probability", "dropped", "_rng", "drop_filter")
+
+    def __init__(
+        self,
+        name: str,
+        latency: int = 1,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+        drop_filter=None,
+    ) -> None:
+        super().__init__(name, latency)
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1], got {drop_probability}"
+            )
+        import random
+
+        self.drop_probability = drop_probability
+        self.dropped = 0
+        self._rng = random.Random(seed)
+        self.drop_filter = drop_filter
+
+    def send(self, item: T, cycle: int) -> None:
+        eligible = self.drop_filter is None or self.drop_filter(item)
+        if eligible and self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return
+        super().send(item, cycle)

@@ -1,0 +1,453 @@
+"""Top-level network: builds and steps the whole simulated chip.
+
+The :class:`Network` assembles routers, network interfaces, links and the
+NBTI instrumentation from a :class:`~repro.noc.config.NoCConfig`, then
+advances everything in lock-step.  Per cycle, the phases run in a fixed
+order so the simulation is fully deterministic:
+
+1. deliveries (flits, credits, Up_Down commands, Down_Up reports),
+2. ejection at the NIs,
+3. traffic injection into the NI source queues,
+4. pre-VA recovery policies (routers, then NIs),
+5. VC allocation,
+6. switch allocation + traversal (routers), NI flit sends,
+7. NBTI aging + sensor sampling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.nbti.model import NBTIModel
+from repro.nbti.process_variation import ProcessVariationModel, VCKey
+from repro.nbti.sensor import IdealSensor, NBTISensor, SensorBank
+from repro.nbti.transistor import PMOSDevice
+from repro.noc.buffer import VCBuffer
+from repro.noc.config import NoCConfig
+from repro.noc.flit import PacketFactory
+from repro.noc.input_unit import InputUnit
+from repro.noc.interface import NetworkInterface
+from repro.noc.link import Channel
+from repro.noc.output_unit import UpstreamPort
+from repro.noc.policy_api import RecoveryPolicy
+from repro.noc.router import InputWiring, OutputWiring, Router
+from repro.noc.routing import build_routing
+from repro.noc.topology import LOCAL, Topology, build_topology, port_name
+
+#: Builds a fresh policy instance for each upstream port.
+PolicyFactory = Callable[[], RecoveryPolicy]
+
+#: Builds a fresh sensor model for each sensor bank.
+SensorFactory = Callable[[], NBTISensor]
+
+
+@dataclasses.dataclass
+class SimStats:
+    """Aggregate network statistics over the measured window."""
+
+    cycles: int
+    packets_injected: int
+    packets_ejected: int
+    flits_injected: int
+    flits_ejected: int
+    avg_packet_latency: float
+    max_packet_latency: int
+    throughput_flits_per_node_cycle: float
+    p50_packet_latency: float = 0.0
+    p95_packet_latency: float = 0.0
+    p99_packet_latency: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"cycles={self.cycles} pkts={self.packets_ejected}/{self.packets_injected} "
+            f"lat(avg/p95/max)={self.avg_packet_latency:.2f}/"
+            f"{self.p95_packet_latency:.0f}/{self.max_packet_latency} "
+            f"thru={self.throughput_flits_per_node_cycle:.4f} flits/node/cycle"
+        )
+
+
+class Network:
+    """A fully wired NoC with NBTI instrumentation.
+
+    Parameters
+    ----------
+    config:
+        Static network parameters.
+    policy_factory:
+        Called once per upstream port to create its recovery policy.
+    traffic:
+        Object with ``inject(cycle) -> list[(src, dst, length|None)]``;
+        see :class:`repro.traffic.base.TrafficGenerator`.
+    nbti_model:
+        Shared aging model; default is the calibrated 45 nm model.
+    pv_model:
+        Process-variation sampler for initial Vth values; default uses
+        ``config.seed`` (scenario runners freeze it per scenario).
+    sensor_factory:
+        Builds the measurement model of each sensor bank (ideal default).
+    """
+
+    def __init__(
+        self,
+        config: NoCConfig,
+        policy_factory: PolicyFactory,
+        traffic=None,
+        nbti_model: Optional[NBTIModel] = None,
+        pv_model: Optional[ProcessVariationModel] = None,
+        sensor_factory: Optional[SensorFactory] = None,
+    ) -> None:
+        self.config = config
+        self.topology: Topology = build_topology(config.topology, config.num_nodes)
+        self.routing = build_routing(config.routing, self.topology)
+        self.traffic = traffic
+        self.nbti_model = nbti_model if nbti_model is not None else NBTIModel.calibrated(config.technology)
+        self.pv_model = (
+            pv_model
+            if pv_model is not None
+            else ProcessVariationModel.for_technology(config.technology, seed=config.seed)
+        )
+        self.sensor_factory = sensor_factory if sensor_factory is not None else IdealSensor
+        self.packet_factory = PacketFactory()
+        self.cycle = 0
+        #: First cycle of the measurement window (bumped by reset_stats).
+        self.stats_window_start = 0
+
+        self.routers: List[Router] = []
+        self.interfaces: List[NetworkInterface] = []
+        #: Devices keyed by (router, input port, vc) in canonical order.
+        self.devices: Dict[VCKey, PMOSDevice] = {}
+
+        self._build(policy_factory)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, policy_factory: PolicyFactory) -> None:
+        cfg = self.config
+        topo = self.topology
+
+        # Canonical VC key order for PV sampling: router, port, vc.
+        in_ports: Dict[int, List[int]] = {n: [LOCAL] for n in range(topo.num_nodes)}
+        out_ports: Dict[int, List[int]] = {n: [LOCAL] for n in range(topo.num_nodes)}
+        for link in topo.links():
+            out_ports[link.src_router].append(link.src_port)
+            in_ports[link.dst_router].append(link.dst_port)
+        for ports in in_ports.values():
+            ports.sort()
+        for ports in out_ports.values():
+            ports.sort()
+
+        vc_keys: List[VCKey] = [
+            (node, port, vc)
+            for node in range(topo.num_nodes)
+            for port in in_ports[node]
+            for vc in range(cfg.total_vcs)
+        ]
+        initial_vths = self.pv_model.sample_chip(vc_keys)
+        cycle_time = cfg.technology.clock_period_s * cfg.aging_time_scale
+        for key, vth in initial_vths.items():
+            self.devices[key] = PMOSDevice(
+                vth, self.nbti_model, cycle_time_s=cycle_time
+            )
+
+        # Channels for every upstream->downstream pair, keyed by the
+        # downstream (router, input port).
+        def make_channels(tag: str) -> Dict[str, Channel]:
+            return {
+                "data": Channel(f"{tag}.data", cfg.link_latency),
+                "credit": Channel(f"{tag}.credit", cfg.link_latency),
+                "up_down": Channel(f"{tag}.up_down", cfg.link_latency),
+                "down_up": Channel(f"{tag}.down_up", cfg.link_latency),
+            }
+
+        # Build per-router input units and the NI ejection units.
+        input_units: Dict[Tuple[int, int], InputUnit] = {}
+        channels: Dict[Tuple[int, int], Dict[str, Channel]] = {}
+        for node in range(topo.num_nodes):
+            for port in in_ports[node]:
+                tag = f"r{node}.{port_name(port)}"
+                chans = make_channels(tag)
+                channels[(node, port)] = chans
+                buffers = []
+                bank_devices = []
+                for vc in range(cfg.total_vcs):
+                    device = self.devices[(node, port, vc)]
+                    buffers.append(VCBuffer(cfg.buffer_depth, device=device))
+                    bank_devices.append(device)
+                bank = SensorBank(
+                    bank_devices,
+                    sensor=self.sensor_factory(),
+                    sample_period=cfg.sensor_sample_period,
+                )
+                route_fn = self._route_fn(node)
+                input_units[(node, port)] = InputUnit(
+                    buffers,
+                    chans["credit"],
+                    route_fn,
+                    sensor_bank=bank,
+                    wake_latency=cfg.wake_latency,
+                )
+
+        # Ejection units (NI side of each router's LOCAL output port).
+        eject_units: Dict[int, InputUnit] = {}
+        eject_channels: Dict[int, Dict[str, Channel]] = {}
+        for node in range(topo.num_nodes):
+            chans = make_channels(f"ni{node}.eject")
+            eject_channels[node] = chans
+            buffers = [
+                VCBuffer(cfg.buffer_depth, device=None, track_nbti=False)
+                for _ in range(cfg.total_vcs)
+            ]
+            eject_units[node] = InputUnit(
+                buffers,
+                chans["credit"],
+                route_fn=lambda dst: LOCAL,
+                sensor_bank=None,
+                wake_latency=cfg.wake_latency,
+            )
+
+        # Upstream ports: one per router output port + one per NI.
+        def make_upstream(down_chans: Dict[str, Channel]) -> UpstreamPort:
+            return UpstreamPort(
+                cfg.num_vcs,
+                cfg.buffer_depth,
+                None,
+                down_chans["data"],
+                down_chans["up_down"],
+                wake_latency=cfg.wake_latency,
+                num_vnets=cfg.num_vnets,
+                policy_factory=policy_factory,
+            )
+
+        # Router construction.
+        neighbor_of: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for link in topo.links():
+            neighbor_of[(link.src_router, link.src_port)] = (link.dst_router, link.dst_port)
+
+        for node in range(topo.num_nodes):
+            inputs: Dict[int, InputWiring] = {}
+            for port in in_ports[node]:
+                chans = channels[(node, port)]
+                inputs[port] = InputWiring(
+                    unit=input_units[(node, port)],
+                    data_channel=chans["data"],
+                    control_channel=chans["up_down"],
+                )
+            outputs: Dict[int, OutputWiring] = {}
+            for port in out_ports[node]:
+                if port == LOCAL:
+                    down_chans = eject_channels[node]
+                else:
+                    down_node, down_port = neighbor_of[(node, port)]
+                    down_chans = channels[(down_node, down_port)]
+                outputs[port] = OutputWiring(
+                    upstream=make_upstream(down_chans),
+                    credit_channel=down_chans["credit"],
+                    down_up_channel=down_chans["down_up"],
+                )
+            router = Router(node, inputs, outputs, cfg.num_vcs, cfg.num_vnets)
+            for port in in_ports[node]:
+                router.down_up_channels[port] = channels[(node, port)]["down_up"]
+            self.routers.append(router)
+
+        # Network interfaces: injection upstream drives LOCAL input port.
+        for node in range(topo.num_nodes):
+            local_chans = channels[(node, LOCAL)]
+            injection = make_upstream(local_chans)
+            ni = NetworkInterface(node, injection, eject_units[node])
+            # The NI drains: credits + Down_Up of its injection port, and
+            # data + Up_Down commands of its ejection unit.
+            ni._inj_credit_channel = local_chans["credit"]
+            ni._inj_down_up_channel = local_chans["down_up"]
+            ni._eject_data_channel = eject_channels[node]["data"]
+            ni._eject_control_channel = eject_channels[node]["up_down"]
+            self.interfaces.append(ni)
+
+        # Initial Down_Up latch: every upstream port learns each vnet's
+        # most-degraded VC of its downstream before the first cycle.
+        for node in range(topo.num_nodes):
+            router = self.routers[node]
+            for port in router.input_ports:
+                bank = router.inputs[port].unit.sensor_bank
+                if bank is None:
+                    continue
+                readings = bank.readings
+                for vnet in range(cfg.num_vnets):
+                    start = vnet * cfg.num_vcs
+                    chunk = readings[start:start + cfg.num_vcs]
+                    md = start + max(range(cfg.num_vcs), key=lambda i: (chunk[i], -i))
+                    if port == LOCAL:
+                        self.interfaces[node].injection_port.set_most_degraded(md)
+                    else:
+                        up_node, up_port = neighbor_of_inverse(topo, node, port)
+                        self.routers[up_node].outputs[up_port].upstream.set_most_degraded(md)
+
+    def _route_fn(self, node: int):
+        routing = self.routing
+        return lambda dst: routing.route(node, dst)
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the whole network by one cycle."""
+        cycle = self.cycle
+        for router in self.routers:
+            router.phase_deliver(cycle)
+        for ni in self.interfaces:
+            self._ni_deliver(ni, cycle)
+            ni.phase_eject(cycle)
+        self._inject_traffic(cycle)
+        for router in self.routers:
+            router.phase_policy(cycle)
+        for ni in self.interfaces:
+            ni.phase_policy(cycle)
+        for router in self.routers:
+            router.phase_va(cycle)
+        for ni in self.interfaces:
+            ni.phase_va(cycle)
+        for router in self.routers:
+            router.phase_sa_st(cycle)
+        for ni in self.interfaces:
+            ni.phase_send(cycle)
+        for router in self.routers:
+            router.phase_nbti(cycle)
+        self.cycle = cycle + 1
+
+    def run(self, cycles: int, validate_every: int = 0) -> None:
+        """Advance the network ``cycles`` cycles.
+
+        Parameters
+        ----------
+        validate_every:
+            When positive, run :func:`repro.noc.validation.validate_network`
+            every N cycles and raise ``RuntimeError`` on the first
+            violation — a debugging aid for new policies/topologies
+            (full sweeps are O(network), so keep N coarse).
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        if validate_every < 0:
+            raise ValueError(f"validate_every must be >= 0, got {validate_every}")
+        if validate_every == 0:
+            for _ in range(cycles):
+                self.step()
+            return
+        from repro.noc.validation import validate_network
+
+        for i in range(cycles):
+            self.step()
+            if (i + 1) % validate_every == 0:
+                violations = validate_network(self)
+                if violations:
+                    raise RuntimeError(
+                        f"invariant violations at cycle {self.cycle}: "
+                        + "; ".join(violations[:5])
+                    )
+
+    @staticmethod
+    def _ni_deliver(ni: NetworkInterface, cycle: int) -> None:
+        for vc in ni._inj_credit_channel.pop_ready(cycle):
+            ni.injection_port.on_credit(vc)
+        for vc in ni._inj_down_up_channel.pop_ready(cycle):
+            ni.injection_port.set_most_degraded(vc)
+        unit = ni.ejection_unit
+        for command, vc in ni._eject_control_channel.pop_ready(cycle):
+            unit.apply_command(command, vc)
+        unit.tick_power()
+        for vc, flit in ni._eject_data_channel.pop_ready(cycle):
+            unit.receive_flit(vc, flit, cycle)
+
+    def _inject_traffic(self, cycle: int) -> None:
+        if self.traffic is None:
+            return
+        for injection in self.traffic.inject(cycle):
+            src, dst, length = injection[0], injection[1], injection[2]
+            vnet = injection[3] if len(injection) > 3 else 0
+            pkt_len = length if length is not None else self.config.packet_length
+            packet = self.packet_factory.create(src, dst, pkt_len, cycle, vnet=vnet)
+            self.interfaces[src].enqueue(packet)
+
+    # ------------------------------------------------------------------
+    # NBTI / statistics accessors
+    # ------------------------------------------------------------------
+    def duty_cycles(self, router: int, port) -> List[float]:
+        """Per-VC NBTI-duty-cycles (%) at a router input port.
+
+        ``port`` accepts a port id or a compass name (``"east"``).
+        """
+        from repro.noc.topology import port_id
+
+        pid = port if isinstance(port, int) else port_id(port)
+        return self.routers[router].duty_cycles(pid)
+
+    def device(self, router: int, port, vc: int) -> PMOSDevice:
+        """The PMOS device guarding one router input VC buffer."""
+        from repro.noc.topology import port_id
+
+        pid = port if isinstance(port, int) else port_id(port)
+        return self.devices[(router, pid, vc)]
+
+    def reset_nbti(self) -> None:
+        """Zero every duty-cycle counter (discard warm-up stress)."""
+        for device in self.devices.values():
+            device.counter.reset()
+
+    def reset_stats(self) -> None:
+        """Drop NI latency/throughput statistics (warm-up discard)."""
+        for ni in self.interfaces:
+            ni.reset_stats()
+        self.stats_window_start = self.cycle
+
+    def in_flight_flits(self) -> int:
+        """Flits currently buffered or on a link (conservation checks)."""
+        buffered = sum(r.occupancy() for r in self.routers)
+        buffered += sum(ni.ejection_unit.occupancy() for ni in self.interfaces)
+        on_links = 0
+        for router in self.routers:
+            for port in router.input_ports:
+                on_links += router.inputs[port].data_channel.in_flight
+        for ni in self.interfaces:
+            on_links += ni._eject_data_channel.in_flight
+        pending = sum(ni.pending_flits for ni in self.interfaces)
+        return buffered + on_links + pending
+
+    def stats(self) -> SimStats:
+        """Aggregate latency/throughput statistics."""
+        records = [rec for ni in self.interfaces for rec in ni.ejection_records]
+        latencies = sorted(rec.latency for rec in records)
+        flits_ejected = sum(ni.flits_ejected for ni in self.interfaces)
+        window = self.cycle - self.stats_window_start
+        cycles = max(1, window)
+
+        def percentile(q: float) -> float:
+            if not latencies:
+                return 0.0
+            idx = min(len(latencies) - 1, int(q * (len(latencies) - 1)))
+            return float(latencies[idx])
+
+        return SimStats(
+            cycles=window,
+            packets_injected=sum(ni.packets_injected for ni in self.interfaces),
+            packets_ejected=sum(ni.packets_ejected for ni in self.interfaces),
+            flits_injected=sum(ni.flits_injected for ni in self.interfaces),
+            flits_ejected=flits_ejected,
+            avg_packet_latency=(sum(latencies) / len(latencies)) if latencies else 0.0,
+            max_packet_latency=max(latencies) if latencies else 0,
+            throughput_flits_per_node_cycle=flits_ejected / (cycles * self.config.num_nodes),
+            p50_packet_latency=percentile(0.50),
+            p95_packet_latency=percentile(0.95),
+            p99_packet_latency=percentile(0.99),
+        )
+
+
+def neighbor_of_inverse(topology: Topology, node: int, in_port: int) -> Tuple[int, int]:
+    """Find the (upstream router, upstream output port) feeding an input
+    port — the inverse of the topology's link direction."""
+    for link in topology.links():
+        if link.dst_router == node and link.dst_port == in_port:
+            return (link.src_router, link.src_port)
+    raise ValueError(
+        f"no upstream feeds router {node} port {port_name(in_port)}"
+    )

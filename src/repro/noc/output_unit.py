@@ -1,0 +1,426 @@
+"""Upstream port (output unit): out_vc_state tracking, pre-VA policy stage,
+VC allocation and credit management.
+
+In a VC router the *upstream* router performs the VA stage for the
+*downstream* input port, so it is the upstream output unit that owns:
+
+* ``out_vc_state`` — one :class:`OutVCEntry` per downstream VC (IDLE /
+  ACTIVE, credit count, tail bookkeeping),
+* the NBTI additions of the paper (Fig. 1B): the ``most_degraded`` marker
+  received over ``Down_Up`` and the pre-VA recovery policy whose
+  ``enable``/VC-id outputs drive the ``Up_Down`` link, and
+* the power view of each downstream VC (``gated`` flag + ``available_at``
+  wake-completion cycle), kept consistent with the downstream buffers by
+  construction since all gate/wake commands originate here.
+
+Virtual networks
+----------------
+The paper's platform partitions the VCs of every port into *virtual
+networks* (Table I: 2/6 vnets with 2/4 VCs each) so that protocol
+message classes cannot deadlock each other.  The partition is strict:
+
+* a packet of vnet ``v`` may only be allocated VCs of vnet ``v``, and
+* the recovery policy runs **once per vnet** on that vnet's VC slice —
+  new traffic of one vnet must never be served by (or keep awake) a VC
+  of another.
+
+Each (port, vnet) pair therefore owns a private policy instance with
+its own traffic bit, most-degraded id and memoization state, held in a
+:class:`VnetEngine`.  With ``num_vnets == 1`` (the default, and what the
+paper's measurements use one at a time) everything collapses to the
+plain per-port behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.flit import Flit
+from repro.noc.link import Channel
+from repro.noc.policy_api import (
+    OutVCState,
+    PolicyContext,
+    PolicyDecision,
+    RecoveryPolicy,
+)
+
+#: Power-gating command carried by the Up_Down control channel.
+GateCommand = Tuple[str, int]  # ("gate" | "wake", vc)
+
+
+class OutVCEntry:
+    """Book-keeping for one downstream VC as seen from upstream."""
+
+    __slots__ = ("state", "credits", "max_credits", "gated", "available_at", "tail_sent", "packet_id")
+
+    def __init__(self, max_credits: int) -> None:
+        self.state = OutVCState.IDLE
+        self.credits = max_credits
+        self.max_credits = max_credits
+        self.gated = False
+        self.available_at = 0
+        self.tail_sent = False
+        self.packet_id: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"OutVCEntry(state={self.state.value}, credits={self.credits}/"
+            f"{self.max_credits}, gated={self.gated})"
+        )
+
+
+class VnetEngine:
+    """Per-(port, vnet) recovery-policy state: the pre-VA stage of one
+    VC slice."""
+
+    __slots__ = (
+        "vnet",
+        "start",
+        "count",
+        "policy",
+        "new_traffic",
+        "most_degraded_vc",
+        "last_decision",
+        "_ctx_version",
+        "_policy_key",
+        "_alloc_arbiter",
+    )
+
+    def __init__(self, vnet: int, start: int, count: int, policy: RecoveryPolicy) -> None:
+        self.vnet = vnet
+        self.start = start
+        self.count = count
+        self.policy = policy
+        self.new_traffic = False
+        self.most_degraded_vc: Optional[int] = None  # local (slice) index
+        self.last_decision: Optional[PolicyDecision] = None
+        self._ctx_version = 0
+        self._policy_key: Optional[Tuple[int, int]] = None
+        self._alloc_arbiter = RoundRobinArbiter(count)
+
+    def invalidate(self) -> None:
+        """Mark a policy-visible input as changed (busts the memo)."""
+        self._ctx_version += 1
+
+
+class UpstreamPort:
+    """One output unit driving one downstream input port.
+
+    Shared by routers (their N/S/E/W/local output ports) and by network
+    interfaces (which act as the upstream of their router's local input
+    port), so the recovery methodology covers every input port in the
+    NoC uniformly.
+
+    Parameters
+    ----------
+    num_vcs:
+        VCs per virtual network (2 or 4 in the paper).
+    buffer_depth:
+        Downstream buffer depth in flits (credits start here).
+    policy:
+        The pre-VA :class:`RecoveryPolicy` for vnet 0, or a factory via
+        ``policy_factory`` for multi-vnet ports.
+    data_channel:
+        Delay line carrying ``(vc, flit)`` to the downstream input unit.
+    control_channel:
+        Delay line carrying :data:`GateCommand` items (the ``Up_Down``
+        link; same latency as the data link).
+    wake_latency:
+        Extra cycles a gated buffer needs after the wake command arrives.
+    num_vnets:
+        Virtual networks sharing the port; total VCs =
+        ``num_vcs * num_vnets``.
+    policy_factory:
+        Builds one policy instance per vnet; required when
+        ``num_vnets > 1`` (per-vnet policies must not share state).
+    """
+
+    __slots__ = (
+        "num_vcs",
+        "num_vnets",
+        "total_vcs",
+        "buffer_depth",
+        "data_channel",
+        "control_channel",
+        "wake_latency",
+        "entries",
+        "engines",
+        "gate_commands",
+        "wake_commands",
+    )
+
+    def __init__(
+        self,
+        num_vcs: int,
+        buffer_depth: int,
+        policy: Optional[RecoveryPolicy],
+        data_channel: Channel,
+        control_channel: Channel,
+        wake_latency: int = 1,
+        num_vnets: int = 1,
+        policy_factory=None,
+    ) -> None:
+        if num_vcs < 1:
+            raise ValueError(f"num_vcs must be >= 1, got {num_vcs}")
+        if buffer_depth < 1:
+            raise ValueError(f"buffer_depth must be >= 1, got {buffer_depth}")
+        if wake_latency < 0:
+            raise ValueError(f"wake_latency must be >= 0, got {wake_latency}")
+        if num_vnets < 1:
+            raise ValueError(f"num_vnets must be >= 1, got {num_vnets}")
+        if num_vnets > 1 and policy_factory is None:
+            raise ValueError("multi-vnet ports need a policy_factory")
+        self.num_vcs = num_vcs
+        self.num_vnets = num_vnets
+        self.total_vcs = num_vcs * num_vnets
+        self.buffer_depth = buffer_depth
+        self.data_channel = data_channel
+        self.control_channel = control_channel
+        self.wake_latency = wake_latency
+        self.entries: List[OutVCEntry] = [
+            OutVCEntry(buffer_depth) for _ in range(self.total_vcs)
+        ]
+        self.engines: List[VnetEngine] = []
+        for vnet in range(num_vnets):
+            vnet_policy = policy_factory() if policy_factory is not None else policy
+            if vnet_policy is None:
+                raise ValueError("either policy or policy_factory must be given")
+            self.engines.append(
+                VnetEngine(vnet, vnet * num_vcs, num_vcs, vnet_policy)
+            )
+        # Telemetry: how many gate / wake commands this port has issued.
+        self.gate_commands = 0
+        self.wake_commands = 0
+
+    # ------------------------------------------------------------------
+    # Introspection shims (single-vnet convenience)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> RecoveryPolicy:
+        """The vnet-0 policy (the only one on single-vnet ports)."""
+        return self.engines[0].policy
+
+    @property
+    def last_decision(self) -> Optional[PolicyDecision]:
+        """The vnet-0 decision (single-vnet convenience)."""
+        return self.engines[0].last_decision
+
+    @property
+    def new_traffic(self) -> bool:
+        """The vnet-0 traffic bit (single-vnet convenience)."""
+        return self.engines[0].new_traffic
+
+    @property
+    def most_degraded_vc(self) -> Optional[int]:
+        """Global id of vnet 0's most-degraded VC (single-vnet shim)."""
+        local = self.engines[0].most_degraded_vc
+        return None if local is None else self.engines[0].start + local
+
+    def vnet_of(self, vc: int) -> int:
+        """Virtual network that owns a global VC index."""
+        if not 0 <= vc < self.total_vcs:
+            raise ValueError(f"vc {vc} out of range [0, {self.total_vcs})")
+        return vc // self.num_vcs
+
+    # ------------------------------------------------------------------
+    # Pre-VA policy stage
+    # ------------------------------------------------------------------
+    def vc_policy_state(self, vc: int) -> OutVCState:
+        """Policy-facing state: ACTIVE, IDLE (awake) or RECOVERY (gated)."""
+        entry = self.entries[vc]
+        if entry.state is OutVCState.ACTIVE:
+            return OutVCState.ACTIVE
+        return OutVCState.RECOVERY if entry.gated else OutVCState.IDLE
+
+    def build_context(self, cycle: int, vnet: int = 0) -> PolicyContext:
+        """Snapshot one vnet's VC slice for its policy."""
+        engine = self.engines[vnet]
+        states = tuple(
+            self.vc_policy_state(engine.start + i) for i in range(engine.count)
+        )
+        return PolicyContext(
+            cycle=cycle,
+            vc_states=states,
+            new_traffic=engine.new_traffic,
+            most_degraded_vc=engine.most_degraded_vc,
+        )
+
+    def run_policy(self, cycle: int) -> List[PolicyDecision]:
+        """Evaluate every vnet's policy and apply the decisions.
+
+        Stable policies (see :class:`RecoveryPolicy.stable`) are memoized
+        per vnet on (input version, policy epoch): when nothing they can
+        observe changed, the previous — already applied — decision
+        stands.
+        """
+        decisions: List[PolicyDecision] = []
+        for engine in self.engines:
+            policy = engine.policy
+            if policy.stable:
+                key = (engine._ctx_version, policy.epoch(cycle))
+                if key == engine._policy_key and engine.last_decision is not None:
+                    decisions.append(engine.last_decision)
+                    continue
+                engine._policy_key = key
+            decision = policy.decide(self.build_context(cycle, engine.vnet))
+            decision.validate(engine.count)
+            self.apply_decision(decision, cycle, engine.vnet)
+            decisions.append(decision)
+        return decisions
+
+    def apply_decision(self, decision: PolicyDecision, cycle: int, vnet: int = 0) -> None:
+        """Turn a decision into gate/wake commands on the Up_Down link.
+
+        Only state *changes* are commanded: a VC already awake that must
+        stay awake (or already gated that must stay gated) produces no
+        command, so sleep transistors are not toggled needlessly.
+        Decision VC indices are local to the vnet's slice.
+        """
+        engine = self.engines[vnet]
+        for local in range(engine.count):
+            vc = engine.start + local
+            entry = self.entries[vc]
+            if entry.state is OutVCState.ACTIVE:
+                continue
+            want_awake = local in decision.awake
+            if want_awake and entry.gated:
+                entry.gated = False
+                entry.available_at = cycle + self.control_channel.latency + self.wake_latency
+                self.control_channel.send(("wake", vc), cycle)
+                self.wake_commands += 1
+            elif not want_awake and not entry.gated:
+                entry.gated = True
+                self.control_channel.send(("gate", vc), cycle)
+                self.gate_commands += 1
+        engine.last_decision = decision
+
+    def set_new_traffic(self, value: bool, vnet: int = 0) -> None:
+        """Update a vnet's traffic bit, invalidating its memo on change."""
+        engine = self.engines[vnet]
+        if value != engine.new_traffic:
+            engine.new_traffic = value
+            engine.invalidate()
+
+    # ------------------------------------------------------------------
+    # VC allocation (VA stage, performed upstream)
+    # ------------------------------------------------------------------
+    def allocatable(self, vc: int, cycle: int) -> bool:
+        """Whether ``vc`` can be granted to a new packet this cycle."""
+        entry = self.entries[vc]
+        return (
+            entry.state is OutVCState.IDLE
+            and not entry.gated
+            and cycle >= entry.available_at
+        )
+
+    def has_allocatable(self, cycle: int, vnet: int = 0) -> bool:
+        """Whether the vnet has any VC a new packet could take now."""
+        engine = self.engines[vnet]
+        return any(
+            self.allocatable(engine.start + i, cycle) for i in range(engine.count)
+        )
+
+    def allocate_vc(
+        self, cycle: int, packet_id: Optional[int] = None, vnet: int = 0
+    ) -> Optional[int]:
+        """Grant a free VC of ``vnet``, or ``None`` when nothing is free.
+
+        Prefers the VC the vnet's recovery policy kept idle (its
+        ``idle_vc`` output) — that is precisely the VC the methodology
+        reserves for the next new packet — falling back to a round-robin
+        scan for the baseline/no-policy case.  Returns a *global* VC id.
+        """
+        engine = self.engines[vnet]
+        decision = engine.last_decision
+        if decision is not None and decision.enable:
+            preferred = engine.start + decision.idle_vc
+            if self.allocatable(preferred, cycle):
+                self._mark_allocated(preferred, packet_id, engine)
+                return preferred
+        granted_local = engine._alloc_arbiter.grant(
+            [self.allocatable(engine.start + i, cycle) for i in range(engine.count)]
+        )
+        if granted_local is None:
+            return None
+        vc = engine.start + granted_local
+        self._mark_allocated(vc, packet_id, engine)
+        return vc
+
+    def _mark_allocated(self, vc: int, packet_id: Optional[int], engine: VnetEngine) -> None:
+        entry = self.entries[vc]
+        entry.state = OutVCState.ACTIVE
+        entry.tail_sent = False
+        entry.packet_id = packet_id
+        engine.invalidate()
+
+    # ------------------------------------------------------------------
+    # Data and credits
+    # ------------------------------------------------------------------
+    def can_send(self, vc: int) -> bool:
+        """Whether a flit may be sent on ``vc`` this cycle (credit check)."""
+        entry = self.entries[vc]
+        return entry.state is OutVCState.ACTIVE and entry.credits > 0
+
+    def send_flit(self, vc: int, flit: Flit, cycle: int) -> None:
+        """Consume a credit and put the flit on the data link."""
+        entry = self.entries[vc]
+        if entry.state is not OutVCState.ACTIVE:
+            raise RuntimeError(f"send on non-ACTIVE vc {vc}: {flit!r}")
+        if entry.credits <= 0:
+            raise RuntimeError(f"send without credits on vc {vc}: {flit!r}")
+        entry.credits -= 1
+        if flit.is_tail:
+            entry.tail_sent = True
+        self.data_channel.send((vc, flit), cycle)
+        self._maybe_release(vc, entry)
+
+    def on_credit(self, vc: int) -> None:
+        """Handle a returning credit from the downstream input port."""
+        entry = self.entries[vc]
+        entry.credits += 1
+        if entry.credits > entry.max_credits:
+            raise RuntimeError(f"credit overflow on vc {vc}")
+        self._maybe_release(vc, entry)
+
+    def _maybe_release(self, vc: int, entry: OutVCEntry) -> None:
+        """Return an entry to IDLE once its packet has fully drained.
+
+        The VC is released when the tail has been sent *and* every credit
+        is back — at that point the downstream buffer is provably empty,
+        so the VC is safe to gate or to hand to a new packet.
+        """
+        if entry.tail_sent and entry.credits == entry.max_credits:
+            entry.state = OutVCState.IDLE
+            entry.tail_sent = False
+            entry.packet_id = None
+            self.engines[self.vnet_of(vc)].invalidate()
+
+    # ------------------------------------------------------------------
+    # Down_Up link sink
+    # ------------------------------------------------------------------
+    def set_most_degraded(self, vc: int) -> None:
+        """Latch a most-degraded VC id delivered by the Down_Up link.
+
+        ``vc`` is a global index; it updates the owning vnet's marker.
+        """
+        if not 0 <= vc < self.total_vcs:
+            raise ValueError(f"most-degraded vc {vc} out of range [0, {self.total_vcs})")
+        engine = self.engines[self.vnet_of(vc)]
+        local = vc - engine.start
+        if local != engine.most_degraded_vc:
+            engine.most_degraded_vc = local
+            engine.invalidate()
+
+    def idle_vc_count(self) -> int:
+        """Number of VCs currently IDLE and awake (diagnostics)."""
+        return sum(
+            1 for vc in range(self.total_vcs)
+            if self.vc_policy_state(vc) is OutVCState.IDLE
+        )
+
+    def __repr__(self) -> str:
+        states = ",".join(
+            self.vc_policy_state(v).value[0] for v in range(self.total_vcs)
+        )
+        return f"UpstreamPort(vcs=[{states}], policy={self.policy.name})"

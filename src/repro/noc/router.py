@@ -1,0 +1,283 @@
+"""The 3-stage virtual-channel wormhole router.
+
+Pipeline (paper Sec. III, Garnet-style):
+
+1. **BW + RC** — an arriving flit is written into its VC buffer; a head
+   flit computes its route.
+2. **VA + SA** — the *pre-VA recovery policy* runs first (the paper's
+   addition), then VC allocation grants downstream VCs to new packets and
+   switch allocation picks at most one flit per input port and per output
+   port.
+3. **ST + LT** — granted flits traverse the crossbar and the link,
+   arriving at the next router after the link latency.
+
+A flit therefore spends a minimum of 3 cycles per hop.  The router never
+mixes packets in a VC buffer and holds a VC from head arrival to tail
+departure (wormhole with per-packet VCs), which together with XY routing
+keeps the mesh deadlock-free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.input_unit import InputUnit
+from repro.noc.link import Channel
+from repro.noc.output_unit import UpstreamPort
+from repro.noc.topology import port_name
+
+
+@dataclasses.dataclass
+class InputWiring:
+    """An input port with the channels arriving from its upstream."""
+
+    unit: InputUnit
+    data_channel: Channel
+    control_channel: Channel
+
+
+@dataclasses.dataclass
+class OutputWiring:
+    """An output port with the channels arriving back from downstream."""
+
+    upstream: UpstreamPort
+    credit_channel: Channel
+    down_up_channel: Channel
+
+
+class Router:
+    """One NoC router; the :class:`~repro.noc.network.Network` drives its
+    per-cycle phases in lock-step with all other routers.
+
+    Parameters
+    ----------
+    router_id:
+        Node id of the tile this router belongs to.
+    inputs, outputs:
+        Wiring per connected port id (LOCAL plus the topology links).
+    num_vcs:
+        Virtual channels per virtual network.
+    num_vnets:
+        Virtual networks per port (total VCs = ``num_vcs * num_vnets``).
+    """
+
+    def __init__(
+        self,
+        router_id: int,
+        inputs: Dict[int, InputWiring],
+        outputs: Dict[int, OutputWiring],
+        num_vcs: int,
+        num_vnets: int = 1,
+    ) -> None:
+        self.router_id = router_id
+        self.inputs = inputs
+        self.outputs = outputs
+        self.num_vcs = num_vcs
+        self.num_vnets = num_vnets
+        self.total_vcs = num_vcs * num_vnets
+        self.input_ports: List[int] = sorted(inputs)
+        self.output_ports: List[int] = sorted(outputs)
+        #: Per-(output port, vnet) count of resident packets still
+        #: awaiting VA — the paper's ``is_new_traffic_outport_x()`` in
+        #: O(1), kept per message class.
+        self.va_pending: Dict[int, List[int]] = {
+            p: [0] * num_vnets for p in self.output_ports
+        }
+        self._va_arbiters: Dict[Tuple[int, int], RoundRobinArbiter] = {
+            (p, vn): RoundRobinArbiter(len(self.input_ports) * self.total_vcs)
+            for p in self.output_ports
+            for vn in range(num_vnets)
+        }
+        self._sa_input_arbiters: Dict[int, RoundRobinArbiter] = {
+            p: RoundRobinArbiter(self.total_vcs) for p in self.input_ports
+        }
+        self._sa_output_arbiters: Dict[int, RoundRobinArbiter] = {
+            p: RoundRobinArbiter(len(self.input_ports)) for p in self.output_ports
+        }
+        self.flits_routed = 0
+        #: Set by the network at wiring time: maps an input port to the
+        #: Down_Up channel toward its upstream.
+        self.down_up_channels: Dict[int, Channel] = {}
+        #: Last most-degraded id sent upstream per (input port, vnet).
+        self._last_md_sent: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Phase 0: deliveries (links, credits, control, Down_Up)
+    # ------------------------------------------------------------------
+    def phase_deliver(self, cycle: int) -> None:
+        """Apply everything whose link latency elapsed this cycle."""
+        for port in self.input_ports:
+            wiring = self.inputs[port]
+            unit = wiring.unit
+            for command, vc in wiring.control_channel.pop_ready(cycle):
+                unit.apply_command(command, vc)
+            unit.tick_power()
+            for vc, flit in wiring.data_channel.pop_ready(cycle):
+                unit.receive_flit(vc, flit, cycle)
+                if flit.is_head:
+                    outport = unit.vcs[vc].outport
+                    self.va_pending[outport][flit.vnet] += 1
+        for port in self.output_ports:
+            wiring = self.outputs[port]
+            for vc in wiring.credit_channel.pop_ready(cycle):
+                wiring.upstream.on_credit(vc)
+            for vc in wiring.down_up_channel.pop_ready(cycle):
+                wiring.upstream.set_most_degraded(vc)
+
+    # ------------------------------------------------------------------
+    # Phase 1: pre-VA recovery policies
+    # ------------------------------------------------------------------
+    def phase_policy(self, cycle: int) -> None:
+        """Run the recovery policies of every output port (one per vnet)."""
+        for port in self.output_ports:
+            upstream = self.outputs[port].upstream
+            pending = self.va_pending[port]
+            for vnet in range(self.num_vnets):
+                upstream.set_new_traffic(pending[vnet] > 0, vnet)
+            upstream.run_policy(cycle)
+
+    # ------------------------------------------------------------------
+    # Phase 2: VC allocation
+    # ------------------------------------------------------------------
+    def phase_va(self, cycle: int) -> None:
+        """Grant at most one downstream VC per (output port, vnet) per
+        cycle, restricted to the requester's own virtual network."""
+        width = self.total_vcs
+        for port in self.output_ports:
+            pending = self.va_pending[port]
+            upstream = self.outputs[port].upstream
+            for vnet in range(self.num_vnets):
+                if pending[vnet] <= 0:
+                    continue
+                if not upstream.has_allocatable(cycle, vnet):
+                    continue
+                requests = [False] * (len(self.input_ports) * width)
+                requesters: Dict[int, Tuple[int, int]] = {}
+                for in_idx, in_port in enumerate(self.input_ports):
+                    for vc, ivc in enumerate(self.inputs[in_port].unit.vcs):
+                        if (
+                            ivc.wants_va
+                            and ivc.outport == port
+                            and ivc.vnet == vnet
+                            and not ivc.buffer.is_empty
+                            # BW+RC is stage 1: the head may request VA
+                            # the cycle *after* it was written.
+                            and ivc.buffer.front().arrived_cycle < cycle
+                        ):
+                            flat = in_idx * width + vc
+                            requests[flat] = True
+                            requesters[flat] = (in_port, vc)
+                granted = self._va_arbiters[(port, vnet)].grant(requests)
+                if granted is None:
+                    continue
+                in_port, vc = requesters[granted]
+                ivc = self.inputs[in_port].unit.vcs[vc]
+                out_vc = upstream.allocate_vc(cycle, packet_id=ivc.packet_id, vnet=vnet)
+                if out_vc is None:
+                    continue
+                ivc.out_vc = out_vc
+                ivc.sa_ready_at = cycle + 1
+                pending[vnet] -= 1
+
+    # ------------------------------------------------------------------
+    # Phase 3: switch allocation + switch/link traversal
+    # ------------------------------------------------------------------
+    def phase_sa_st(self, cycle: int) -> None:
+        """Move at most one flit per input port and per output port."""
+        # Stage 1: each input port nominates one eligible VC.  Ports with
+        # no resident packet are skipped outright.
+        nominations: Dict[int, Tuple[int, int]] = {}  # in_port -> (vc, out_port)
+        targeted = set()
+        for in_port in self.input_ports:
+            unit = self.inputs[in_port].unit
+            if unit.busy_count == 0:
+                continue
+            requests = [self._sa_eligible(ivc, cycle) for ivc in unit.vcs]
+            if True not in requests:
+                continue
+            vc = self._sa_input_arbiters[in_port].grant(requests)
+            if vc is not None:
+                out_port = unit.vcs[vc].outport
+                nominations[in_port] = (vc, out_port)
+                targeted.add(out_port)
+        # Stage 2: each targeted output port accepts one nomination.
+        for out_port in sorted(targeted):
+            candidates = [
+                p in nominations and nominations[p][1] == out_port
+                for p in self.input_ports
+            ]
+            winner_idx = self._sa_output_arbiters[out_port].grant(candidates)
+            if winner_idx is None:
+                continue
+            in_port = self.input_ports[winner_idx]
+            vc, _ = nominations[in_port]
+            unit = self.inputs[in_port].unit
+            out_vc = unit.vcs[vc].out_vc
+            flit = unit.pop_flit(vc, cycle)
+            flit.hops += 1
+            self.outputs[out_port].upstream.send_flit(out_vc, flit, cycle)
+            self.flits_routed += 1
+
+    def _sa_eligible(self, ivc, cycle: int) -> bool:
+        """Whether an input VC may compete for the switch this cycle."""
+        if ivc.out_vc is None or ivc.sa_ready_at > cycle:
+            return False
+        front = ivc.buffer.front()
+        if front is None or front.arrived_cycle >= cycle:
+            return False
+        return self.outputs[ivc.outport].upstream.can_send(ivc.out_vc)
+
+    # ------------------------------------------------------------------
+    # Phase 4: NBTI aging + sensor sampling
+    # ------------------------------------------------------------------
+    def phase_nbti(self, cycle: int) -> None:
+        """Age buffers and refresh the Down_Up most-degraded reports.
+
+        One most-degraded id is maintained per (input port, vnet) —
+        the comparator reduces each vnet's sensor slice independently.
+        The Down_Up wires always carry a value; re-sending only changes
+        (plus the initial latch done at build time) is an exact, cheaper
+        equivalent.
+        """
+        n_vcs = self.num_vcs
+        for port in self.input_ports:
+            unit = self.inputs[port].unit
+            unit.nbti_tick()
+            bank = unit.sensor_bank
+            if bank is None:
+                continue
+            bank.sample(cycle)
+            readings = bank.readings
+            for vnet in range(self.num_vnets):
+                start = vnet * n_vcs
+                slice_readings = readings[start:start + n_vcs]
+                local_md = max(
+                    range(n_vcs), key=lambda i: (slice_readings[i], -i)
+                )
+                current = start + local_md
+                key = (port, vnet)
+                if self._last_md_sent.get(key) != current:
+                    self._last_md_sent[key] = current
+                    self._down_up_send(port, current, cycle)
+
+    def _down_up_send(self, port: int, vc: int, cycle: int) -> None:
+        channel = self.down_up_channels.get(port)
+        if channel is not None:
+            channel.send(vc, cycle)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def duty_cycles(self, port: int) -> List[float]:
+        """NBTI-duty-cycles (percent) of the VCs on input port ``port``."""
+        return self.inputs[port].unit.duty_cycles()
+
+    def occupancy(self) -> int:
+        """Total flits buffered in this router."""
+        return sum(self.inputs[p].unit.occupancy() for p in self.input_ports)
+
+    def __repr__(self) -> str:
+        ports = ",".join(port_name(p) for p in self.input_ports)
+        return f"Router(id={self.router_id}, ports=[{ports}])"

@@ -1,0 +1,146 @@
+"""Routing algorithms: XY dimension-order (the paper's), YX and ring.
+
+A routing algorithm maps ``(current router, destination node)`` to an
+output port.  XY on a mesh is minimal and deadlock-free under wormhole
+switching with per-packet VC holding, which is what the simulator
+implements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.noc.topology import (
+    EAST,
+    LOCAL,
+    Mesh2D,
+    NORTH,
+    Ring,
+    SOUTH,
+    Topology,
+    WEST,
+)
+
+
+class RoutingAlgorithm:
+    """Base class: stateless per-hop route computation."""
+
+    name = "abstract"
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    def route(self, router: int, dst: int) -> int:
+        """Output port to take at ``router`` toward node ``dst``.
+
+        Returns :data:`~repro.noc.topology.LOCAL` when the packet has
+        arrived.
+        """
+        raise NotImplementedError
+
+
+class _DimensionOrder(RoutingAlgorithm):
+    """Shared logic of XY and YX dimension-order routing on a mesh."""
+
+    #: Which coordinate to exhaust first: 0 = x, 1 = y.
+    first_axis = 0
+
+    def __init__(self, topology: Topology) -> None:
+        if not isinstance(topology, Mesh2D):
+            raise TypeError(
+                f"{type(self).__name__} requires a Mesh2D/Torus2D topology, "
+                f"got {type(topology).__name__}"
+            )
+        super().__init__(topology)
+        self._cache: Dict[Tuple[int, int], int] = {}
+
+    def route(self, router: int, dst: int) -> int:
+        key = (router, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        port = self._compute(router, dst)
+        self._cache[key] = port
+        return port
+
+    def _compute(self, router: int, dst: int) -> int:
+        topo = self.topology
+        cx, cy = topo.coordinates(router)
+        dx, dy = topo.coordinates(dst)
+        if (cx, cy) == (dx, dy):
+            return LOCAL
+        steps = self._axis_steps(cx, cy, dx, dy)
+        return steps[0]
+
+    def _axis_steps(self, cx: int, cy: int, dx: int, dy: int):
+        x_port = EAST if dx > cx else WEST
+        y_port = SOUTH if dy > cy else NORTH
+        out = []
+        if self.first_axis == 0:
+            if dx != cx:
+                out.append(x_port)
+            if dy != cy:
+                out.append(y_port)
+        else:
+            if dy != cy:
+                out.append(y_port)
+            if dx != cx:
+                out.append(x_port)
+        return out
+
+
+class XYRouting(_DimensionOrder):
+    """Classic XY: exhaust the x offset, then the y offset."""
+
+    name = "xy"
+    first_axis = 0
+
+
+class YXRouting(_DimensionOrder):
+    """YX: exhaust the y offset first (also deadlock-free on a mesh)."""
+
+    name = "yx"
+    first_axis = 1
+
+
+class RingRouting(RoutingAlgorithm):
+    """Shortest-direction routing on a bidirectional ring.
+
+    Ties (exactly half-way around an even ring) go EAST so that routing
+    stays deterministic.
+    """
+
+    name = "ring"
+
+    def __init__(self, topology: Topology) -> None:
+        if not isinstance(topology, Ring):
+            raise TypeError(
+                f"RingRouting requires a Ring topology, got {type(topology).__name__}"
+            )
+        super().__init__(topology)
+
+    def route(self, router: int, dst: int) -> int:
+        n = self.topology.num_nodes
+        self.topology.validate_node(router)
+        self.topology.validate_node(dst)
+        if router == dst:
+            return LOCAL
+        forward = (dst - router) % n
+        return EAST if forward <= n - forward else WEST
+
+
+def build_routing(name: str, topology: Topology) -> RoutingAlgorithm:
+    """Instantiate a routing algorithm by name for a topology.
+
+    ``"auto"`` picks XY for meshes/tori and shortest-path for rings.
+    """
+    lowered = name.lower()
+    if lowered == "auto":
+        lowered = "ring" if isinstance(topology, Ring) else "xy"
+    algorithms = {"xy": XYRouting, "yx": YXRouting, "ring": RingRouting}
+    try:
+        cls = algorithms[lowered]
+    except KeyError:
+        known = ", ".join(sorted(algorithms) + ["auto"])
+        raise ValueError(f"unknown routing {name!r}; known: {known}") from None
+    return cls(topology)

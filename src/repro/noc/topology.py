@@ -1,0 +1,277 @@
+"""Network topologies: 2D mesh (the paper's), ring and 2D torus.
+
+A topology enumerates routers, the directed links between their ports and
+the coordinate helpers that routing algorithms need.  One network
+interface (NI) is attached to every router's LOCAL port, and node ids
+coincide with router ids.
+
+Port numbering is uniform across topologies::
+
+    LOCAL = 0, NORTH = 1, SOUTH = 2, EAST = 3, WEST = 4
+
+(The ring only uses EAST/WEST.)  The paper's measurements reference ports
+by compass name — e.g. *"the east input port of the upper left-most
+router"* — so router (0, 0) is the top-left corner and y grows southward.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+# Uniform port ids.
+LOCAL, NORTH, SOUTH, EAST, WEST = 0, 1, 2, 3, 4
+
+#: Human-readable names for diagnostics and experiment tables.
+PORT_NAMES: Dict[int, str] = {
+    LOCAL: "local",
+    NORTH: "north",
+    SOUTH: "south",
+    EAST: "east",
+    WEST: "west",
+}
+
+#: Reverse mapping of :data:`PORT_NAMES`.
+PORT_IDS: Dict[str, int] = {name: pid for pid, name in PORT_NAMES.items()}
+
+
+def port_name(port: int) -> str:
+    """Compass name of a port id (e.g. ``3 -> "east"``)."""
+    return PORT_NAMES[port]
+
+
+def port_id(name: str) -> int:
+    """Port id of a compass name (case-insensitive, accepts ``"E"``)."""
+    lowered = name.lower()
+    aliases = {"l": "local", "n": "north", "s": "south", "e": "east", "w": "west"}
+    lowered = aliases.get(lowered, lowered)
+    try:
+        return PORT_IDS[lowered]
+    except KeyError:
+        raise KeyError(f"unknown port name {name!r}") from None
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkSpec:
+    """A directed router-to-router link: (src router, src out port) ->
+    (dst router, dst in port)."""
+
+    src_router: int
+    src_port: int
+    dst_router: int
+    dst_port: int
+
+
+class Topology:
+    """Base class: concrete topologies fill in geometry and links."""
+
+    #: Number of router/NI pairs.
+    num_nodes: int
+    #: Ports present on every router (LOCAL always included).
+    ports: Tuple[int, ...]
+
+    def links(self) -> List[LinkSpec]:
+        """All directed router-to-router links."""
+        raise NotImplementedError
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """(x, y) grid coordinates of a node (rings use (i, 0))."""
+        raise NotImplementedError
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at grid coordinates (inverse of :meth:`coordinates`)."""
+        raise NotImplementedError
+
+    def neighbor(self, node: int, port: int) -> int:
+        """Node reached by leaving ``node`` through ``port``.
+
+        Raises
+        ------
+        ValueError
+            If the port does not lead anywhere from this node.
+        """
+        for link in self.links():
+            if link.src_router == node and link.src_port == port:
+                return link.dst_router
+        raise ValueError(f"node {node} has no neighbor through port {port_name(port)}")
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes."""
+        raise NotImplementedError
+
+    def validate_node(self, node: int) -> None:
+        """Raise ``ValueError`` for out-of-range node ids."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+
+
+class Mesh2D(Topology):
+    """A ``width x height`` 2D mesh (the paper's Tilera-iMesh-style fabric).
+
+    Node ids grow left-to-right, top-to-bottom: node = ``y * width + x``.
+    Corner and edge routers simply lack the links that would leave the
+    grid.
+
+    >>> mesh = Mesh2D(2, 2)
+    >>> mesh.num_nodes
+    4
+    >>> mesh.neighbor(0, EAST)
+    1
+    """
+
+    ports = (LOCAL, NORTH, SOUTH, EAST, WEST)
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError(f"mesh dimensions must be >= 1, got {width}x{height}")
+        if width * height < 2:
+            raise ValueError("a network needs at least 2 nodes")
+        self.width = width
+        self.height = height
+        self.num_nodes = width * height
+        self._links = self._build_links()
+
+    def _build_links(self) -> List[LinkSpec]:
+        links: List[LinkSpec] = []
+        for y in range(self.height):
+            for x in range(self.width):
+                node = self.node_at(x, y)
+                if x + 1 < self.width:
+                    east = self.node_at(x + 1, y)
+                    links.append(LinkSpec(node, EAST, east, WEST))
+                    links.append(LinkSpec(east, WEST, node, EAST))
+                if y + 1 < self.height:
+                    south = self.node_at(x, y + 1)
+                    links.append(LinkSpec(node, SOUTH, south, NORTH))
+                    links.append(LinkSpec(south, NORTH, node, SOUTH))
+        return links
+
+    def links(self) -> List[LinkSpec]:
+        return list(self._links)
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        self.validate_node(node)
+        return (node % self.width, node // self.width)
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinates ({x}, {y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def __repr__(self) -> str:
+        return f"Mesh2D({self.width}x{self.height})"
+
+
+class Torus2D(Mesh2D):
+    """A 2D torus: a mesh with wrap-around links.
+
+    Note that plain XY routing on a torus is **not** deadlock-free without
+    extra escape VCs; the torus is provided for topology-exploration
+    extensions and its tests use it below saturation only.
+    """
+
+    def _build_links(self) -> List[LinkSpec]:
+        links = super()._build_links()
+        if self.width > 2:
+            for y in range(self.height):
+                west_edge = self.node_at(0, y)
+                east_edge = self.node_at(self.width - 1, y)
+                links.append(LinkSpec(east_edge, EAST, west_edge, WEST))
+                links.append(LinkSpec(west_edge, WEST, east_edge, EAST))
+        if self.height > 2:
+            for x in range(self.width):
+                north_edge = self.node_at(x, 0)
+                south_edge = self.node_at(x, self.height - 1)
+                links.append(LinkSpec(south_edge, SOUTH, north_edge, NORTH))
+                links.append(LinkSpec(north_edge, NORTH, south_edge, SOUTH))
+        return links
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        ddx = abs(sx - dx)
+        ddy = abs(sy - dy)
+        if self.width > 2:
+            ddx = min(ddx, self.width - ddx)
+        if self.height > 2:
+            ddy = min(ddy, self.height - ddy)
+        return ddx + ddy
+
+    def __repr__(self) -> str:
+        return f"Torus2D({self.width}x{self.height})"
+
+
+class Ring(Topology):
+    """A bidirectional ring of ``n`` nodes using the EAST/WEST ports."""
+
+    ports = (LOCAL, EAST, WEST)
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ValueError(f"a ring needs >= 2 nodes, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self._links = self._build_links()
+
+    def _build_links(self) -> List[LinkSpec]:
+        links: List[LinkSpec] = []
+        n = self.num_nodes
+        for node in range(n):
+            east = (node + 1) % n
+            links.append(LinkSpec(node, EAST, east, WEST))
+            links.append(LinkSpec(east, WEST, node, EAST))
+        return links
+
+    def links(self) -> List[LinkSpec]:
+        return list(self._links)
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        self.validate_node(node)
+        return (node, 0)
+
+    def node_at(self, x: int, y: int) -> int:
+        if y != 0:
+            raise ValueError("ring coordinates have y == 0")
+        self.validate_node(x)
+        return x
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        self.validate_node(src)
+        self.validate_node(dst)
+        forward = (dst - src) % self.num_nodes
+        return min(forward, self.num_nodes - forward)
+
+    def __repr__(self) -> str:
+        return f"Ring({self.num_nodes})"
+
+
+def build_topology(name: str, num_nodes: int) -> Topology:
+    """Build a topology by name for a node count.
+
+    ``"mesh"`` requires a perfect-square or rectangular count and chooses
+    the squarest factorization (the paper uses 2x2 and 4x4).
+    """
+    lowered = name.lower()
+    if lowered == "ring":
+        return Ring(num_nodes)
+    if lowered in ("mesh", "torus"):
+        width = _squarest_width(num_nodes)
+        height = num_nodes // width
+        cls = Mesh2D if lowered == "mesh" else Torus2D
+        return cls(width, height)
+    raise ValueError(f"unknown topology {name!r} (expected mesh, torus or ring)")
+
+
+def _squarest_width(num_nodes: int) -> int:
+    """Largest divisor of ``num_nodes`` not exceeding its square root."""
+    best = 1
+    d = 1
+    while d * d <= num_nodes:
+        if num_nodes % d == 0:
+            best = d
+        d += 1
+    return num_nodes // best if num_nodes // best >= best else best

@@ -1,0 +1,141 @@
+"""On-demand structural validation of a live network.
+
+The simulator's data structures enforce many invariants inline (credit
+under/overflow, buffer overflow, push-into-gated, packet mixing raise
+immediately).  :func:`validate_network` sweeps the *cross-cutting*
+invariants that no single operation can check — upstream/downstream
+state agreement, conservation, wormhole consistency — and returns a
+list of violation descriptions (empty = healthy).
+
+Intended uses: debugging new policies/topologies
+(``Network.run(..., validate_every=N)``), and the test suite's fuzzing
+harness.  A full sweep is O(network size), so per-cycle validation is
+for small repros only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.noc.buffer import PowerState
+from repro.noc.policy_api import OutVCState
+from repro.noc.topology import LOCAL, port_name
+
+
+def validate_network(network) -> List[str]:
+    """Sweep all cross-cutting invariants; return violation strings."""
+    violations: List[str] = []
+    violations.extend(_validate_buffers(network))
+    violations.extend(_validate_credit_bounds(network))
+    violations.extend(_validate_power_agreement(network))
+    violations.extend(_validate_wormhole_state(network))
+    violations.extend(_validate_conservation(network))
+    return violations
+
+
+def _validate_buffers(network) -> List[str]:
+    out = []
+    for router in network.routers:
+        for port in router.input_ports:
+            for vc, ivc in enumerate(router.inputs[port].unit.vcs):
+                where = f"router {router.router_id} {port_name(port)} VC{vc}"
+                if len(ivc.buffer) > ivc.buffer.capacity:
+                    out.append(f"{where}: occupancy beyond capacity")
+                if ivc.buffer.state is PowerState.GATED:
+                    if not ivc.buffer.is_empty:
+                        out.append(f"{where}: gated buffer holds flits")
+                    if ivc.busy:
+                        out.append(f"{where}: gated buffer owns a packet")
+                if ivc.busy and ivc.outport is None:
+                    out.append(f"{where}: resident packet without a route")
+    return out
+
+
+def _validate_credit_bounds(network) -> List[str]:
+    out = []
+    for router in network.routers:
+        for port in router.output_ports:
+            upstream = router.outputs[port].upstream
+            for vc, entry in enumerate(upstream.entries):
+                if not 0 <= entry.credits <= entry.max_credits:
+                    out.append(
+                        f"router {router.router_id} out {port_name(port)} "
+                        f"VC{vc}: credits {entry.credits} outside "
+                        f"[0, {entry.max_credits}]"
+                    )
+    return out
+
+
+def _upstream_of(network, node, port):
+    """The upstream port driving a router's input port."""
+    if port == LOCAL:
+        return network.interfaces[node].injection_port
+    from repro.noc.network import neighbor_of_inverse
+
+    up_node, up_port = neighbor_of_inverse(network.topology, node, port)
+    return network.routers[up_node].outputs[up_port].upstream
+
+
+def _validate_power_agreement(network) -> List[str]:
+    """The upstream's power view must agree with the downstream buffers
+    (modulo commands still in flight on the Up_Down channel)."""
+    out = []
+    for router in network.routers:
+        for port in router.input_ports:
+            upstream = _upstream_of(network, router.router_id, port)
+            in_flight = router.inputs[port].control_channel.in_flight
+            if in_flight:
+                continue  # commands pending: views may legally differ
+            for vc, ivc in enumerate(router.inputs[port].unit.vcs):
+                gated_down = ivc.buffer.state is PowerState.GATED
+                gated_up = upstream.entries[vc].gated
+                if gated_up != gated_down and ivc.buffer.state is not PowerState.WAKING:
+                    out.append(
+                        f"router {router.router_id} {port_name(port)} VC{vc}: "
+                        f"upstream gated={gated_up} but buffer is "
+                        f"{ivc.buffer.state.value}"
+                    )
+    return out
+
+
+def _validate_wormhole_state(network) -> List[str]:
+    """Flits inside a buffer must all belong to the resident packet, in
+    seq order, and ACTIVE out-VC entries must map to a real packet."""
+    out = []
+    for router in network.routers:
+        for port in router.input_ports:
+            for vc, ivc in enumerate(router.inputs[port].unit.vcs):
+                where = f"router {router.router_id} {port_name(port)} VC{vc}"
+                flits = list(ivc.buffer._flits)
+                if flits and not ivc.busy:
+                    out.append(f"{where}: flits buffered but VC not busy")
+                pids = {f.packet_id for f in flits}
+                if len(pids) > 1:
+                    out.append(f"{where}: packet mixing {sorted(pids)}")
+                seqs = [f.seq for f in flits]
+                if seqs != sorted(seqs):
+                    out.append(f"{where}: flits out of order {seqs}")
+        for port in router.output_ports:
+            upstream = router.outputs[port].upstream
+            for vc, entry in enumerate(upstream.entries):
+                if entry.state is OutVCState.ACTIVE and entry.gated:
+                    out.append(
+                        f"router {router.router_id} out {port_name(port)} "
+                        f"VC{vc}: ACTIVE entry is gated"
+                    )
+    return out
+
+
+def _validate_conservation(network) -> List[str]:
+    """Injected flits = ejected + in flight (counted everywhere)."""
+    injected = sum(ni.flits_injected for ni in network.interfaces)
+    ejected = sum(ni.flits_ejected for ni in network.interfaces)
+    in_flight = network.in_flight_flits()
+    pending = sum(ni.pending_flits for ni in network.interfaces)
+    # in_flight_flits() includes NI pending queues.
+    if injected + pending != ejected + in_flight:
+        return [
+            f"conservation violated: injected={injected} pending={pending} "
+            f"ejected={ejected} in_flight={in_flight}"
+        ]
+    return []

@@ -1,0 +1,5 @@
+"""Statistics helpers: streaming moments for multi-iteration tables."""
+
+from repro.stats.summary import RunningStats, VectorStats, mean, std
+
+__all__ = ["RunningStats", "VectorStats", "mean", "std"]

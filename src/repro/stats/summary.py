@@ -1,0 +1,118 @@
+"""Streaming statistics helpers for multi-iteration experiments.
+
+Table IV of the paper reports the average and standard deviation of each
+VC's NBTI-duty-cycle over 10 benchmark-mix iterations;
+:class:`RunningStats` implements numerically stable (Welford) streaming
+moments, and :class:`VectorStats` aggregates a fixed-length vector of
+them (one per VC).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+class RunningStats:
+    """Welford's online mean/variance accumulator.
+
+    >>> rs = RunningStats()
+    >>> for x in (2.0, 4.0, 6.0):
+    ...     rs.add(x)
+    >>> rs.mean
+    4.0
+    >>> round(rs.std, 6)
+    1.632993
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the moments."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations."""
+        for v in values:
+            self.add(v)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (the paper's std is over the full set of
+        iterations, not an unbiased estimate)."""
+        if self.count == 0:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        return f"RunningStats(n={self.count}, mean={self.mean:.3f}, std={self.std:.3f})"
+
+
+class VectorStats:
+    """Per-component :class:`RunningStats` for fixed-length vectors."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+        self.components: List[RunningStats] = [RunningStats() for _ in range(size)]
+
+    def add(self, vector: Sequence[float]) -> None:
+        """Fold one vector observation (length must match)."""
+        if len(vector) != self.size:
+            raise ValueError(f"expected vector of length {self.size}, got {len(vector)}")
+        for stats, value in zip(self.components, vector):
+            stats.add(value)
+
+    @property
+    def count(self) -> int:
+        """Number of vectors folded so far."""
+        return self.components[0].count
+
+    def means(self) -> List[float]:
+        """Per-component means."""
+        return [c.mean for c in self.components]
+
+    def stds(self) -> List[float]:
+        """Per-component population standard deviations."""
+        return [c.std for c in self.components]
+
+    def __repr__(self) -> str:
+        return f"VectorStats(size={self.size}, n={self.count})"
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def std(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for fewer than 2 values)."""
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / len(values))

@@ -1,0 +1,42 @@
+"""Traffic generation: synthetic patterns, benchmark profiles, traces."""
+
+from repro.traffic.base import (
+    CompositeTraffic,
+    Injection,
+    NullTraffic,
+    TrafficGenerator,
+    grid_shape,
+)
+from repro.traffic.benchmarks import (
+    ALL_PROFILES,
+    SPLASH2_PROFILES,
+    WCET_PROFILES,
+    BenchmarkProfile,
+    get_profile,
+    random_mix,
+)
+from repro.traffic.real import BenchmarkTraffic
+from repro.traffic.synthetic import PATTERNS, HotspotTraffic, SyntheticTraffic
+from repro.traffic.trace import TraceRecorder, TraceTraffic, load_trace, save_trace
+
+__all__ = [
+    "CompositeTraffic",
+    "Injection",
+    "NullTraffic",
+    "TrafficGenerator",
+    "grid_shape",
+    "ALL_PROFILES",
+    "SPLASH2_PROFILES",
+    "WCET_PROFILES",
+    "BenchmarkProfile",
+    "get_profile",
+    "random_mix",
+    "BenchmarkTraffic",
+    "PATTERNS",
+    "HotspotTraffic",
+    "SyntheticTraffic",
+    "TraceRecorder",
+    "TraceTraffic",
+    "load_trace",
+    "save_trace",
+]

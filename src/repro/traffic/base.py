@@ -1,0 +1,103 @@
+"""Traffic-generator interface consumed by the network stepper.
+
+A traffic generator is asked once per cycle for the packets created that
+cycle, as ``(src, dst, length)`` triples (``length=None`` means "use the
+configured default packet length").  Generators must be deterministic
+given their seed so that scenarios are exactly reproducible across
+policies — the paper compares policies on identical traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+#: One packet to create this cycle: ``(src, dst, length)`` with
+#: ``length=None`` meaning "use the configured default", optionally
+#: extended to ``(src, dst, length, vnet)`` on multi-vnet platforms
+#: (plain 3-tuples target vnet 0).
+Injection = Tuple[int, ...]
+
+
+class TrafficGenerator:
+    """Base class: subclasses implement :meth:`inject`."""
+
+    #: Short name used in tables and configs.
+    name: str = "abstract"
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ValueError(f"traffic needs >= 2 nodes, got {num_nodes}")
+        self.num_nodes = num_nodes
+
+    def inject(self, cycle: int) -> List[Injection]:
+        """Packets created at ``cycle`` (possibly empty)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description for experiment reports."""
+        return self.name
+
+
+def grid_shape(num_nodes: int) -> Tuple[int, int]:
+    """(width, height) of the squarest grid factorization of a node count.
+
+    Matches :func:`repro.noc.topology.build_topology`'s mesh shape so
+    that coordinate-based patterns (transpose, tornado...) line up with
+    the simulated topology.
+
+    >>> grid_shape(16)
+    (4, 4)
+    >>> grid_shape(8)
+    (4, 2)
+    """
+    best = 1
+    d = 1
+    while d * d <= num_nodes:
+        if num_nodes % d == 0:
+            best = d
+        d += 1
+    height = best
+    width = num_nodes // best
+    return (width, height)
+
+
+def validate_rate(rate: float, name: str = "injection_rate") -> float:
+    """Validate a per-node-per-cycle packet/flit rate in [0, 1]."""
+    if not 0.0 <= rate <= 1.0 or math.isnan(rate):
+        raise ValueError(f"{name} must be in [0, 1], got {rate}")
+    return rate
+
+
+class CompositeTraffic(TrafficGenerator):
+    """Superposition of several generators over the same node set."""
+
+    name = "composite"
+
+    def __init__(self, generators: Iterable[TrafficGenerator]) -> None:
+        generators = list(generators)
+        if not generators:
+            raise ValueError("composite traffic needs at least one generator")
+        nodes = {g.num_nodes for g in generators}
+        if len(nodes) != 1:
+            raise ValueError(f"generators disagree on num_nodes: {sorted(nodes)}")
+        super().__init__(generators[0].num_nodes)
+        self.generators = generators
+
+    def inject(self, cycle: int) -> List[Injection]:
+        out: List[Injection] = []
+        for gen in self.generators:
+            out.extend(gen.inject(cycle))
+        return out
+
+    def describe(self) -> str:
+        return " + ".join(g.describe() for g in self.generators)
+
+
+class NullTraffic(TrafficGenerator):
+    """A silent network (useful for gating/recovery unit tests)."""
+
+    name = "null"
+
+    def inject(self, cycle: int) -> List[Injection]:
+        return []

@@ -1,0 +1,158 @@
+"""Benchmark traffic profiles standing in for the paper's real traffic.
+
+The paper drives its "real traffic" evaluation (Table IV) with SPLASH2
+and WCET benchmarks running on GEM5 Alpha cores under a MOESI protocol.
+Full-system simulation is not reproducible here (no GEM5, no Alpha
+binaries), so each benchmark is replaced by a **traffic profile**: a
+Markov-modulated on/off request/response workload whose parameters
+capture the three statistics that actually drive per-VC NBTI duty
+cycles —
+
+* *offered load* (how often the tile talks),
+* *burstiness* (how the load clusters in time), and
+* *spatial shape* (locality vs. distributed L2-bank access vs. hot
+  banks, plus MOESI-style data responses).
+
+The numbers below are qualitative characterizations of the well-known
+behaviour of each benchmark (e.g. OCEAN and FFT are memory-bound and
+bursty, WATER is compute-bound and quiet, WCET kernels are tiny periodic
+loops) — see DESIGN.md §3 for why this substitution preserves the
+paper's Table IV observations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkProfile:
+    """Markov-modulated on/off traffic profile of one benchmark.
+
+    Attributes
+    ----------
+    name, suite:
+        Benchmark identifier and its suite (``"splash2"`` or ``"wcet"``).
+    on_rate:
+        Offered load in flits/cycle while the burst (ON) state lasts.
+    burst_mean, idle_mean:
+        Geometric mean lengths (cycles) of the ON and OFF periods.
+    locality_fraction:
+        Probability a request goes to a mesh neighbor (producer/consumer
+        sharing).
+    hotspot_fraction:
+        Probability a request goes to one of a few hot L2 banks.
+    reply_probability:
+        Probability a request triggers a MOESI-style data response from
+        the destination back to the requester.
+    request_length, response_length:
+        Flits per control request and per data response.
+    """
+
+    name: str
+    suite: str
+    on_rate: float
+    burst_mean: float
+    idle_mean: float
+    locality_fraction: float = 0.2
+    hotspot_fraction: float = 0.2
+    reply_probability: float = 0.7
+    request_length: int = 1
+    response_length: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.on_rate <= 1.0:
+            raise ValueError(f"on_rate must be in (0, 1], got {self.on_rate}")
+        if self.burst_mean < 1.0 or self.idle_mean < 1.0:
+            raise ValueError("burst_mean and idle_mean must be >= 1 cycle")
+        if not 0.0 <= self.locality_fraction + self.hotspot_fraction <= 1.0:
+            raise ValueError("locality + hotspot fractions must stay within [0, 1]")
+        if not 0.0 <= self.reply_probability <= 1.0:
+            raise ValueError(f"reply_probability must be in [0, 1], got {self.reply_probability}")
+        if self.request_length < 1 or self.response_length < 1:
+            raise ValueError("packet lengths must be >= 1 flit")
+
+    @property
+    def duty(self) -> float:
+        """Fraction of time the profile is in its ON state."""
+        return self.burst_mean / (self.burst_mean + self.idle_mean)
+
+    @property
+    def average_rate(self) -> float:
+        """Long-run offered load in flits/cycle/node."""
+        return self.on_rate * self.duty
+
+
+def _p(name, suite, on_rate, burst, idle, loc=0.2, hot=0.2, reply=0.7) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name, suite=suite, on_rate=on_rate,
+        burst_mean=burst, idle_mean=idle,
+        locality_fraction=loc, hotspot_fraction=hot, reply_probability=reply,
+    )
+
+
+#: SPLASH2 profiles: scientific kernels, phase-structured, cache-miss
+#: driven bursts to distributed L2 banks.
+SPLASH2_PROFILES: Dict[str, BenchmarkProfile] = {
+    p.name: p
+    for p in (
+        _p("barnes", "splash2", on_rate=0.20, burst=220, idle=600, loc=0.35, hot=0.10),
+        _p("fmm", "splash2", on_rate=0.17, burst=260, idle=700, loc=0.30, hot=0.10),
+        _p("ocean", "splash2", on_rate=0.50, burst=700, idle=350, loc=0.45, hot=0.15),
+        _p("radiosity", "splash2", on_rate=0.24, burst=300, idle=550, loc=0.20, hot=0.25),
+        _p("raytrace", "splash2", on_rate=0.27, burst=180, idle=400, loc=0.10, hot=0.30),
+        _p("water-nsq", "splash2", on_rate=0.13, burst=150, idle=900, loc=0.30, hot=0.10),
+        _p("water-sp", "splash2", on_rate=0.12, burst=150, idle=1000, loc=0.35, hot=0.10),
+        _p("lu", "splash2", on_rate=0.37, burst=500, idle=450, loc=0.40, hot=0.20),
+        _p("fft", "splash2", on_rate=0.55, burst=400, idle=280, loc=0.05, hot=0.20),
+        _p("radix", "splash2", on_rate=0.60, burst=450, idle=250, loc=0.05, hot=0.25),
+        _p("cholesky", "splash2", on_rate=0.34, burst=350, idle=420, loc=0.30, hot=0.20),
+        _p("volrend", "splash2", on_rate=0.20, burst=200, idle=600, loc=0.15, hot=0.30),
+    )
+}
+
+#: WCET (Mälardalen) profiles: tiny embedded kernels — low, periodic
+#: traffic dominated by instruction/data fetches from one home bank.
+WCET_PROFILES: Dict[str, BenchmarkProfile] = {
+    p.name: p
+    for p in (
+        _p("adpcm", "wcet", on_rate=0.08, burst=80, idle=800, loc=0.10, hot=0.60, reply=0.9),
+        _p("bsort", "wcet", on_rate=0.12, burst=120, idle=600, loc=0.10, hot=0.55, reply=0.9),
+        _p("crc", "wcet", on_rate=0.06, burst=60, idle=1000, loc=0.10, hot=0.60, reply=0.9),
+        _p("edn", "wcet", on_rate=0.09, burst=100, idle=750, loc=0.10, hot=0.55, reply=0.9),
+        _p("fir", "wcet", on_rate=0.08, burst=70, idle=850, loc=0.10, hot=0.60, reply=0.9),
+        _p("jfdctint", "wcet", on_rate=0.11, burst=110, idle=650, loc=0.10, hot=0.55, reply=0.9),
+        _p("matmult", "wcet", on_rate=0.15, burst=200, idle=550, loc=0.10, hot=0.50, reply=0.9),
+        _p("ndes", "wcet", on_rate=0.08, burst=90, idle=950, loc=0.10, hot=0.60, reply=0.9),
+        _p("nsichneu", "wcet", on_rate=0.09, burst=100, idle=800, loc=0.10, hot=0.55, reply=0.9),
+    )
+}
+
+#: Union of both suites (the paper randomly mixes across suites).
+ALL_PROFILES: Dict[str, BenchmarkProfile] = {**SPLASH2_PROFILES, **WCET_PROFILES}
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a profile by benchmark name."""
+    try:
+        return ALL_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_PROFILES))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def random_mix(num_cores: int, seed: int) -> List[BenchmarkProfile]:
+    """Randomly pick one benchmark per core (paper Sec. IV-C).
+
+    Deterministic for a fixed seed; draws from the union of SPLASH2 and
+    WCET with replacement, like the paper's per-iteration mixes.
+    """
+    import numpy as np
+
+    if num_cores < 1:
+        raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+    rng = np.random.default_rng(seed)
+    names = sorted(ALL_PROFILES)
+    picks = rng.integers(len(names), size=num_cores)
+    return [ALL_PROFILES[names[int(i)]] for i in picks]

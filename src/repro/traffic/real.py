@@ -1,0 +1,204 @@
+"""Benchmark-profile ("real") traffic: the GEM5/SPLASH2 substitution.
+
+:class:`BenchmarkTraffic` turns per-core :class:`BenchmarkProfile`\\ s
+into a deterministic packet stream:
+
+* each core alternates ON/OFF states with geometrically distributed
+  durations (Markov-modulated burstiness),
+* while ON, it issues requests whose destinations mix neighbor locality,
+  a few hot L2 banks and uniform bank interleaving, and
+* each request can trigger a MOESI-style data response from the
+  destination after a fixed L2 service delay.
+
+The per-flit offered load of a profile is preserved: the request packet
+rate is scaled so requests + responses together average the profile's
+``on_rate`` flits/cycle while bursting.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.traffic.base import Injection, TrafficGenerator, grid_shape
+from repro.traffic.benchmarks import BenchmarkProfile, random_mix
+
+#: Cycles an L2 bank takes to turn a request into a response.
+DEFAULT_SERVICE_DELAY = 20
+
+
+class _CoreState:
+    """Mutable per-core Markov state."""
+
+    __slots__ = ("profile", "rng", "on", "remaining", "request_rate")
+
+    def __init__(self, profile: BenchmarkProfile, seed: int) -> None:
+        self.profile = profile
+        self.rng = np.random.default_rng(seed)
+        self.on = False
+        self.remaining = 0
+        # Requests + expected responses must average on_rate flits/cycle.
+        flits_per_request = (
+            profile.request_length
+            + profile.reply_probability * profile.response_length
+        )
+        self.request_rate = min(1.0, profile.on_rate / flits_per_request)
+
+    def advance_state(self) -> None:
+        """Tick the ON/OFF Markov chain by one cycle."""
+        if self.remaining > 0:
+            self.remaining -= 1
+            return
+        if self.on:
+            self.on = False
+            self.remaining = int(self.rng.geometric(1.0 / self.profile.idle_mean))
+        else:
+            self.on = True
+            self.remaining = int(self.rng.geometric(1.0 / self.profile.burst_mean))
+
+
+class BenchmarkTraffic(TrafficGenerator):
+    """Deterministic request/response traffic from per-core profiles.
+
+    Parameters
+    ----------
+    profiles:
+        One :class:`BenchmarkProfile` per core (see
+        :func:`repro.traffic.benchmarks.random_mix`).
+    seed:
+        Master seed; each core derives an independent stream from it.
+    hot_banks:
+        Node ids of the hot L2 banks (defaults to the mesh corners).
+    service_delay:
+        Cycles between a request's injection and its response.
+    request_vnet, response_vnet:
+        Virtual networks carrying requests and responses.  MOESI-style
+        protocols put them on separate vnets to avoid protocol deadlock
+        (paper Table I); both default to vnet 0 for single-vnet
+        platforms.
+    """
+
+    name = "benchmark-mix"
+
+    def __init__(
+        self,
+        profiles: Sequence[BenchmarkProfile],
+        seed: int = 1,
+        hot_banks: Optional[Sequence[int]] = None,
+        service_delay: int = DEFAULT_SERVICE_DELAY,
+        request_vnet: int = 0,
+        response_vnet: int = 0,
+    ) -> None:
+        super().__init__(len(profiles))
+        if service_delay < 1:
+            raise ValueError(f"service_delay must be >= 1, got {service_delay}")
+        if request_vnet < 0 or response_vnet < 0:
+            raise ValueError("vnet ids must be non-negative")
+        self.request_vnet = request_vnet
+        self.response_vnet = response_vnet
+        self.profiles = list(profiles)
+        self.seed = seed
+        self.service_delay = service_delay
+        self.width, self.height = grid_shape(self.num_nodes)
+        if hot_banks is None:
+            hot_banks = sorted(
+                {0, self.width - 1, self.num_nodes - self.width, self.num_nodes - 1}
+            )
+        self.hot_banks = [b for b in hot_banks if 0 <= b < self.num_nodes]
+        if not self.hot_banks:
+            raise ValueError("hot_banks must contain at least one valid node")
+        self._cores = [
+            _CoreState(profile, seed * 1_000_003 + node)
+            for node, profile in enumerate(self.profiles)
+        ]
+        #: Pending responses: (due_cycle, order, src, dst, length).
+        self._responses: List[Tuple[int, int, int, int, int]] = []
+        self._response_seq = 0
+
+    @classmethod
+    def random(
+        cls,
+        num_cores: int,
+        mix_seed: int,
+        traffic_seed: Optional[int] = None,
+        **kwargs,
+    ) -> "BenchmarkTraffic":
+        """Build a random benchmark mix (one profile per core)."""
+        profiles = random_mix(num_cores, mix_seed)
+        return cls(profiles, seed=traffic_seed if traffic_seed is not None else mix_seed, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _pick_destination(self, src: int, core: _CoreState) -> int:
+        profile = core.profile
+        rng = core.rng
+        r = float(rng.random())
+        if r < profile.locality_fraction:
+            return self._neighbor_of(src, rng)
+        if r < profile.locality_fraction + profile.hotspot_fraction:
+            candidates = [b for b in self.hot_banks if b != src] or [
+                (src + 1) % self.num_nodes
+            ]
+            return int(candidates[int(rng.integers(len(candidates)))])
+        dst = int(rng.integers(self.num_nodes - 1))
+        return dst if dst < src else dst + 1
+
+    def _neighbor_of(self, src: int, rng: np.random.Generator) -> int:
+        x, y = src % self.width, src // self.width
+        options = []
+        if x + 1 < self.width:
+            options.append(src + 1)
+        if x > 0:
+            options.append(src - 1)
+        if y + 1 < self.height:
+            options.append(src + self.width)
+        if y > 0:
+            options.append(src - self.width)
+        if not options:
+            return (src + 1) % self.num_nodes
+        return int(options[int(rng.integers(len(options)))])
+
+    @property
+    def _single_vnet(self) -> bool:
+        return self.request_vnet == 0 and self.response_vnet == 0
+
+    def inject(self, cycle: int) -> List[Injection]:
+        out: List[Injection] = []
+        single = self._single_vnet
+        # Due MOESI responses first (they were requested service_delay ago).
+        while self._responses and self._responses[0][0] <= cycle:
+            _, _, src, dst, length = heapq.heappop(self._responses)
+            if single:
+                out.append((src, dst, length))
+            else:
+                out.append((src, dst, length, self.response_vnet))
+        for node, core in enumerate(self._cores):
+            core.advance_state()
+            if not core.on:
+                continue
+            if float(core.rng.random()) >= core.request_rate:
+                continue
+            profile = core.profile
+            dst = self._pick_destination(node, core)
+            if single:
+                out.append((node, dst, profile.request_length))
+            else:
+                out.append((node, dst, profile.request_length, self.request_vnet))
+            if float(core.rng.random()) < profile.reply_probability:
+                heapq.heappush(
+                    self._responses,
+                    (
+                        cycle + self.service_delay,
+                        self._response_seq,
+                        dst,
+                        node,
+                        profile.response_length,
+                    ),
+                )
+                self._response_seq += 1
+        return out
+
+    def describe(self) -> str:
+        names = ",".join(p.name for p in self.profiles)
+        return f"benchmark-mix([{names}], seed={self.seed})"

@@ -1,0 +1,240 @@
+"""Synthetic traffic patterns (uniform random and friends).
+
+The paper's synthetic evaluation (Tables II/III) uses **uniform** traffic
+at 0.1 / 0.2 / 0.3 *flits per cycle per port*.  Rates here are therefore
+specified in flits/cycle/node and converted to packet injections using
+the packet length; additional classic patterns (transpose, bit
+complement, tornado, neighbor, shuffle, hotspot) are provided for the
+topology/pattern extension studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.traffic.base import (
+    Injection,
+    TrafficGenerator,
+    grid_shape,
+    validate_rate,
+)
+
+#: A destination function: (src, rng) -> dst (may equal src; the caller
+#: skips self-addressed picks).
+DestinationFn = Callable[[int, np.random.Generator], int]
+
+
+class SyntheticTraffic(TrafficGenerator):
+    """Bernoulli packet injection with a configurable spatial pattern.
+
+    Parameters
+    ----------
+    pattern:
+        One of :data:`PATTERNS` (``"uniform"`` is the paper's).
+    num_nodes:
+        Tile count.
+    flit_rate:
+        Offered load in flits/cycle/node, as in the paper's tables.
+    packet_length:
+        Flits per packet; the per-cycle packet-injection probability is
+        ``flit_rate / packet_length``.
+    seed:
+        RNG seed (freeze per scenario for policy-to-policy comparisons).
+
+    Example
+    -------
+    >>> gen = SyntheticTraffic("uniform", num_nodes=4, flit_rate=0.4,
+    ...                        packet_length=4, seed=7)
+    >>> all(0 <= s < 4 and 0 <= d < 4 and s != d
+    ...     for c in range(200) for (s, d, _l) in gen.inject(c))
+    True
+    """
+
+    def __init__(
+        self,
+        pattern: str,
+        num_nodes: int,
+        flit_rate: float,
+        packet_length: int = 4,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(num_nodes)
+        if pattern not in PATTERNS:
+            known = ", ".join(sorted(PATTERNS))
+            raise ValueError(f"unknown pattern {pattern!r}; known: {known}")
+        if packet_length < 1:
+            raise ValueError(f"packet_length must be >= 1, got {packet_length}")
+        validate_rate(flit_rate, "flit_rate")
+        self.pattern = pattern
+        self.name = pattern
+        self.flit_rate = flit_rate
+        self.packet_length = packet_length
+        self.packet_rate = flit_rate / packet_length
+        if self.packet_rate > 1.0:
+            raise ValueError(
+                f"flit_rate {flit_rate} with packet_length {packet_length} "
+                f"implies more than one packet per cycle per node"
+            )
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._dest_fn = _build_destination_fn(pattern, num_nodes)
+
+    def inject(self, cycle: int) -> List[Injection]:
+        rng = self._rng
+        draws = rng.random(self.num_nodes)
+        out: List[Injection] = []
+        for src in np.nonzero(draws < self.packet_rate)[0]:
+            src = int(src)
+            dst = self._dest_fn(src, rng)
+            if dst == src:
+                continue  # pattern maps the node onto itself: no packet
+            out.append((src, dst, None))
+        return out
+
+    def describe(self) -> str:
+        return f"{self.pattern}(rate={self.flit_rate} flits/cyc/node)"
+
+
+class HotspotTraffic(SyntheticTraffic):
+    """Uniform traffic with a probability mass concentrated on hotspots.
+
+    Models memory-controller-style concentration: with probability
+    ``hotspot_fraction`` the destination is drawn from ``hotspots``,
+    otherwise uniformly from all other nodes.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        flit_rate: float,
+        hotspots: Sequence[int],
+        hotspot_fraction: float = 0.5,
+        packet_length: int = 4,
+        seed: int = 1,
+    ) -> None:
+        super().__init__("uniform", num_nodes, flit_rate, packet_length, seed)
+        hotspots = list(hotspots)
+        if not hotspots:
+            raise ValueError("hotspot traffic needs at least one hotspot node")
+        for h in hotspots:
+            if not 0 <= h < num_nodes:
+                raise ValueError(f"hotspot {h} out of range [0, {num_nodes})")
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError(f"hotspot_fraction must be in [0, 1], got {hotspot_fraction}")
+        self.pattern = "hotspot"
+        self.name = "hotspot"
+        self.hotspots = hotspots
+        self.hotspot_fraction = hotspot_fraction
+        uniform = self._dest_fn
+
+        def dest(src: int, rng: np.random.Generator) -> int:
+            if rng.random() < self.hotspot_fraction:
+                return int(self.hotspots[int(rng.integers(len(self.hotspots)))])
+            return uniform(src, rng)
+
+        self._dest_fn = dest
+
+    def describe(self) -> str:
+        return (
+            f"hotspot(rate={self.flit_rate}, nodes={self.hotspots}, "
+            f"fraction={self.hotspot_fraction})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Destination functions
+# ----------------------------------------------------------------------
+def _uniform(num_nodes: int) -> DestinationFn:
+    def dest(src: int, rng: np.random.Generator) -> int:
+        dst = int(rng.integers(num_nodes - 1))
+        return dst if dst < src else dst + 1  # uniform over nodes != src
+
+    return dest
+
+
+def _transpose(num_nodes: int) -> DestinationFn:
+    width, height = grid_shape(num_nodes)
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        x, y = src % width, src // width
+        # Matrix transpose needs a square grid; clamp into range otherwise.
+        tx, ty = y % width, x % height
+        return ty * width + tx
+
+    return dest
+
+
+def _bit_complement(num_nodes: int) -> DestinationFn:
+    mask = num_nodes - 1
+    if num_nodes & mask:
+        raise ValueError("bit_complement requires a power-of-two node count")
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        return (~src) & mask
+
+    return dest
+
+
+def _bit_reverse(num_nodes: int) -> DestinationFn:
+    if num_nodes & (num_nodes - 1):
+        raise ValueError("bit_reverse requires a power-of-two node count")
+    bits = num_nodes.bit_length() - 1
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        out = 0
+        for b in range(bits):
+            if src & (1 << b):
+                out |= 1 << (bits - 1 - b)
+        return out
+
+    return dest
+
+
+def _shuffle(num_nodes: int) -> DestinationFn:
+    if num_nodes & (num_nodes - 1):
+        raise ValueError("shuffle requires a power-of-two node count")
+    bits = num_nodes.bit_length() - 1
+    mask = num_nodes - 1
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        return ((src << 1) | (src >> (bits - 1))) & mask
+
+    return dest
+
+
+def _tornado(num_nodes: int) -> DestinationFn:
+    width, height = grid_shape(num_nodes)
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        x, y = src % width, src // width
+        return y * width + (x + width // 2) % width
+
+    return dest
+
+
+def _neighbor(num_nodes: int) -> DestinationFn:
+    width, height = grid_shape(num_nodes)
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        x, y = src % width, src // width
+        return y * width + (x + 1) % width
+
+    return dest
+
+
+#: Registered pattern builders.
+PATTERNS: Dict[str, Callable[[int], DestinationFn]] = {
+    "uniform": _uniform,
+    "transpose": _transpose,
+    "bit_complement": _bit_complement,
+    "bit_reverse": _bit_reverse,
+    "shuffle": _shuffle,
+    "tornado": _tornado,
+    "neighbor": _neighbor,
+}
+
+
+def _build_destination_fn(pattern: str, num_nodes: int) -> DestinationFn:
+    return PATTERNS[pattern](num_nodes)

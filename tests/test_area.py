@@ -1,0 +1,153 @@
+"""Tests for the area model and the Sec. III-D overhead report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.area.orion import (
+    RouterGeometry,
+    allocator_area_um2,
+    buffer_area_um2,
+    crossbar_area_um2,
+    link_area_um2,
+    router_area_um2,
+    tech_scale,
+)
+from repro.area.overhead import (
+    SENSOR_AREA_UM2,
+    compute_overhead_report,
+    down_up_wires,
+    up_down_wires,
+)
+from repro.nbti.constants import TECH_32NM, TECH_45NM
+
+
+class TestGeometry:
+    def test_paper_reference_defaults(self):
+        geom = RouterGeometry()
+        assert geom.num_ports == 4
+        assert geom.num_vcs == 4
+        assert geom.buffer_depth == 4
+        assert geom.flit_width_bits == 64
+        assert geom.buffer_bits == 4096
+        assert geom.sensor_count == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RouterGeometry(num_ports=1)
+        with pytest.raises(ValueError):
+            RouterGeometry(num_vcs=0)
+        with pytest.raises(ValueError):
+            RouterGeometry(buffer_depth=0)
+        with pytest.raises(ValueError):
+            RouterGeometry(flit_width_bits=0)
+
+
+class TestAreaComponents:
+    def test_areas_positive(self):
+        geom = RouterGeometry()
+        assert buffer_area_um2(geom) > 0
+        assert crossbar_area_um2(geom) > 0
+        assert allocator_area_um2(geom) > 0
+        assert router_area_um2(geom) > buffer_area_um2(geom)
+
+    def test_buffer_area_scales_with_vcs(self):
+        small = buffer_area_um2(RouterGeometry(num_vcs=2))
+        big = buffer_area_um2(RouterGeometry(num_vcs=4))
+        assert big == pytest.approx(2 * small)
+
+    def test_crossbar_quadratic_in_width(self):
+        narrow = crossbar_area_um2(RouterGeometry(flit_width_bits=32))
+        wide = crossbar_area_um2(RouterGeometry(flit_width_bits=64))
+        assert wide == pytest.approx(4 * narrow)
+
+    def test_tech_scaling(self):
+        assert tech_scale(TECH_45NM) == pytest.approx(1.0)
+        assert tech_scale(TECH_32NM) == pytest.approx((32 / 45) ** 2)
+        g45 = router_area_um2(RouterGeometry(tech=TECH_45NM))
+        g32 = router_area_um2(RouterGeometry(tech=TECH_32NM))
+        assert g32 < g45
+
+    def test_link_area(self):
+        data = link_area_um2(64, 1.0, global_wires=True)
+        control = link_area_um2(5, 1.0, global_wires=False)
+        assert control < data
+        with pytest.raises(ValueError):
+            link_area_um2(0)
+        with pytest.raises(ValueError):
+            link_area_um2(64, length_mm=0.0)
+
+    def test_link_area_proportional_to_length(self):
+        assert link_area_um2(64, 2.0) == pytest.approx(2 * link_area_um2(64, 1.0))
+
+
+class TestSidebandWires:
+    def test_paper_reference_wire_counts(self):
+        # 4 VCs: Up_Down = log2(4) + enable = 3; Down_Up = log2(4) = 2.
+        assert up_down_wires(4) == 3
+        assert down_up_wires(4) == 2
+
+    def test_two_vcs(self):
+        assert up_down_wires(2) == 2
+        assert down_up_wires(2) == 1
+
+    def test_single_vc_degenerate(self):
+        assert up_down_wires(1) == 1
+        assert down_up_wires(1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            up_down_wires(0)
+        with pytest.raises(ValueError):
+            down_up_wires(0)
+
+
+class TestOverheadReport:
+    """The paper's Sec. III-D numbers."""
+
+    def test_sensor_overhead_matches_paper(self):
+        report = compute_overhead_report()
+        assert report.sensor_count == 16
+        assert report.sensor_fraction_of_router == pytest.approx(0.0325, abs=0.004)
+
+    def test_control_link_overhead_matches_paper(self):
+        report = compute_overhead_report()
+        assert report.control_fraction_of_link == pytest.approx(0.038, abs=0.004)
+
+    def test_policy_logic_is_negligible(self):
+        report = compute_overhead_report()
+        assert report.policy_fraction_of_router < 0.01
+
+    def test_total_overhead_below_four_percent(self):
+        report = compute_overhead_report()
+        assert report.total_fraction_of_noc < 0.04
+
+    def test_report_text_mentions_key_numbers(self):
+        text = compute_overhead_report().as_text()
+        assert "3.25%" in text  # the paper reference values
+        assert "< 4%" in text
+
+    def test_fewer_links_raise_relative_overhead(self):
+        """Edge routers amortize the sensors over fewer links."""
+        interior = compute_overhead_report(links_per_router=4)
+        corner = compute_overhead_report(links_per_router=2)
+        assert corner.total_fraction_of_noc != interior.total_fraction_of_noc
+
+    def test_two_vc_router_overhead_still_small(self):
+        geom = RouterGeometry(num_vcs=2)
+        report = compute_overhead_report(geom)
+        assert report.sensor_count == 8
+        assert report.total_fraction_of_noc < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_overhead_report(links_per_router=0)
+
+    def test_sensor_area_scales_with_tech(self):
+        r45 = compute_overhead_report(RouterGeometry(tech=TECH_45NM))
+        r32 = compute_overhead_report(RouterGeometry(tech=TECH_32NM))
+        assert r32.sensor_area_total < r45.sensor_area_total
+        # Ratios stay in the same ballpark across nodes.
+        assert r32.sensor_fraction_of_router == pytest.approx(
+            r45.sensor_fraction_of_router, rel=0.2
+        )

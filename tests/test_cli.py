@@ -1,0 +1,68 @@
+"""Tests for the repro-noc command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["setup"],
+            ["table2", "--cycles", "100"],
+            ["table3"],
+            ["table4", "--iterations", "2"],
+            ["area", "--vcs", "2"],
+            ["vth", "--rate", "0.2"],
+            ["cooperation"],
+            ["simulate", "--policy", "baseline"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+
+class TestCommands:
+    def test_setup(self, capsys):
+        assert main(["setup"]) == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "3.25%" in out
+        assert "< 4%" in out
+
+    def test_area_custom_geometry(self, capsys):
+        assert main(["area", "--vcs", "2", "--ports", "5"]) == 0
+        assert "10 x" in capsys.readouterr().out  # 5 ports x 2 VCs sensors
+
+    def test_simulate(self, capsys):
+        assert main([
+            "simulate", "--cycles", "1500", "--warmup", "300",
+            "--policy", "sensor-wise",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "duty cycles" in out
+        assert "MD VC" in out
+
+    def test_vth(self, capsys):
+        assert main(["vth", "--cycles", "1500", "--warmup", "300", "--vcs", "2"]) == 0
+        assert "Saving vs baseline" in capsys.readouterr().out
+
+    def test_cooperation(self, capsys):
+        assert main(["cooperation", "--cycles", "1500", "--warmup", "300"]) == 0
+        assert "Cooperation gain" in capsys.readouterr().out
+
+    def test_table3_small(self, capsys):
+        # Keep it tiny: the full table is exercised by the benchmarks.
+        assert main(["table3", "--cycles", "1200", "--warmup", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "4core-inj0.10" in out
+        assert "16core-inj0.30" in out

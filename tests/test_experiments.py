@@ -1,0 +1,229 @@
+"""Tests for the experiment harness (configs, runner, table builders).
+
+Simulations here are deliberately short — behaviour shape, not paper
+magnitudes (the benchmarks run the longer, table-scale versions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import (
+    REAL_TRAFFIC,
+    ScenarioConfig,
+    format_experimental_setup,
+)
+from repro.experiments.report import pct, pct_pair, render_table
+from repro.experiments.runner import (
+    build_network,
+    build_traffic,
+    run_policies,
+    run_scenario,
+)
+from repro.experiments.tables import (
+    run_cooperation_gain,
+    run_real_table,
+    run_synthetic_table,
+    run_vth_saving,
+)
+
+FAST = dict(cycles=2500, warmup=500)
+
+
+class TestScenarioConfig:
+    def test_label(self):
+        assert ScenarioConfig(num_nodes=4, injection_rate=0.1).label == "4core-inj0.10"
+        assert ScenarioConfig(num_nodes=16, traffic=REAL_TRAFFIC).label == "16core-real"
+
+    def test_pv_seed_frozen_per_architecture_and_rate(self):
+        a = ScenarioConfig(num_nodes=4, num_vcs=2, injection_rate=0.1)
+        b = ScenarioConfig(num_nodes=4, num_vcs=2, injection_rate=0.1, policy="baseline")
+        assert a.effective_pv_seed == b.effective_pv_seed
+        c = ScenarioConfig(num_nodes=4, num_vcs=2, injection_rate=0.2)
+        assert a.effective_pv_seed != c.effective_pv_seed
+        d = ScenarioConfig(num_nodes=16, num_vcs=2, injection_rate=0.1)
+        assert a.effective_pv_seed != d.effective_pv_seed
+
+    def test_pv_seed_override(self):
+        assert ScenarioConfig(pv_seed=42).effective_pv_seed == 42
+
+    def test_with_policy_preserves_everything_else(self):
+        a = ScenarioConfig(num_nodes=4, injection_rate=0.3)
+        b = a.with_policy("baseline")
+        assert b.policy == "baseline"
+        assert b.effective_pv_seed == a.effective_pv_seed
+        assert b.label == a.label
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(cycles=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(warmup=-1)
+        with pytest.raises(ValueError):
+            ScenarioConfig(injection_rate=2.0)
+
+    def test_setup_table_text(self):
+        text = format_experimental_setup()
+        assert "TABLE I" in text
+        assert "45nm" in text
+
+
+class TestRunner:
+    def test_run_scenario_shape(self):
+        result = run_scenario(ScenarioConfig(num_nodes=4, num_vcs=2, **FAST))
+        assert len(result.duty_cycles) == 2
+        assert all(0.0 <= d <= 100.0 for d in result.duty_cycles)
+        assert 0 <= result.md_vc < 2
+        assert result.net_stats.packets_ejected > 0
+        assert result.wall_seconds > 0.0
+
+    def test_md_matches_initial_vth_argmax(self):
+        result = run_scenario(ScenarioConfig(num_nodes=4, num_vcs=4, **FAST))
+        assert result.md_vc == max(
+            range(4), key=lambda v: (result.initial_vths[v], v)
+        )
+
+    def test_port_duty_covers_all_ports(self):
+        result = run_scenario(ScenarioConfig(num_nodes=4, num_vcs=2, **FAST))
+        # 2x2 mesh: every router has local + 2 mesh ports = 12 entries.
+        assert len(result.port_duty) == 12
+        assert set(result.port_duty) == set(result.port_initial_vths)
+
+    def test_md_at_arbitrary_port(self):
+        result = run_scenario(ScenarioConfig(num_nodes=4, num_vcs=2, **FAST))
+        for (router, port), vths in result.port_initial_vths.items():
+            md = result.md_at(router, port)
+            assert vths[md] == max(vths)
+
+    def test_policies_share_traffic_and_pv(self):
+        base = ScenarioConfig(num_nodes=4, num_vcs=2, **FAST)
+        results = run_policies(base, ("baseline", "sensor-wise"))
+        assert (
+            results["baseline"].initial_vths == results["sensor-wise"].initial_vths
+        )
+        # The offered traffic stream is policy-independent (allocation
+        # timing may differ, the generated packets may not).
+        t1 = build_traffic(base.with_policy("baseline"))
+        t2 = build_traffic(base.with_policy("sensor-wise"))
+        for cycle in range(500):
+            assert t1.inject(cycle) == t2.inject(cycle)
+
+    def test_real_traffic_scenario_runs(self):
+        result = run_scenario(
+            ScenarioConfig(num_nodes=4, num_vcs=2, traffic=REAL_TRAFFIC, **FAST)
+        )
+        assert len(result.duty_cycles) == 2
+
+    def test_iterations_change_traffic_not_pv(self):
+        base = ScenarioConfig(num_nodes=4, num_vcs=2, traffic=REAL_TRAFFIC, **FAST)
+        r0 = run_scenario(base, iteration=0)
+        r1 = run_scenario(base, iteration=1)
+        assert r0.initial_vths == r1.initial_vths  # PV frozen
+        assert r0.md_vc == r1.md_vc
+
+    def test_build_traffic_kinds(self):
+        synth = build_traffic(ScenarioConfig(traffic="uniform"))
+        real = build_traffic(ScenarioConfig(traffic=REAL_TRAFFIC))
+        assert synth.name == "uniform"
+        assert real.name == "benchmark-mix"
+
+    def test_build_network_uses_scenario_policy(self):
+        net = build_network(ScenarioConfig(policy="baseline", **FAST))
+        assert net.routers[0].outputs[0].upstream.policy.name == "baseline"
+
+
+class TestSyntheticTable:
+    def test_small_table_structure(self):
+        table = run_synthetic_table(
+            num_vcs=2, arches=(4,), rates=(0.1,), cycles=2500, warmup=500
+        )
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert row.label == "4core-inj0.10"
+        assert set(row.duty) == {
+            "rr-no-sensor", "sensor-wise-no-traffic", "sensor-wise",
+        }
+        assert "Table III" in table.format()
+
+    def test_gap_is_rr_minus_sensor_wise_on_md(self):
+        table = run_synthetic_table(
+            num_vcs=2, arches=(4,), rates=(0.2,), cycles=2500, warmup=500
+        )
+        row = table.rows[0]
+        expected = (
+            row.duty["rr-no-sensor"][row.md_vc]
+            - row.duty["sensor-wise"][row.md_vc]
+        )
+        assert row.gap == pytest.approx(expected)
+
+    def test_four_vc_table_label(self):
+        table = run_synthetic_table(
+            num_vcs=4, arches=(4,), rates=(0.1,), cycles=2000, warmup=500
+        )
+        assert "Table II" in table.format()
+        assert len(table.rows[0].duty["sensor-wise"]) == 4
+
+
+class TestRealTable:
+    def test_small_real_table(self):
+        table = run_real_table(
+            num_vcs=2,
+            iterations=2,
+            arch_rows={4: ((0, "east"), (2, "east"))},
+            cycles=2500,
+            warmup=500,
+        )
+        assert len(table.rows) == 2
+        row = table.rows[0]
+        assert row.label == "4c-r0-E"
+        assert len(row.avg["sensor-wise"]) == 2
+        assert all(s >= 0.0 for s in row.std["sensor-wise"])
+        assert "Table IV" in table.format()
+
+    def test_gap_definition(self):
+        table = run_real_table(
+            num_vcs=2, iterations=2,
+            arch_rows={4: ((0, "east"),)}, cycles=2000, warmup=500,
+        )
+        row = table.rows[0]
+        assert row.gap == pytest.approx(
+            row.avg["rr-no-sensor"][row.md_vc] - row.avg["sensor-wise"][row.md_vc]
+        )
+
+
+class TestAnalyses:
+    def test_vth_saving_report(self):
+        scenario = ScenarioConfig(num_nodes=4, num_vcs=2, injection_rate=0.1, **FAST)
+        report = run_vth_saving(scenario)
+        assert report.saving_of("baseline") == pytest.approx(0.0)
+        assert report.saving_of("sensor-wise") > 0.0
+        assert "54.2%" in report.format()
+        with pytest.raises(KeyError):
+            report.saving_of("unknown")
+
+    def test_vth_saving_validation(self):
+        with pytest.raises(ValueError):
+            run_vth_saving(ScenarioConfig(**FAST), years=0.0)
+
+    def test_cooperation_gain(self):
+        scenario = ScenarioConfig(num_nodes=4, num_vcs=2, injection_rate=0.1, **FAST)
+        report = run_cooperation_gain(scenario)
+        assert report.gain == pytest.approx(
+            report.md_duty_non_cooperative - report.md_duty_cooperative
+        )
+        assert "Cooperation gain" in report.format()
+
+
+class TestReportHelpers:
+    def test_render_table(self):
+        text = render_table(("a", "bb"), [("1", "2")], title="T")
+        assert text.splitlines()[0] == "T"
+        assert "1" in text and "bb" in text
+
+    def test_render_table_validates_width(self):
+        with pytest.raises(ValueError):
+            render_table(("a",), [("1", "2")])
+
+    def test_pct_formats(self):
+        assert pct(12.345) == "12.3%"
+        assert pct_pair(12.3, 4.5) == "12.3%(4.5)"

@@ -1,0 +1,132 @@
+"""Fault injection on the Up_Down control link.
+
+The methodology adds two sideband links; the simulator (like the
+hardware) assumes they are reliable.  These tests inject message loss
+with :class:`LossyChannel` and verify the failure semantics:
+
+* a lost **wake** command desynchronizes the upstream power view from
+  the downstream buffer and must surface as a hard
+  :class:`BufferError` (a flit is driven into a gated buffer) — never
+  as silent flit loss;
+* a lost **gate** command is benign for correctness: the downstream
+  buffer merely keeps leaking/stressing, so traffic still flows and the
+  NBTI duty cycle only gets *worse*, never inconsistent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.buffer import BufferError
+from repro.noc.link import Channel, LossyChannel
+from repro.noc.topology import LOCAL
+from tests.conftest import build_small_network
+
+
+def inject_lossy_control(net, router_id, port, **lossy_kwargs):
+    """Replace one input port's Up_Down channel with a lossy one."""
+    router = net.routers[router_id]
+    old = router.inputs[port].control_channel
+    lossy = LossyChannel(old.name, latency=old.latency, **lossy_kwargs)
+    router.inputs[port].control_channel = lossy
+    if port == LOCAL:
+        net.interfaces[router_id].injection_port.control_channel = lossy
+    else:
+        from repro.noc.network import neighbor_of_inverse
+
+        up_node, up_port = neighbor_of_inverse(net.topology, router_id, port)
+        net.routers[up_node].outputs[up_port].upstream.control_channel = lossy
+    return lossy
+
+
+def is_wake(item):
+    return item[0] == "wake"
+
+
+def is_gate(item):
+    return item[0] == "gate"
+
+
+class TestLossyChannelUnit:
+    def test_zero_probability_is_lossless(self):
+        channel = LossyChannel("c", latency=1, drop_probability=0.0)
+        for i in range(20):
+            channel.send(i, cycle=0)
+        assert sorted(channel.pop_ready(1)) == list(range(20))
+        assert channel.dropped == 0
+
+    def test_full_probability_drops_everything(self):
+        channel = LossyChannel("c", latency=1, drop_probability=1.0)
+        for i in range(5):
+            channel.send(i, cycle=0)
+        assert channel.pop_ready(1) == []
+        assert channel.dropped == 5
+
+    def test_filter_limits_dropping(self):
+        channel = LossyChannel(
+            "c", latency=1, drop_probability=1.0, drop_filter=is_wake
+        )
+        channel.send(("wake", 0), cycle=0)
+        channel.send(("gate", 1), cycle=0)
+        assert channel.pop_ready(1) == [("gate", 1)]
+        assert channel.dropped == 1
+
+    def test_drops_are_reproducible(self):
+        a = LossyChannel("c", drop_probability=0.5, seed=3)
+        b = LossyChannel("c", drop_probability=0.5, seed=3)
+        for i in range(50):
+            a.send(i, cycle=0)
+            b.send(i, cycle=0)
+        assert a.pop_ready(1) == b.pop_ready(1)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            LossyChannel("c", drop_probability=1.5)
+
+
+class TestLostWakeCommands:
+    def test_lost_wake_is_a_hard_error_not_silent_loss(self):
+        """Dropping every wake command on a gating policy's port drives
+        a flit into a gated buffer — the model must scream."""
+        net = build_small_network(policy="sensor-wise", flit_rate=0.3, seed=3)
+        inject_lossy_control(
+            net, router_id=0, port=LOCAL,
+            drop_probability=1.0, drop_filter=is_wake,
+        )
+        with pytest.raises(BufferError):
+            net.run(2000)
+
+
+class TestLostGateCommands:
+    def test_lost_gates_are_benign_but_costly(self):
+        """Dropping gate commands keeps buffers powered: traffic is
+        unaffected, the duty cycle only rises."""
+        clean = build_small_network(policy="sensor-wise", flit_rate=0.2, seed=5)
+        clean.run(2000)
+
+        faulty = build_small_network(policy="sensor-wise", flit_rate=0.2, seed=5)
+        lossy = inject_lossy_control(
+            faulty, router_id=0, port=LOCAL,
+            drop_probability=1.0, drop_filter=is_gate,
+        )
+        faulty.run(2000)
+
+        assert lossy.dropped > 0
+        # Same traffic still delivered.
+        assert (
+            faulty.stats().packets_ejected == clean.stats().packets_ejected
+        )
+        # The attacked port's buffers never power down: 100 % stress.
+        assert faulty.duty_cycles(0, LOCAL) == [100.0] * faulty.config.num_vcs
+        assert max(clean.duty_cycles(0, LOCAL)) < 100.0
+
+    def test_baseline_is_immune_to_control_loss(self):
+        """The baseline never issues commands, so a fully lossy control
+        link changes nothing."""
+        net = build_small_network(policy="baseline", flit_rate=0.2, seed=5)
+        lossy = inject_lossy_control(
+            net, router_id=0, port=LOCAL, drop_probability=1.0
+        )
+        net.run(1000)
+        assert lossy.dropped == 0
+        assert net.duty_cycles(0, LOCAL) == [100.0] * net.config.num_vcs

@@ -1,0 +1,106 @@
+"""Tests for the alpha-power-law delay/frequency translation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nbti.constants import SECONDS_PER_YEAR, TECH_45NM
+from repro.nbti.delay import (
+    delay_factor,
+    frequency_factor,
+    frequency_trajectory,
+    guardband_lifetime_years,
+)
+from repro.nbti.model import NBTIModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return NBTIModel.calibrated()
+
+
+class TestDelayFactor:
+    def test_zero_shift_is_unity(self):
+        assert delay_factor(0.0) == pytest.approx(1.0)
+
+    def test_shift_slows_the_gate(self):
+        assert delay_factor(0.050) > delay_factor(0.010) > 1.0
+
+    def test_higher_initial_vth_amplifies_shift(self):
+        weak = delay_factor(0.040, initial_vth=0.200)
+        strong = delay_factor(0.040, initial_vth=0.160)
+        assert weak > strong
+
+    def test_paper_motivation_regime(self):
+        """The paper cites up to ~20 % performance loss in 10 years; a
+        50 mV shift at 1.2 V lands in the single-digit-to-tens regime."""
+        loss = 1.0 - frequency_factor(0.050)
+        assert 0.03 < loss < 0.20
+
+    def test_no_overdrive_rejected(self):
+        with pytest.raises(ValueError):
+            delay_factor(TECH_45NM.vdd)  # shift eats the whole overdrive
+        with pytest.raises(ValueError):
+            delay_factor(0.01, initial_vth=TECH_45NM.vdd + 0.1)
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            delay_factor(-0.01)
+
+    def test_frequency_is_inverse_delay(self):
+        assert frequency_factor(0.030) == pytest.approx(1.0 / delay_factor(0.030))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        d1=st.floats(min_value=0.0, max_value=0.2),
+        d2=st.floats(min_value=0.0, max_value=0.2),
+    )
+    def test_monotone_in_shift(self, d1, d2):
+        lo, hi = sorted((d1, d2))
+        assert delay_factor(lo) <= delay_factor(hi) + 1e-12
+
+
+class TestFrequencyTrajectory:
+    def test_monotone_degradation(self, model):
+        traj = frequency_trajectory(model, duty_cycle_percent=80.0)
+        assert traj.frequency_factors == sorted(traj.frequency_factors, reverse=True)
+        assert traj.final_degradation > 0.0
+
+    def test_lower_duty_degrades_less(self, model):
+        busy = frequency_trajectory(model, 100.0)
+        calm = frequency_trajectory(model, 5.0)
+        assert calm.final_degradation < busy.final_degradation
+
+    def test_zero_duty_never_degrades(self, model):
+        idle = frequency_trajectory(model, 0.0)
+        assert idle.frequency_factors == [1.0] * len(idle.years)
+
+    def test_invalid_duty_rejected(self, model):
+        with pytest.raises(ValueError):
+            frequency_trajectory(model, 120.0)
+
+
+class TestGuardbandLifetime:
+    def test_baseline_dies_before_mitigated(self, model):
+        full = guardband_lifetime_years(model, 100.0, max_degradation=0.03)
+        mitigated = guardband_lifetime_years(model, 5.0, max_degradation=0.03)
+        assert full < mitigated
+
+    def test_infinite_when_never_crossed(self, model):
+        assert guardband_lifetime_years(model, 0.0) == math.inf
+
+    def test_lifetime_solution_is_consistent(self, model):
+        years = guardband_lifetime_years(model, 100.0, max_degradation=0.05)
+        assert 0.0 < years < 100.0
+        shift = model.delta_vth(1.0, years * SECONDS_PER_YEAR)
+        assert 1.0 - frequency_factor(shift) == pytest.approx(0.05, abs=2e-3)
+
+    def test_invalid_guardband_rejected(self, model):
+        with pytest.raises(ValueError):
+            guardband_lifetime_years(model, 50.0, max_degradation=0.0)
+        with pytest.raises(ValueError):
+            guardband_lifetime_years(model, 50.0, max_degradation=1.0)

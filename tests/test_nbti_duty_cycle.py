@@ -1,0 +1,124 @@
+"""Tests for NBTI-duty-cycle accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nbti.duty_cycle import DutyCycleCounter, WindowedDutyCycle, duty_cycles_percent
+
+
+class TestDutyCycleCounter:
+    def test_paper_definition(self):
+        c = DutyCycleCounter()
+        c.record(stressed=True, cycles=3)
+        c.record(stressed=False, cycles=1)
+        assert c.duty_cycle == pytest.approx(75.0)
+
+    def test_empty_counter_reports_full_stress(self):
+        assert DutyCycleCounter().duty_cycle == 100.0
+
+    def test_alpha_is_duty_over_100(self):
+        c = DutyCycleCounter(stress_cycles=1, recovery_cycles=3)
+        assert c.alpha == pytest.approx(0.25)
+
+    def test_total_cycles(self):
+        c = DutyCycleCounter(stress_cycles=5, recovery_cycles=7)
+        assert c.total_cycles == 12
+
+    def test_reset(self):
+        c = DutyCycleCounter(stress_cycles=5, recovery_cycles=7)
+        c.reset()
+        assert c.snapshot() == (0, 0)
+        assert c.duty_cycle == 100.0
+
+    def test_merge_sums_tallies(self):
+        a = DutyCycleCounter(stress_cycles=2, recovery_cycles=3)
+        b = DutyCycleCounter(stress_cycles=4, recovery_cycles=1)
+        merged = a.merge(b)
+        assert merged.snapshot() == (6, 4)
+        # Originals untouched.
+        assert a.snapshot() == (2, 3)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            DutyCycleCounter(stress_cycles=-1)
+        with pytest.raises(ValueError):
+            DutyCycleCounter().record(True, cycles=-2)
+
+    def test_record_default_single_cycle(self):
+        c = DutyCycleCounter()
+        c.record(True)
+        c.record(False)
+        assert c.snapshot() == (1, 1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(bits=st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_duty_cycle_always_in_range(self, bits):
+        c = DutyCycleCounter()
+        for b in bits:
+            c.record(b)
+        assert 0.0 <= c.duty_cycle <= 100.0
+        assert c.duty_cycle == pytest.approx(100.0 * sum(bits) / len(bits))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bits_a=st.lists(st.booleans(), max_size=50),
+        bits_b=st.lists(st.booleans(), max_size=50),
+    )
+    def test_merge_equals_concatenation(self, bits_a, bits_b):
+        a, b, both = DutyCycleCounter(), DutyCycleCounter(), DutyCycleCounter()
+        for bit in bits_a:
+            a.record(bit)
+            both.record(bit)
+        for bit in bits_b:
+            b.record(bit)
+            both.record(bit)
+        assert a.merge(b).snapshot() == both.snapshot()
+
+
+class TestWindowedDutyCycle:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WindowedDutyCycle(0)
+
+    def test_empty_window_reports_full_stress(self):
+        assert WindowedDutyCycle(8).duty_cycle == 100.0
+
+    def test_partial_window(self):
+        w = WindowedDutyCycle(10)
+        w.record(True)
+        w.record(False)
+        assert w.samples == 2
+        assert w.duty_cycle == pytest.approx(50.0)
+
+    def test_old_samples_fall_out(self):
+        w = WindowedDutyCycle(4)
+        for _ in range(4):
+            w.record(True)
+        assert w.duty_cycle == 100.0
+        for _ in range(4):
+            w.record(False)
+        assert w.duty_cycle == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        window=st.integers(min_value=1, max_value=32),
+        bits=st.lists(st.booleans(), min_size=1, max_size=120),
+    )
+    def test_window_matches_tail_of_stream(self, window, bits):
+        w = WindowedDutyCycle(window)
+        for b in bits:
+            w.record(b)
+        tail = bits[-window:]
+        assert w.samples == len(tail)
+        assert w.duty_cycle == pytest.approx(100.0 * sum(tail) / len(tail))
+
+
+def test_duty_cycles_percent_helper():
+    counters = [
+        DutyCycleCounter(stress_cycles=1, recovery_cycles=1),
+        DutyCycleCounter(stress_cycles=3, recovery_cycles=1),
+    ]
+    assert duty_cycles_percent(counters) == [pytest.approx(50.0), pytest.approx(75.0)]

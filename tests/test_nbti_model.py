@@ -1,0 +1,200 @@
+"""Unit and property tests for the long-term NBTI model (paper Eq. 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nbti.constants import SECONDS_PER_YEAR, TECH_32NM, TECH_45NM
+from repro.nbti.model import (
+    DEFAULT_ANCHOR_DELTA_VTH,
+    DEFAULT_ANCHOR_YEARS,
+    NBTIModel,
+    NBTIModelError,
+    combined_vth,
+    fleet_delta_vth,
+)
+
+THREE_YEARS = 3.0 * SECONDS_PER_YEAR
+
+
+@pytest.fixture(scope="module")
+def model() -> NBTIModel:
+    return NBTIModel.calibrated()
+
+
+class TestCalibration:
+    def test_anchor_is_reproduced(self, model):
+        shift = model.delta_vth(1.0, DEFAULT_ANCHOR_YEARS * SECONDS_PER_YEAR)
+        assert shift == pytest.approx(DEFAULT_ANCHOR_DELTA_VTH, rel=1e-9)
+
+    def test_custom_anchor(self):
+        custom = NBTIModel.calibrated(anchor_delta_vth=0.03, anchor_years=10.0)
+        assert custom.delta_vth_after_years(1.0, 10.0) == pytest.approx(0.03, rel=1e-9)
+
+    def test_anchor_alpha_below_one(self):
+        custom = NBTIModel.calibrated(anchor_alpha=0.5)
+        shift = custom.delta_vth(0.5, DEFAULT_ANCHOR_YEARS * SECONDS_PER_YEAR)
+        assert shift == pytest.approx(DEFAULT_ANCHOR_DELTA_VTH, rel=1e-9)
+
+    def test_calibration_rejects_bad_anchor(self):
+        with pytest.raises(NBTIModelError):
+            NBTIModel.calibrated(anchor_delta_vth=-0.01)
+        with pytest.raises(NBTIModelError):
+            NBTIModel.calibrated(anchor_years=0.0)
+        with pytest.raises(NBTIModelError):
+            NBTIModel.calibrated(anchor_alpha=0.0)
+        with pytest.raises(NBTIModelError):
+            NBTIModel.calibrated(anchor_alpha=1.5)
+
+    def test_kv_must_be_positive(self):
+        with pytest.raises(NBTIModelError):
+            NBTIModel(kv=0.0)
+        with pytest.raises(NBTIModelError):
+            NBTIModel(kv=-1.0)
+
+    def test_32nm_model_calibrates(self):
+        m32 = NBTIModel.calibrated(tech=TECH_32NM)
+        assert m32.delta_vth(1.0, THREE_YEARS) == pytest.approx(
+            DEFAULT_ANCHOR_DELTA_VTH, rel=1e-9
+        )
+
+
+class TestBoundaryBehaviour:
+    def test_zero_alpha_gives_zero_shift(self, model):
+        assert model.delta_vth(0.0, THREE_YEARS) == 0.0
+
+    def test_zero_time_gives_zero_shift(self, model):
+        assert model.delta_vth(1.0, 0.0) == 0.0
+
+    def test_negative_time_rejected(self, model):
+        with pytest.raises(NBTIModelError):
+            model.delta_vth(0.5, -1.0)
+
+    def test_alpha_out_of_range_rejected(self, model):
+        with pytest.raises(NBTIModelError):
+            model.delta_vth(1.5, THREE_YEARS)
+        with pytest.raises(NBTIModelError):
+            model.delta_vth(-0.2, THREE_YEARS)
+
+    def test_alpha_tiny_numerical_overshoot_tolerated(self, model):
+        # Duty-cycle accounting can produce 1.0 + 1e-16.
+        assert model.delta_vth(1.0 + 1e-13, THREE_YEARS) > 0.0
+
+    def test_beta_t_stays_in_unit_interval(self, model):
+        for alpha in (0.01, 0.5, 1.0):
+            for t in (1.0, 1e3, 1e6, 1e9):
+                beta = model.beta_t(alpha, t)
+                assert 0.0 < beta < 1.0
+
+
+class TestMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a1=st.floats(min_value=0.001, max_value=1.0),
+        a2=st.floats(min_value=0.001, max_value=1.0),
+    )
+    def test_shift_monotone_in_alpha(self, a1, a2):
+        model = NBTIModel.calibrated()
+        lo, hi = sorted((a1, a2))
+        assert model.delta_vth(lo, THREE_YEARS) <= model.delta_vth(hi, THREE_YEARS) + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        t1=st.floats(min_value=1.0, max_value=3.0e8),
+        t2=st.floats(min_value=1.0, max_value=3.0e8),
+    )
+    def test_shift_monotone_in_time(self, t1, t2):
+        model = NBTIModel.calibrated()
+        lo, hi = sorted((t1, t2))
+        assert model.delta_vth(0.5, lo) <= model.delta_vth(0.5, hi) + 1e-12
+
+    def test_shift_monotone_in_temperature(self, model):
+        cold = model.delta_vth(0.5, THREE_YEARS, temperature_k=320.0)
+        hot = model.delta_vth(0.5, THREE_YEARS, temperature_k=380.0)
+        assert hot > cold
+
+    def test_shift_monotone_in_vdd(self, model):
+        low = model.delta_vth(0.5, THREE_YEARS, vdd=1.0)
+        high = model.delta_vth(0.5, THREE_YEARS, vdd=1.3)
+        assert high > low
+
+    def test_trajectory_is_sorted(self, model):
+        times = [i * SECONDS_PER_YEAR / 4 for i in range(1, 20)]
+        traj = model.trajectory(0.7, times)
+        assert traj == sorted(traj)
+
+
+class TestSaving:
+    def test_saving_of_equal_alphas_is_zero(self, model):
+        assert model.saving(0.5, 0.5, THREE_YEARS) == pytest.approx(0.0)
+
+    def test_saving_increases_as_alpha_drops(self, model):
+        s_small = model.saving(0.01, 1.0, THREE_YEARS)
+        s_large = model.saving(0.5, 1.0, THREE_YEARS)
+        assert s_small > s_large > 0.0
+
+    def test_saving_of_zero_alpha_is_total(self, model):
+        assert model.saving(0.0, 1.0, THREE_YEARS) == pytest.approx(1.0)
+
+    def test_paper_headline_saving_is_reachable(self, model):
+        """A ~1 % duty cycle yields the paper's 54.2 % Vth saving scale."""
+        alpha = model.alpha_for_saving(0.542, 1.0, THREE_YEARS)
+        assert 0.0 < alpha < 0.05
+        assert model.saving(alpha, 1.0, THREE_YEARS) == pytest.approx(0.542, abs=1e-3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(target=st.floats(min_value=0.0, max_value=0.95))
+    def test_alpha_for_saving_inverts_saving(self, target):
+        model = NBTIModel.calibrated()
+        alpha = model.alpha_for_saving(target, 1.0, THREE_YEARS)
+        assert model.saving(alpha, 1.0, THREE_YEARS) == pytest.approx(target, abs=5e-3)
+
+    def test_alpha_for_saving_rejects_bad_target(self, model):
+        with pytest.raises(NBTIModelError):
+            model.alpha_for_saving(1.0, 1.0, THREE_YEARS)
+        with pytest.raises(NBTIModelError):
+            model.alpha_for_saving(-0.1, 1.0, THREE_YEARS)
+
+
+class TestScalingHelpers:
+    def test_kv_scaled_identity_without_overrides(self, model):
+        assert model.kv_scaled() == model.kv
+
+    def test_oxide_field_positive_at_nominal(self, model):
+        assert model.oxide_field() > 0.0
+
+    def test_diffusion_constant_positive(self, model):
+        assert model.diffusion_constant() > 0.0
+
+    def test_operating_temperature_override(self):
+        m = NBTIModel.calibrated(temperature_k=400.0)
+        assert m.operating_temperature_k == 400.0
+
+    def test_default_operating_temperature_from_tech(self, model):
+        assert model.operating_temperature_k == TECH_45NM.temperature_k
+
+
+class TestHelpers:
+    def test_combined_vth_adds_shift(self, model):
+        total = combined_vth(0.18, model, 1.0, THREE_YEARS)
+        assert total == pytest.approx(0.18 + model.delta_vth(1.0, THREE_YEARS))
+
+    def test_fleet_delta_vth_order_preserved(self, model):
+        alphas = [0.9, 0.1, 0.5]
+        shifts = fleet_delta_vth(model, alphas, THREE_YEARS)
+        assert len(shifts) == 3
+        assert shifts[0] > shifts[2] > shifts[1]
+
+    def test_delta_vth_after_years_matches_seconds(self, model):
+        assert model.delta_vth_after_years(0.5, 2.0) == pytest.approx(
+            model.delta_vth(0.5, 2.0 * SECONDS_PER_YEAR)
+        )
+
+    def test_shift_magnitude_is_physical(self, model):
+        """10-year full-stress shift stays in the tens-of-mV regime."""
+        shift = model.delta_vth_after_years(1.0, 10.0)
+        assert 0.03 < shift < 0.15

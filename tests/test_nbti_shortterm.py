@@ -1,0 +1,135 @@
+"""Tests for the explicit stress/recovery (short-term) NBTI integrator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nbti.constants import SECONDS_PER_YEAR
+from repro.nbti.model import NBTIModel
+from repro.nbti.shortterm import ShortTermNBTI, compare_with_long_term
+
+YEAR = SECONDS_PER_YEAR
+
+
+@pytest.fixture(scope="module")
+def short():
+    return ShortTermNBTI(NBTIModel.calibrated())
+
+
+class TestStressPhase:
+    def test_pure_stress_matches_long_term_at_anchor(self, short):
+        """By construction: full duty, 3-year horizon."""
+        shift = short.stress(0.0, 3 * YEAR)
+        assert shift == pytest.approx(
+            short.model.delta_vth(1.0, 3 * YEAR), rel=1e-9
+        )
+
+    def test_chunked_stress_composes_exactly(self, short):
+        """Equivalent-time composition: 10 chunks == one long phase."""
+        one_shot = short.stress(0.0, 1 * YEAR)
+        chunked = 0.0
+        for _ in range(10):
+            chunked = short.stress(chunked, YEAR / 10)
+        assert chunked == pytest.approx(one_shot, rel=1e-9)
+
+    def test_stress_grows_sublinearly(self, short):
+        s1 = short.stress(0.0, 1 * YEAR)
+        s4 = short.stress(0.0, 4 * YEAR)
+        assert s1 < s4 < 4 * s1  # t^(1/6) shape
+
+    def test_zero_duration_is_identity(self, short):
+        assert short.stress(0.010, 0.0) == 0.010
+
+    def test_validation(self, short):
+        with pytest.raises(ValueError):
+            short.stress(-0.01, 1.0)
+        with pytest.raises(ValueError):
+            short.stress(0.0, -1.0)
+        with pytest.raises(ValueError):
+            short.equivalent_stress_time(-0.1)
+
+
+class TestRecoveryPhase:
+    def test_recovery_reduces_shift(self, short):
+        shift = short.stress(0.0, YEAR)
+        recovered = short.recover(shift, YEAR / 10, total_time_s=1.1 * YEAR)
+        assert 0.0 <= recovered < shift
+
+    def test_longer_recovery_anneals_more(self, short):
+        shift = short.stress(0.0, YEAR)
+        brief = short.recover(shift, YEAR / 100, total_time_s=2 * YEAR)
+        long = short.recover(shift, YEAR, total_time_s=2 * YEAR)
+        assert long < brief
+
+    def test_old_damage_is_harder_to_anneal(self, short):
+        shift = 0.020
+        young = short.recover(shift, YEAR / 10, total_time_s=YEAR)
+        old = short.recover(shift, YEAR / 10, total_time_s=20 * YEAR)
+        assert old > young  # less of it recovers
+
+    def test_recovery_never_goes_negative(self, short):
+        assert short.recover(1e-6, 100 * YEAR, total_time_s=101 * YEAR) >= 0.0
+
+    def test_zero_cases(self, short):
+        assert short.recover(0.0, YEAR, total_time_s=YEAR) == 0.0
+        assert short.recover(0.01, 0.0, total_time_s=YEAR) == 0.01
+
+    def test_validation(self, short):
+        with pytest.raises(ValueError):
+            short.recover(-0.01, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            short.recover(0.01, -1.0, 2.0)
+        with pytest.raises(ValueError):
+            short.recover(0.01, 1.0, 0.0)
+
+
+class TestDutySimulation:
+    def test_monotone_in_duty(self, short):
+        shifts = [
+            short.simulate_duty(alpha, YEAR / 100, YEAR)
+            for alpha in (0.1, 0.5, 0.9, 1.0)
+        ]
+        assert shifts == sorted(shifts)
+
+    def test_full_duty_equals_pure_stress(self, short):
+        assert short.simulate_duty(1.0, YEAR / 50, YEAR) == pytest.approx(
+            short.stress(0.0, YEAR), rel=1e-6
+        )
+
+    def test_agrees_with_long_term_within_small_factor(self, short):
+        """The closed form and the integrator describe the same physics:
+        same order of magnitude across the duty range."""
+        for alpha in (0.25, 0.5, 0.75):
+            s, l = compare_with_long_term(short.model, alpha, 3 * YEAR)
+            assert 0.2 < s / l < 2.0
+
+    def test_fine_alternation_recovers_more(self, short):
+        """The constant tunneling term of the recovery front applies per
+        window, so finely chopped recovery anneals more than one
+        consolidated window of equal total recovery time."""
+        fine = short.simulate_duty(0.5, 3 * YEAR / 1000, 3 * YEAR)
+        coarse = short.simulate_duty(0.5, 3 * YEAR / 10, 3 * YEAR)
+        assert fine < coarse
+
+    def test_trajectory_checkpoints(self, short):
+        traj = short.trajectory(0.5, YEAR / 100, [YEAR, 2 * YEAR, 3 * YEAR])
+        times = [t for t, _ in traj]
+        shifts = [s for _, s in traj]
+        assert times == [YEAR, 2 * YEAR, 3 * YEAR]
+        assert shifts == sorted(shifts)
+
+    def test_validation(self, short):
+        with pytest.raises(ValueError):
+            short.simulate_duty(1.5, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            short.simulate_duty(0.5, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            short.simulate_duty(0.5, 1.0, 0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(alpha=st.floats(min_value=0.05, max_value=1.0))
+    def test_shift_positive_for_any_duty(self, alpha):
+        short = ShortTermNBTI(NBTIModel.calibrated())
+        assert short.simulate_duty(alpha, YEAR / 20, YEAR) > 0.0

@@ -1,0 +1,116 @@
+"""Tests for the activity-driven thermal model and aging feedback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.area.power import per_router_power_pj
+from repro.nbti.thermal import (
+    DEFAULT_AMBIENT_K,
+    ThermalProfile,
+    router_temperatures,
+    thermal_aware_projection,
+)
+from repro.traffic.synthetic import HotspotTraffic
+from tests.conftest import build_small_network
+
+
+def run_network(traffic=None, num_nodes=4, rate=0.3, policy="baseline", cycles=1200):
+    net = build_small_network(
+        policy=policy, num_nodes=num_nodes, flit_rate=rate, traffic=traffic
+    )
+    net.run(cycles)
+    return net
+
+
+class TestPerRouterPower:
+    def test_every_router_accounted(self):
+        net = run_network()
+        energies = per_router_power_pj(net)
+        assert set(energies) == {0, 1, 2, 3}
+        assert all(e > 0 for e in energies.values())
+
+    def test_idle_network_is_leakage_only(self):
+        net = run_network(rate=0.0)
+        energies = per_router_power_pj(net)
+        # Baseline never gates: leakage accrues even with zero traffic.
+        assert all(e > 0 for e in energies.values())
+
+    def test_gating_reduces_router_energy(self):
+        busy = per_router_power_pj(run_network(rate=0.0, policy="baseline"))
+        gated = per_router_power_pj(run_network(rate=0.0, policy="sensor-wise"))
+        for router in busy:
+            assert gated[router] < busy[router]
+
+
+class TestRouterTemperatures:
+    def test_above_ambient_under_load(self):
+        profile = router_temperatures(run_network())
+        assert all(t > DEFAULT_AMBIENT_K for t in profile.temperatures_k.values())
+
+    def test_center_hotter_than_corners_on_big_mesh(self):
+        """XY routing concentrates traffic through the mesh center."""
+        net = run_network(num_nodes=16, rate=0.3, cycles=1500)
+        profile = router_temperatures(net)
+        corners = [0, 3, 12, 15]
+        centers = [5, 6, 9, 10]
+        avg_corner = sum(profile.temperatures_k[r] for r in corners) / 4
+        avg_center = sum(profile.temperatures_k[r] for r in centers) / 4
+        assert avg_center > avg_corner
+
+    def test_hotspot_router_is_hottest(self):
+        traffic = HotspotTraffic(
+            16, flit_rate=0.4, hotspots=[5], hotspot_fraction=0.8,
+            packet_length=4, seed=3,
+        )
+        net = run_network(traffic=traffic, num_nodes=16, cycles=1500)
+        profile = router_temperatures(net)
+        assert profile.hottest_router in (5, 1, 4, 6, 9)  # hotspot + feeders
+
+    def test_rth_scales_the_rise(self):
+        net = run_network()
+        cool = router_temperatures(net, rth_k_per_mw=0.5)
+        hot = router_temperatures(net, rth_k_per_mw=2.0)
+        for r in cool.temperatures_k:
+            cool_rise = cool.temperatures_k[r] - cool.ambient_k
+            hot_rise = hot.temperatures_k[r] - hot.ambient_k
+            assert hot_rise == pytest.approx(4 * cool_rise, rel=1e-6)
+
+    def test_validation(self):
+        net = run_network(cycles=100)
+        with pytest.raises(ValueError):
+            router_temperatures(net, ambient_k=0.0)
+        with pytest.raises(ValueError):
+            router_temperatures(net, rth_k_per_mw=-1.0)
+
+    def test_as_text(self):
+        profile = router_temperatures(run_network(cycles=200))
+        text = profile.as_text()
+        assert "router  0" in text
+        assert "spread" in text
+
+
+class TestThermalAwareProjection:
+    def test_covers_every_device(self):
+        net = run_network()
+        projection = thermal_aware_projection(net, years=3.0)
+        assert set(projection) == set(net.devices)
+        for key, vth in projection.items():
+            assert vth > net.devices[key].initial_vth
+
+    def test_hotter_profile_ages_more(self):
+        net = run_network()
+        base = router_temperatures(net)
+        hotter = ThermalProfile(
+            ambient_k=base.ambient_k,
+            rth_k_per_mw=base.rth_k_per_mw,
+            temperatures_k={r: t + 30.0 for r, t in base.temperatures_k.items()},
+        )
+        cool = thermal_aware_projection(net, years=3.0, profile=base)
+        hot = thermal_aware_projection(net, years=3.0, profile=hotter)
+        assert all(hot[k] > cool[k] for k in cool)
+
+    def test_invalid_years_rejected(self):
+        net = run_network(cycles=100)
+        with pytest.raises(ValueError):
+            thermal_aware_projection(net, years=0.0)

@@ -1,0 +1,158 @@
+"""Tests for the PMOS device state and the NBTI sensor library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nbti.constants import SECONDS_PER_YEAR
+from repro.nbti.model import NBTIModel
+from repro.nbti.sensor import (
+    IdealSensor,
+    NoisySensor,
+    QuantizedSensor,
+    SensorBank,
+)
+from repro.nbti.transistor import PMOSDevice
+
+
+@pytest.fixture(scope="module")
+def model() -> NBTIModel:
+    return NBTIModel.calibrated()
+
+
+class TestPMOSDevice:
+    def test_initial_state(self, model):
+        dev = PMOSDevice(0.18, model)
+        assert dev.vth() == pytest.approx(0.18)
+        assert dev.duty_cycle == 100.0  # unobserved -> fully stressed
+
+    def test_tick_updates_duty(self, model):
+        dev = PMOSDevice(0.18, model)
+        dev.tick(stressed=True, cycles=3)
+        dev.tick(stressed=False, cycles=1)
+        assert dev.duty_cycle == pytest.approx(75.0)
+        assert dev.alpha == pytest.approx(0.75)
+
+    def test_elapsed_seconds_uses_cycle_time(self, model):
+        dev = PMOSDevice(0.18, model, cycle_time_s=2e-9)
+        dev.tick(True, cycles=500)
+        assert dev.elapsed_seconds == pytest.approx(1e-6)
+
+    def test_default_cycle_time_is_clock_period(self, model):
+        dev = PMOSDevice(0.18, model)
+        assert dev.cycle_time_s == model.tech.clock_period_s
+
+    def test_projection_grows_with_horizon(self, model):
+        dev = PMOSDevice(0.18, model)
+        dev.tick(True, cycles=100)
+        assert dev.projected_vth(10.0) > dev.projected_vth(1.0) > 0.18
+
+    def test_projection_depends_on_duty(self, model):
+        busy = PMOSDevice(0.18, model)
+        lazy = PMOSDevice(0.18, model)
+        busy.tick(True, cycles=100)
+        lazy.tick(True, cycles=10)
+        lazy.tick(False, cycles=90)
+        assert busy.projected_vth(3.0) > lazy.projected_vth(3.0)
+
+    def test_vth_at_explicit_time(self, model):
+        dev = PMOSDevice(0.18, model)
+        dev.tick(True, cycles=10)
+        expected = 0.18 + model.delta_vth(1.0, 3 * SECONDS_PER_YEAR)
+        assert dev.vth(at_seconds=3 * SECONDS_PER_YEAR) == pytest.approx(expected)
+
+    def test_invalid_construction_rejected(self, model):
+        with pytest.raises(ValueError):
+            PMOSDevice(0.0, model)
+        with pytest.raises(ValueError):
+            PMOSDevice(0.18, model, cycle_time_s=0.0)
+
+
+class TestSensors:
+    def test_ideal_sensor_reads_truth(self, model):
+        dev = PMOSDevice(0.2, model)
+        assert IdealSensor().measure(dev) == dev.vth()
+
+    def test_noisy_sensor_is_reproducible(self, model):
+        dev = PMOSDevice(0.2, model)
+        a = NoisySensor(sigma_v=0.001, seed=3)
+        b = NoisySensor(sigma_v=0.001, seed=3)
+        assert [a.measure(dev) for _ in range(5)] == [b.measure(dev) for _ in range(5)]
+
+    def test_noisy_sensor_zero_sigma_is_ideal(self, model):
+        dev = PMOSDevice(0.2, model)
+        assert NoisySensor(sigma_v=0.0).measure(dev) == dev.vth()
+
+    def test_noisy_sensor_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            NoisySensor(sigma_v=-0.001)
+
+    def test_quantized_sensor_floors_to_lsb(self, model):
+        dev = PMOSDevice(0.1807, model)
+        reading = QuantizedSensor(lsb_v=0.001).measure(dev)
+        assert reading == pytest.approx(0.180)
+
+    def test_quantized_sensor_rejects_bad_lsb(self):
+        with pytest.raises(ValueError):
+            QuantizedSensor(lsb_v=0.0)
+
+    def test_quantized_wraps_noisy(self, model):
+        dev = PMOSDevice(0.2, model)
+        sensor = QuantizedSensor(lsb_v=0.001, inner=NoisySensor(0.0005, seed=1))
+        reading = sensor.measure(dev)
+        assert reading == pytest.approx(round(reading, 3), abs=1e-9)
+
+    def test_describe_strings(self, model):
+        assert "Ideal" in IdealSensor().describe()
+        assert "mV" in NoisySensor(0.001).describe()
+        assert "Quantized" in QuantizedSensor(0.001).describe()
+
+
+class TestSensorBank:
+    def make_bank(self, model, vths=(0.180, 0.185, 0.178), **kwargs):
+        devices = [PMOSDevice(v, model) for v in vths]
+        return devices, SensorBank(devices, **kwargs)
+
+    def test_initial_most_degraded_is_vth_argmax(self, model):
+        _, bank = self.make_bank(model)
+        assert bank.most_degraded == 1
+
+    def test_sample_respects_period(self, model):
+        devices, bank = self.make_bank(model, sample_period=100)
+        assert bank.sample(0) == 1
+        # Degrade device 2 heavily between samples.
+        devices[2].initial_vth = 0.3
+        assert bank.sample(50) == 1  # stale: period not elapsed
+        assert bank.sample(100) == 2  # refreshed
+
+    def test_readings_length(self, model):
+        _, bank = self.make_bank(model)
+        assert len(bank.readings) == 3
+
+    def test_true_most_degraded_and_misidentification(self, model):
+        devices, bank = self.make_bank(model, sample_period=1000)
+        bank.sample(0)
+        assert not bank.misidentification()
+        devices[0].initial_vth = 0.4  # truth changes, sensor stale
+        assert bank.true_most_degraded() == 0
+        assert bank.misidentification()
+
+    def test_tie_breaks_to_lowest_vc(self, model):
+        _, bank = self.make_bank(model, vths=(0.2, 0.2, 0.2))
+        assert bank.most_degraded == 0
+
+    def test_empty_bank_rejected(self, model):
+        with pytest.raises(ValueError):
+            SensorBank([])
+
+    def test_bad_period_rejected(self, model):
+        devices = [PMOSDevice(0.18, model)]
+        with pytest.raises(ValueError):
+            SensorBank(devices, sample_period=0)
+
+    def test_noisy_bank_can_misidentify_close_devices(self, model):
+        devices = [PMOSDevice(0.1800, model), PMOSDevice(0.1801, model)]
+        noisy = NoisySensor(sigma_v=0.01, seed=7)
+        bank = SensorBank(devices, sensor=noisy, sample_period=1)
+        verdicts = {bank.sample(c) for c in range(0, 50)}
+        assert verdicts == {0, 1}  # noise flips the argmax sometimes

@@ -1,0 +1,88 @@
+"""Tests for flits, packets and the packet factory."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.flit import Flit, FlitType, Packet, PacketFactory
+
+
+class TestFlitType:
+    def test_head_markers(self):
+        assert FlitType.HEAD.is_head
+        assert FlitType.HEAD_TAIL.is_head
+        assert not FlitType.BODY.is_head
+        assert not FlitType.TAIL.is_head
+
+    def test_tail_markers(self):
+        assert FlitType.TAIL.is_tail
+        assert FlitType.HEAD_TAIL.is_tail
+        assert not FlitType.HEAD.is_tail
+        assert not FlitType.BODY.is_tail
+
+
+class TestPacket:
+    def test_single_flit_packet_is_head_tail(self):
+        pkt = Packet(0, src=0, dst=1, length=1, injected_cycle=5)
+        flits = pkt.flits()
+        assert len(flits) == 1
+        assert flits[0].ftype is FlitType.HEAD_TAIL
+
+    def test_two_flit_packet(self):
+        flits = Packet(0, 0, 1, 2, 0).flits()
+        assert [f.ftype for f in flits] == [FlitType.HEAD, FlitType.TAIL]
+
+    def test_long_packet_structure(self):
+        flits = Packet(0, 0, 1, 5, 0).flits()
+        assert flits[0].ftype is FlitType.HEAD
+        assert flits[-1].ftype is FlitType.TAIL
+        assert all(f.ftype is FlitType.BODY for f in flits[1:-1])
+
+    def test_flits_carry_packet_metadata(self):
+        flits = Packet(42, 1, 3, 3, 17, vnet=1).flits()
+        for i, f in enumerate(flits):
+            assert f.packet_id == 42
+            assert f.seq == i
+            assert (f.src, f.dst) == (1, 3)
+            assert f.injected_cycle == 17
+            assert f.vnet == 1
+
+    def test_invalid_packets_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(0, 0, 1, 0, 0)  # zero length
+        with pytest.raises(ValueError):
+            Packet(0, 2, 2, 1, 0)  # self-addressed
+
+    @settings(max_examples=40, deadline=None)
+    @given(length=st.integers(min_value=1, max_value=32))
+    def test_exactly_one_head_and_one_tail(self, length):
+        flits = Packet(0, 0, 1, length, 0).flits()
+        assert len(flits) == length
+        assert sum(1 for f in flits if f.is_head) == 1
+        assert sum(1 for f in flits if f.is_tail) == 1
+        assert [f.seq for f in flits] == list(range(length))
+
+
+class TestPacketFactory:
+    def test_unique_monotone_ids(self):
+        factory = PacketFactory()
+        ids = [factory.create(0, 1, 1, 0).packet_id for _ in range(10)]
+        assert ids == sorted(set(ids))
+
+    def test_start_id(self):
+        factory = PacketFactory(start_id=100)
+        assert factory.create(0, 1, 1, 0).packet_id == 100
+
+
+class TestFlitState:
+    def test_arrival_cycle_starts_unset(self):
+        flit = Flit(0, 0, FlitType.HEAD, 0, 1, 0)
+        assert flit.arrived_cycle == -1
+        assert flit.hops == 0
+
+    def test_repr_is_informative(self):
+        flit = Flit(3, 1, FlitType.BODY, 0, 2, 9)
+        text = repr(flit)
+        assert "pkt=3" in text and "body" in text

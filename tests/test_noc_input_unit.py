@@ -1,0 +1,161 @@
+"""Tests for the downstream input unit (VC buffers + command sink)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nbti.model import NBTIModel
+from repro.nbti.sensor import SensorBank
+from repro.nbti.transistor import PMOSDevice
+from repro.noc.buffer import BufferError, PowerState, VCBuffer
+from repro.noc.flit import Flit, FlitType
+from repro.noc.input_unit import InputUnit
+from repro.noc.link import Channel
+from repro.noc.topology import EAST, LOCAL
+
+
+def make_unit(num_vcs=2, depth=4, with_devices=False, wake_latency=1):
+    model = NBTIModel.calibrated()
+    devices = [PMOSDevice(0.18 + 0.001 * i, model) for i in range(num_vcs)]
+    buffers = [
+        VCBuffer(depth, device=devices[i] if with_devices else None)
+        for i in range(num_vcs)
+    ]
+    credit = Channel("credit", 1)
+    bank = SensorBank(devices) if with_devices else None
+    unit = InputUnit(buffers, credit, route_fn=lambda dst: EAST,
+                     sensor_bank=bank, wake_latency=wake_latency)
+    return unit, credit
+
+
+def flit(ftype, pkt=0, seq=0, dst=1):
+    return Flit(pkt, seq, ftype, 0, dst, 0)
+
+
+class TestDataPath:
+    def test_head_arrival_computes_route_and_claims_vc(self):
+        unit, _ = make_unit()
+        unit.receive_flit(0, flit(FlitType.HEAD), cycle=3)
+        ivc = unit.vcs[0]
+        assert ivc.busy
+        assert ivc.outport == EAST
+        assert ivc.wants_va
+        assert unit.busy_count == 1
+        assert ivc.buffer.front().arrived_cycle == 3
+
+    def test_body_without_head_rejected(self):
+        unit, _ = make_unit()
+        with pytest.raises(BufferError):
+            unit.receive_flit(0, flit(FlitType.BODY), cycle=0)
+
+    def test_packet_mixing_rejected(self):
+        unit, _ = make_unit()
+        unit.receive_flit(0, flit(FlitType.HEAD, pkt=1), 0)
+        with pytest.raises(BufferError):
+            unit.receive_flit(0, flit(FlitType.HEAD, pkt=2), 1)
+
+    def test_foreign_body_flit_rejected(self):
+        unit, _ = make_unit()
+        unit.receive_flit(0, flit(FlitType.HEAD, pkt=1), 0)
+        with pytest.raises(BufferError):
+            unit.receive_flit(0, flit(FlitType.BODY, pkt=2, seq=1), 1)
+
+    def test_pop_sends_credit(self):
+        unit, credit = make_unit()
+        unit.receive_flit(0, flit(FlitType.HEAD), 0)
+        unit.pop_flit(0, cycle=5)
+        assert credit.pop_ready(6) == [0]
+
+    def test_tail_pop_releases_vc(self):
+        unit, _ = make_unit()
+        unit.receive_flit(0, flit(FlitType.HEAD, pkt=1), 0)
+        unit.receive_flit(0, flit(FlitType.TAIL, pkt=1, seq=1), 1)
+        unit.pop_flit(0, 2)
+        assert unit.vcs[0].busy
+        unit.pop_flit(0, 3)
+        assert not unit.vcs[0].busy
+        assert unit.busy_count == 0
+        assert unit.vcs[0].outport is None
+
+    def test_head_tail_single_flit_lifecycle(self):
+        unit, _ = make_unit()
+        unit.receive_flit(1, flit(FlitType.HEAD_TAIL), 0)
+        assert unit.busy_count == 1
+        unit.pop_flit(1, 1)
+        assert unit.busy_count == 0
+
+    def test_flits_received_counter(self):
+        unit, _ = make_unit()
+        unit.receive_flit(0, flit(FlitType.HEAD), 0)
+        assert unit.flits_received == 1
+
+    def test_occupancy(self):
+        unit, _ = make_unit()
+        unit.receive_flit(0, flit(FlitType.HEAD, pkt=1), 0)
+        unit.receive_flit(1, flit(FlitType.HEAD, pkt=2), 0)
+        assert unit.occupancy() == 2
+
+
+class TestPowerCommands:
+    def test_gate_command(self):
+        unit, _ = make_unit()
+        unit.apply_command("gate", 0)
+        assert unit.vcs[0].buffer.state is PowerState.GATED
+
+    def test_wake_command_uses_unit_latency(self):
+        unit, _ = make_unit(wake_latency=2)
+        unit.apply_command("gate", 0)
+        unit.apply_command("wake", 0)
+        assert unit.vcs[0].buffer.state is PowerState.WAKING
+        unit.tick_power()
+        unit.tick_power()
+        assert unit.vcs[0].buffer.state is PowerState.ON
+
+    def test_unknown_command_rejected(self):
+        unit, _ = make_unit()
+        with pytest.raises(ValueError):
+            unit.apply_command("explode", 0)
+
+    def test_tick_power_noop_when_nothing_waking(self):
+        unit, _ = make_unit()
+        unit.tick_power()  # must not raise, fast path
+
+    def test_receive_into_gated_buffer_rejected(self):
+        unit, _ = make_unit()
+        unit.apply_command("gate", 0)
+        with pytest.raises(BufferError):
+            unit.receive_flit(0, flit(FlitType.HEAD), 0)
+
+
+class TestNBTIAccounting:
+    def test_nbti_tick_counts_stress_and_recovery(self):
+        unit, _ = make_unit(with_devices=True)
+        unit.apply_command("gate", 1)
+        unit.nbti_tick()
+        assert unit.vcs[0].buffer.device.counter.snapshot() == (1, 0)
+        assert unit.vcs[1].buffer.device.counter.snapshot() == (0, 1)
+
+    def test_duty_cycles_reported(self):
+        unit, _ = make_unit(with_devices=True)
+        unit.apply_command("gate", 1)
+        for _ in range(4):
+            unit.nbti_tick()
+        duties = unit.duty_cycles()
+        assert duties[0] == pytest.approx(100.0)
+        assert duties[1] == pytest.approx(0.0)
+
+    def test_duty_cycles_without_devices_default_100(self):
+        unit, _ = make_unit(with_devices=False)
+        assert unit.duty_cycles() == [100.0, 100.0]
+
+    def test_waking_buffer_counts_as_stress(self):
+        unit, _ = make_unit(with_devices=True, wake_latency=3)
+        unit.apply_command("gate", 0)
+        unit.apply_command("wake", 0)
+        unit.nbti_tick()
+        assert unit.vcs[0].buffer.device.counter.snapshot() == (1, 0)
+
+
+def test_empty_unit_rejected():
+    with pytest.raises(ValueError):
+        InputUnit([], Channel("c", 1), route_fn=lambda dst: LOCAL)

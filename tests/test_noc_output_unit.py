@@ -1,0 +1,256 @@
+"""Tests for the upstream port: out_vc_state, VA, credits, gating engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import BaselinePolicy, SensorWisePolicy
+from repro.noc.flit import Flit, FlitType
+from repro.noc.link import Channel
+from repro.noc.output_unit import UpstreamPort
+from repro.noc.policy_api import OutVCState, PolicyDecision
+
+
+def make_port(num_vcs=2, depth=4, policy=None, wake_latency=1, latency=1):
+    policy = policy if policy is not None else BaselinePolicy()
+    data = Channel("data", latency)
+    ctrl = Channel("ctrl", latency)
+    return UpstreamPort(num_vcs, depth, policy, data, ctrl, wake_latency=wake_latency), data, ctrl
+
+
+def head(pkt=0):
+    return Flit(pkt, 0, FlitType.HEAD, 0, 1, 0)
+
+
+def tail(pkt=0, seq=1):
+    return Flit(pkt, seq, FlitType.TAIL, 0, 1, 0)
+
+
+class TestAllocation:
+    def test_allocate_idle_vc(self):
+        port, _, _ = make_port()
+        vc = port.allocate_vc(cycle=0, packet_id=9)
+        assert vc is not None
+        assert port.entries[vc].state is OutVCState.ACTIVE
+        assert port.entries[vc].packet_id == 9
+
+    def test_no_double_allocation(self):
+        port, _, _ = make_port(num_vcs=2)
+        a = port.allocate_vc(0)
+        b = port.allocate_vc(0)
+        assert {a, b} == {0, 1}
+        assert port.allocate_vc(0) is None
+
+    def test_gated_vc_not_allocatable(self):
+        port, _, _ = make_port(num_vcs=2)
+        port.apply_decision(PolicyDecision.keep_one(1), cycle=0)
+        assert not port.allocatable(0, cycle=10)
+        assert port.allocatable(1, cycle=10)
+
+    def test_waking_vc_not_allocatable_until_available(self):
+        port, _, _ = make_port(num_vcs=2, wake_latency=2, latency=1)
+        port.apply_decision(PolicyDecision.gate_all(), cycle=0)
+        port.apply_decision(PolicyDecision.keep_one(0), cycle=5)
+        # available at 5 + link 1 + wake 2 = 8
+        assert not port.allocatable(0, cycle=7)
+        assert port.allocatable(0, cycle=8)
+
+    def test_allocation_prefers_policy_idle_vc(self):
+        port, _, _ = make_port(num_vcs=4, policy=SensorWisePolicy())
+        port.set_most_degraded(2)
+        port.set_new_traffic(True)
+        port.run_policy(cycle=0)
+        kept = port.last_decision.idle_vc
+        assert port.allocate_vc(1) == kept
+
+
+class TestCreditsAndRelease:
+    def test_send_consumes_credit(self):
+        port, data, _ = make_port(depth=2)
+        vc = port.allocate_vc(0)
+        port.send_flit(vc, head(), cycle=0)
+        assert port.entries[vc].credits == 1
+        assert data.in_flight == 1
+
+    def test_send_without_credits_rejected(self):
+        port, _, _ = make_port(depth=1)
+        vc = port.allocate_vc(0)
+        port.send_flit(vc, head(), 0)
+        with pytest.raises(RuntimeError):
+            port.send_flit(vc, tail(), 0)
+
+    def test_send_on_idle_vc_rejected(self):
+        port, _, _ = make_port()
+        with pytest.raises(RuntimeError):
+            port.send_flit(0, head(), 0)
+
+    def test_release_after_tail_and_credits(self):
+        port, _, _ = make_port(depth=2)
+        vc = port.allocate_vc(0)
+        port.send_flit(vc, head(), 0)
+        port.send_flit(vc, tail(), 1)
+        assert port.entries[vc].state is OutVCState.ACTIVE
+        port.on_credit(vc)
+        assert port.entries[vc].state is OutVCState.ACTIVE  # 1 of 2 back
+        port.on_credit(vc)
+        assert port.entries[vc].state is OutVCState.IDLE
+
+    def test_tail_only_is_not_enough_for_release(self):
+        port, _, _ = make_port(depth=2)
+        vc = port.allocate_vc(0)
+        port.send_flit(vc, tail(seq=0), 0)
+        assert port.entries[vc].state is OutVCState.ACTIVE
+
+    def test_credit_overflow_rejected(self):
+        port, _, _ = make_port(depth=1)
+        with pytest.raises(RuntimeError):
+            port.on_credit(0)
+
+    def test_can_send(self):
+        port, _, _ = make_port(depth=1)
+        assert not port.can_send(0)
+        vc = port.allocate_vc(0)
+        assert port.can_send(vc)
+        port.send_flit(vc, head(), 0)
+        assert not port.can_send(vc)
+
+
+class TestGatingEngine:
+    def test_gate_all_idle(self):
+        port, _, ctrl = make_port(num_vcs=3)
+        port.apply_decision(PolicyDecision.gate_all(), cycle=0)
+        assert all(port.entries[v].gated for v in range(3))
+        assert ctrl.in_flight == 3
+        assert port.gate_commands == 3
+
+    def test_diff_only_commands(self):
+        port, _, ctrl = make_port(num_vcs=2)
+        port.apply_decision(PolicyDecision.gate_all(), cycle=0)
+        port.apply_decision(PolicyDecision.gate_all(), cycle=1)
+        assert port.gate_commands == 2  # second application was a no-op
+
+    def test_wake_sets_available_at(self):
+        port, _, _ = make_port(num_vcs=2, wake_latency=1, latency=1)
+        port.apply_decision(PolicyDecision.gate_all(), cycle=0)
+        port.apply_decision(PolicyDecision.keep_one(0), cycle=4)
+        assert port.entries[0].available_at == 6
+        assert port.wake_commands == 1
+
+    def test_active_vc_never_touched(self):
+        port, _, ctrl = make_port(num_vcs=2)
+        vc = port.allocate_vc(0)
+        port.apply_decision(PolicyDecision.gate_all(), cycle=0)
+        assert not port.entries[vc].gated
+
+    def test_policy_state_view(self):
+        port, _, _ = make_port(num_vcs=3)
+        vc = port.allocate_vc(0)
+        port.apply_decision(PolicyDecision.keep_one((vc + 1) % 3), cycle=0)
+        states = [port.vc_policy_state(v) for v in range(3)]
+        assert states.count(OutVCState.ACTIVE) == 1
+        assert states.count(OutVCState.IDLE) == 1
+        assert states.count(OutVCState.RECOVERY) == 1
+
+    def test_idle_vc_count(self):
+        port, _, _ = make_port(num_vcs=3)
+        assert port.idle_vc_count() == 3
+        port.apply_decision(PolicyDecision.keep_one(0), cycle=0)
+        assert port.idle_vc_count() == 1
+
+
+class TestMemoization:
+    def test_stable_policy_not_rerun_without_changes(self):
+        class CountingPolicy(BaselinePolicy):
+            stable = True
+
+            def __init__(self):
+                self.calls = 0
+
+            def decide(self, ctx):
+                self.calls += 1
+                return super().decide(ctx)
+
+        policy = CountingPolicy()
+        port, _, _ = make_port(policy=policy)
+        for cycle in range(10):
+            port.set_new_traffic(False)
+            port.run_policy(cycle)
+        assert policy.calls == 1
+
+    def test_rerun_on_traffic_change(self):
+        class CountingPolicy(BaselinePolicy):
+            stable = True
+
+            def __init__(self):
+                self.calls = 0
+
+            def decide(self, ctx):
+                self.calls += 1
+                return super().decide(ctx)
+
+        policy = CountingPolicy()
+        port, _, _ = make_port(policy=policy)
+        port.set_new_traffic(False)
+        port.run_policy(0)
+        port.set_new_traffic(True)
+        port.run_policy(1)
+        assert policy.calls == 2
+
+    def test_rerun_on_md_change(self):
+        policy = SensorWisePolicy()
+        port, _, _ = make_port(num_vcs=4, policy=policy)
+        port.set_most_degraded(0)
+        port.set_new_traffic(True)
+        port.run_policy(0)
+        first = port.last_decision
+        port.set_most_degraded(3)
+        port.run_policy(1)
+        assert port.last_decision.awake != first.awake or True  # re-ran
+        # VC 3 must now be gated first (it is the most degraded).
+        assert 3 not in port.last_decision.awake
+
+    def test_unstable_policy_always_runs(self):
+        class CountingPolicy(BaselinePolicy):
+            stable = False
+
+            def __init__(self):
+                self.calls = 0
+
+            def decide(self, ctx):
+                self.calls += 1
+                return super().decide(ctx)
+
+        policy = CountingPolicy()
+        port, _, _ = make_port(policy=policy)
+        for cycle in range(5):
+            port.run_policy(cycle)
+        assert policy.calls == 5
+
+
+class TestDownUpSink:
+    def test_set_most_degraded_validates(self):
+        port, _, _ = make_port(num_vcs=2)
+        with pytest.raises(ValueError):
+            port.set_most_degraded(5)
+
+    def test_set_most_degraded_latches(self):
+        port, _, _ = make_port(num_vcs=2)
+        port.set_most_degraded(1)
+        assert port.most_degraded_vc == 1
+
+
+class TestValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            make_port(num_vcs=0)
+        with pytest.raises(ValueError):
+            make_port(depth=0)
+        with pytest.raises(ValueError):
+            make_port(wake_latency=-1)
+
+    def test_decision_validation(self):
+        port, _, _ = make_port(num_vcs=2)
+        with pytest.raises(ValueError):
+            PolicyDecision.keep_one(5).validate(2)
+        with pytest.raises(ValueError):
+            PolicyDecision(awake=frozenset((3,)), enable=True, idle_vc=0).validate(2)

@@ -1,0 +1,142 @@
+"""Cycle-exact pipeline timing tests.
+
+The router implements the paper's 3-stage pipeline — BW+RC / VA+SA /
+ST+LT — which, with single-cycle links, costs exactly 3 cycles per hop:
+a flit is written+routed in its arrival cycle, allocated and switched in
+the following two, and its switch cycle doubles as link traversal.
+These tests pin the schedule down cycle by cycle so any future change to
+phase ordering is caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.flit import Packet
+from tests.conftest import build_small_network
+
+
+def occupancy_trace(net, inject_cycle, packet_len, src=0, dst=1, cycles=24):
+    """Per-cycle (ni_pending, occ[router0], occ[router1], ejected)."""
+    ni = net.interfaces[src]
+    trace = []
+    for cycle in range(cycles):
+        if cycle == inject_cycle:
+            ni.enqueue(net.packet_factory.create(src, dst, packet_len, cycle))
+        net.step()
+        trace.append(
+            (
+                ni.pending_flits,
+                net.routers[0].occupancy(),
+                net.routers[1].occupancy(),
+                net.interfaces[dst].flits_ejected,
+            )
+        )
+    return trace
+
+
+class TestSingleFlitSchedule:
+    """One 1-flit packet, 0 -> 1 (one intermediate hop on a 2x2 mesh)."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        net = build_small_network(policy="baseline", flit_rate=0.0)
+        return net, occupancy_trace(net, inject_cycle=5, packet_len=1)
+
+    def test_end_to_end_latency_is_eight_cycles(self, trace):
+        net, _ = trace
+        record = net.interfaces[1].ejection_records[0]
+        assert record.injected_cycle == 5
+        assert record.ejected_cycle == 13
+        assert record.latency == 8
+        assert record.hops == 2  # source router + destination router
+
+    def test_cycle_by_cycle_positions(self, trace):
+        _, t = trace
+        # cycle 5: allocated at the NI, flit queued (NI VA).
+        assert t[5] == (1, 0, 0, 0)
+        # cycle 6: on the NI->router0 link.
+        assert t[6] == (0, 0, 0, 0)
+        # cycles 7-8: in router 0 (BW+RC at 7, VA at 8).
+        assert t[7] == (0, 1, 0, 0)
+        assert t[8] == (0, 1, 0, 0)
+        # cycle 9: SA+ST at router 0 / on the link.
+        assert t[9] == (0, 0, 0, 0)
+        # cycles 10-11: in router 1.
+        assert t[10] == (0, 0, 1, 0)
+        assert t[11] == (0, 0, 1, 0)
+        # cycle 12: on the ejection link.
+        assert t[12] == (0, 0, 0, 0)
+        # cycle 13: ejected.
+        assert t[13] == (0, 0, 0, 1)
+
+
+class TestMultiFlitSerialization:
+    def test_flits_pipeline_back_to_back(self):
+        """A 4-flit packet ejects one flit per cycle once the head
+        arrives: tail latency = head latency + 3."""
+        net = build_small_network(policy="baseline", flit_rate=0.0)
+        occupancy_trace(net, inject_cycle=5, packet_len=4, cycles=26)
+        record = net.interfaces[1].ejection_records[0]
+        assert record.latency == 8 + 3  # head at 13, tail 3 cycles later
+        assert record.length == 4
+
+    def test_two_hop_path_adds_three_cycles(self):
+        """0 -> 3 takes two router-to-router hops (east then south)."""
+        net = build_small_network(policy="baseline", flit_rate=0.0)
+        ni = net.interfaces[0]
+        ni.enqueue(net.packet_factory.create(0, 3, 1, 0))
+        # step from cycle 0 so the injection is picked up at cycle 0
+        for _ in range(20):
+            net.step()
+        record = net.interfaces[3].ejection_records[0]
+        assert record.latency == 11  # 8 + one extra hop (3 cycles)
+        assert record.hops == 3
+
+
+class TestGatingWakeSchedule:
+    def test_gated_port_adds_wake_round_trip(self):
+        """Under sensor-wise with no prior traffic every VC is gated; a
+        new packet pays the policy/wake round-trip before VA."""
+        lazy = build_small_network(policy="sensor-wise", flit_rate=0.0)
+        eager = build_small_network(policy="baseline", flit_rate=0.0)
+        for net in (lazy, eager):
+            net.run(50)  # let policies settle (everything gated for lazy)
+            net.interfaces[0].enqueue(net.packet_factory.create(0, 1, 1, net.cycle))
+            for _ in range(30):
+                net.step()
+        lat_lazy = lazy.interfaces[1].ejection_records[0].latency
+        lat_eager = eager.interfaces[1].ejection_records[0].latency
+        assert lat_eager == 8
+        # Wake round-trips: +2 cycles (link + wake) at the NI, and the
+        # downstream ports wake while the flit is in flight.
+        assert 9 <= lat_lazy <= 16
+
+    def test_zero_wake_latency_narrows_the_penalty(self):
+        slow = build_small_network(policy="sensor-wise", flit_rate=0.0, wake_latency=3)
+        fast = build_small_network(policy="sensor-wise", flit_rate=0.0, wake_latency=0)
+        for net in (slow, fast):
+            net.run(50)
+            net.interfaces[0].enqueue(net.packet_factory.create(0, 1, 1, net.cycle))
+            for _ in range(40):
+                net.step()
+        lat_slow = slow.interfaces[1].ejection_records[0].latency
+        lat_fast = fast.interfaces[1].ejection_records[0].latency
+        assert lat_fast < lat_slow
+
+
+class TestCreditStall:
+    def test_send_stalls_without_credits(self):
+        """With 1-deep buffers a 2-flit packet must stall between flits:
+        the second flit waits for the first's credit round trip."""
+        net = build_small_network(
+            policy="baseline", flit_rate=0.0, buffer_depth=1, packet_length=2,
+        )
+        net.interfaces[0].enqueue(net.packet_factory.create(0, 1, 2, 0))
+        for _ in range(40):
+            net.step()
+        record = net.interfaces[1].ejection_records[0]
+        assert record.length == 2
+        # Slower than the back-to-back case (9 cycles at depth 4: the
+        # second flit waits for the first's credit round trip).
+        assert record.latency > 9

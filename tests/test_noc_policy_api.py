@@ -1,0 +1,106 @@
+"""Tests for the policy API types (context, decision, base class)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.policy_api import (
+    OutVCState,
+    PolicyContext,
+    PolicyDecision,
+    RecoveryPolicy,
+    states_of,
+)
+
+
+class TestStatesOf:
+    def test_builds_state_tuple(self):
+        states = states_of(["idle", "active", "recovery"])
+        assert states == (OutVCState.IDLE, OutVCState.ACTIVE, OutVCState.RECOVERY)
+
+    def test_rejects_unknown_state(self):
+        with pytest.raises(ValueError):
+            states_of(["asleep"])
+
+
+class TestPolicyContext:
+    def make(self):
+        return PolicyContext(
+            cycle=10,
+            vc_states=states_of(["idle", "active", "recovery", "idle"]),
+            new_traffic=True,
+            most_degraded_vc=2,
+        )
+
+    def test_num_vcs(self):
+        assert self.make().num_vcs == 4
+
+    def test_state_predicates(self):
+        ctx = self.make()
+        assert ctx.is_idle(0) and not ctx.is_idle(1)
+        assert ctx.is_active(1)
+        assert ctx.is_recovery(2)
+
+    def test_gateable_vcs_excludes_active(self):
+        assert self.make().gateable_vcs() == (0, 2, 3)
+
+    def test_context_is_immutable(self):
+        ctx = self.make()
+        with pytest.raises(AttributeError):
+            ctx.cycle = 11
+
+
+class TestPolicyDecision:
+    def test_gate_all(self):
+        d = PolicyDecision.gate_all(idle_vc=1)
+        assert d.awake == frozenset()
+        assert not d.enable
+        assert d.idle_vc == 1
+
+    def test_keep_one(self):
+        d = PolicyDecision.keep_one(2)
+        assert d.awake == frozenset((2,))
+        assert d.enable
+        assert d.idle_vc == 2
+
+    def test_all_awake(self):
+        d = PolicyDecision.all_awake(3)
+        assert d.awake == frozenset((0, 1, 2))
+        assert not d.enable
+
+    def test_validate_bounds(self):
+        PolicyDecision.keep_one(1).validate(2)
+        with pytest.raises(ValueError):
+            PolicyDecision.keep_one(2).validate(2)
+        with pytest.raises(ValueError):
+            PolicyDecision(awake=frozenset((5,)), enable=False, idle_vc=0).validate(2)
+
+    def test_decision_is_hashable(self):
+        a = PolicyDecision.keep_one(1)
+        b = PolicyDecision.keep_one(1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRecoveryPolicyBase:
+    def test_decide_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            RecoveryPolicy().decide(
+                PolicyContext(cycle=0, vc_states=states_of(["idle"]), new_traffic=False)
+            )
+
+    def test_default_epoch_constant(self):
+        policy = RecoveryPolicy()
+        assert policy.epoch(0) == policy.epoch(10_000) == 0
+
+    def test_default_flags(self):
+        policy = RecoveryPolicy()
+        assert not policy.stable
+        assert not policy.uses_sensor
+        assert not policy.uses_traffic
+
+    def test_reset_default_noop(self):
+        RecoveryPolicy().reset()
+
+    def test_repr(self):
+        assert "abstract" in repr(RecoveryPolicy())

@@ -1,0 +1,162 @@
+"""Tests for XY/YX/ring routing: minimality, delivery, deadlock ordering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.routing import RingRouting, XYRouting, YXRouting, build_routing
+from repro.noc.topology import (
+    EAST,
+    LOCAL,
+    NORTH,
+    SOUTH,
+    WEST,
+    Mesh2D,
+    Ring,
+    Torus2D,
+)
+
+
+def walk(routing, topology, src: int, dst: int, limit: int = 64):
+    """Follow the routing function hop by hop; return the path."""
+    path = [src]
+    node = src
+    for _ in range(limit):
+        port = routing.route(node, dst)
+        if port == LOCAL:
+            return path
+        node = topology.neighbor(node, port)
+        path.append(node)
+    raise AssertionError(f"route {src}->{dst} did not terminate: {path}")
+
+
+class TestXYRouting:
+    def setup_method(self):
+        self.mesh = Mesh2D(4, 4)
+        self.routing = XYRouting(self.mesh)
+
+    def test_arrived_returns_local(self):
+        assert self.routing.route(5, 5) == LOCAL
+
+    def test_x_before_y(self):
+        # From (0,0) to (2,2): must go EAST first.
+        assert self.routing.route(0, 10) == EAST
+        # From (2,0) to (2,2): x matches, go SOUTH.
+        assert self.routing.route(2, 10) == SOUTH
+
+    def test_west_and_north_directions(self):
+        assert self.routing.route(15, 12) == WEST
+        assert self.routing.route(12, 0) == NORTH
+
+    def test_all_pairs_delivered_minimally(self):
+        for src in range(16):
+            for dst in range(16):
+                path = walk(self.routing, self.mesh, src, dst)
+                assert path[-1] == dst
+                assert len(path) - 1 == self.mesh.hop_distance(src, dst)
+
+    def test_xy_never_turns_from_y_to_x(self):
+        """The dimension-order property that makes XY deadlock-free."""
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                moved_y = False
+                node = src
+                while node != dst:
+                    port = self.routing.route(node, dst)
+                    if port in (NORTH, SOUTH):
+                        moved_y = True
+                    else:
+                        assert not moved_y, f"x-move after y-move on {src}->{dst}"
+                    node = self.mesh.neighbor(node, port)
+
+    def test_route_cache_consistency(self):
+        first = self.routing.route(0, 15)
+        assert self.routing.route(0, 15) == first
+
+    def test_requires_mesh(self):
+        with pytest.raises(TypeError):
+            XYRouting(Ring(4))
+
+
+class TestYXRouting:
+    def test_y_before_x(self):
+        routing = YXRouting(Mesh2D(4, 4))
+        assert routing.route(0, 10) == SOUTH
+
+    def test_all_pairs_delivered(self):
+        mesh = Mesh2D(3, 3)
+        routing = YXRouting(mesh)
+        for src in range(9):
+            for dst in range(9):
+                assert walk(routing, mesh, src, dst)[-1] == dst
+
+
+class TestRingRouting:
+    def test_shortest_direction(self):
+        ring = Ring(6)
+        routing = RingRouting(ring)
+        assert routing.route(0, 1) == EAST
+        assert routing.route(0, 5) == WEST
+
+    def test_tie_goes_east(self):
+        routing = RingRouting(Ring(6))
+        assert routing.route(0, 3) == EAST
+
+    def test_all_pairs_delivered_minimally(self):
+        ring = Ring(7)
+        routing = RingRouting(ring)
+        for src in range(7):
+            for dst in range(7):
+                path = walk(routing, ring, src, dst)
+                assert path[-1] == dst
+                assert len(path) - 1 == ring.hop_distance(src, dst)
+
+    def test_requires_ring(self):
+        with pytest.raises(TypeError):
+            RingRouting(Mesh2D(2, 2))
+
+
+class TestBuildRouting:
+    def test_auto_picks_xy_on_mesh(self):
+        assert isinstance(build_routing("auto", Mesh2D(2, 2)), XYRouting)
+
+    def test_auto_picks_ring_on_ring(self):
+        assert isinstance(build_routing("auto", Ring(4)), RingRouting)
+
+    def test_explicit_names(self):
+        mesh = Mesh2D(2, 2)
+        assert isinstance(build_routing("xy", mesh), XYRouting)
+        assert isinstance(build_routing("yx", mesh), YXRouting)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            build_routing("adaptive", Mesh2D(2, 2))
+
+    def test_xy_works_on_torus_type(self):
+        # Torus2D subclasses Mesh2D; XY uses mesh-coordinate moves (the
+        # non-wrapping subset of links), so delivery still holds.
+        torus = Torus2D(4, 4)
+        routing = build_routing("xy", torus)
+        for src in (0, 5, 15):
+            for dst in range(16):
+                assert walk(routing, torus, src, dst)[-1] == dst
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    width=st.integers(min_value=2, max_value=6),
+    height=st.integers(min_value=2, max_value=6),
+    data=st.data(),
+)
+def test_xy_property_random_meshes(width, height, data):
+    mesh = Mesh2D(width, height)
+    routing = XYRouting(mesh)
+    src = data.draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+    path = walk(routing, mesh, src, dst, limit=width + height + 2)
+    assert path[-1] == dst
+    assert len(path) - 1 == mesh.hop_distance(src, dst)

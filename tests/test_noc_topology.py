@@ -1,0 +1,165 @@
+"""Tests for mesh/torus/ring topologies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.topology import (
+    EAST,
+    LOCAL,
+    NORTH,
+    SOUTH,
+    WEST,
+    Mesh2D,
+    Ring,
+    Torus2D,
+    build_topology,
+    port_id,
+    port_name,
+)
+
+
+class TestPortNames:
+    def test_roundtrip(self):
+        for pid in (LOCAL, NORTH, SOUTH, EAST, WEST):
+            assert port_id(port_name(pid)) == pid
+
+    def test_single_letter_aliases(self):
+        assert port_id("E") == EAST
+        assert port_id("w") == WEST
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            port_id("up")
+
+
+class TestMesh2D:
+    def test_2x2_geometry(self):
+        mesh = Mesh2D(2, 2)
+        assert mesh.num_nodes == 4
+        assert mesh.coordinates(3) == (1, 1)
+        assert mesh.node_at(1, 0) == 1
+
+    def test_neighbors_of_top_left(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.neighbor(0, EAST) == 1
+        assert mesh.neighbor(0, SOUTH) == 4
+        with pytest.raises(ValueError):
+            mesh.neighbor(0, WEST)  # edge router: no west link
+        with pytest.raises(ValueError):
+            mesh.neighbor(0, NORTH)
+
+    def test_links_are_symmetric(self):
+        mesh = Mesh2D(4, 4)
+        links = {(l.src_router, l.src_port, l.dst_router, l.dst_port) for l in mesh.links()}
+        reverse_port = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}
+        # Every link has its reverse.
+        for src, sport, dst, dport in links:
+            assert (dst, reverse_port[sport], src, reverse_port[dport]) in links
+
+    def test_link_count(self):
+        # 4x4 mesh: 2 * (3*4 + 4*3) = 48 directed links.
+        assert len(Mesh2D(4, 4).links()) == 48
+
+    def test_hop_distance_is_manhattan(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.hop_distance(0, 15) == 6
+        assert mesh.hop_distance(5, 5) == 0
+        assert mesh.hop_distance(0, 1) == 1
+
+    def test_east_input_of_router0_fed_by_router1(self):
+        """The paper measures router 0's east input port: it must be fed
+        by router 1's west output."""
+        mesh = Mesh2D(2, 2)
+        feeders = [
+            (l.src_router, l.src_port)
+            for l in mesh.links()
+            if l.dst_router == 0 and l.dst_port == EAST
+        ]
+        assert feeders == [(1, WEST)]
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 4)
+        with pytest.raises(ValueError):
+            Mesh2D(1, 1)
+
+    def test_out_of_range_node_rejected(self):
+        mesh = Mesh2D(2, 2)
+        with pytest.raises(ValueError):
+            mesh.coordinates(4)
+        with pytest.raises(ValueError):
+            mesh.node_at(2, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        width=st.integers(min_value=2, max_value=5),
+        height=st.integers(min_value=1, max_value=5),
+    )
+    def test_coordinates_roundtrip(self, width, height):
+        mesh = Mesh2D(width, height)
+        for node in range(mesh.num_nodes):
+            x, y = mesh.coordinates(node)
+            assert mesh.node_at(x, y) == node
+
+
+class TestTorus2D:
+    def test_wraparound_links_exist(self):
+        torus = Torus2D(4, 4)
+        assert torus.neighbor(3, EAST) == 0  # right edge wraps
+        assert torus.neighbor(0, NORTH) == 12  # top edge wraps
+
+    def test_no_wrap_on_width_two(self):
+        """Width-2 dimensions would duplicate the existing links."""
+        torus = Torus2D(2, 4)
+        east_links = [
+            l for l in torus.links() if l.src_router == 1 and l.src_port == EAST
+        ]
+        assert east_links == []
+
+    def test_hop_distance_uses_wraparound(self):
+        torus = Torus2D(4, 4)
+        assert torus.hop_distance(0, 3) == 1
+        assert torus.hop_distance(0, 15) == 2
+
+
+class TestRing:
+    def test_links_bidirectional(self):
+        ring = Ring(4)
+        assert ring.neighbor(0, EAST) == 1
+        assert ring.neighbor(0, WEST) == 3
+
+    def test_hop_distance_shortest_way(self):
+        ring = Ring(6)
+        assert ring.hop_distance(0, 5) == 1
+        assert ring.hop_distance(0, 3) == 3
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            Ring(1)
+
+
+class TestBuildTopology:
+    def test_mesh_squarest_shape(self):
+        topo = build_topology("mesh", 16)
+        assert isinstance(topo, Mesh2D)
+        assert (topo.width, topo.height) == (4, 4)
+
+    def test_mesh_rectangular(self):
+        topo = build_topology("mesh", 8)
+        assert {topo.width, topo.height} == {4, 2}
+
+    def test_torus_and_ring(self):
+        assert isinstance(build_topology("torus", 9), Torus2D)
+        assert isinstance(build_topology("ring", 5), Ring)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology("hypercube", 8)
+
+    def test_paper_architectures(self):
+        for nodes, shape in ((4, (2, 2)), (16, (4, 4))):
+            topo = build_topology("mesh", nodes)
+            assert (topo.width, topo.height) == shape

@@ -1,0 +1,199 @@
+"""Tests for virtual-network support (paper Table I: 2/6 vnets).
+
+The partition is strict: a packet may only use VCs of its own vnet, the
+recovery policy runs per vnet, and the Down_Up most-degraded markers are
+maintained per vnet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import BaselinePolicy, SensorWisePolicy, make_policy_factory
+from repro.nbti.process_variation import ProcessVariationModel
+from repro.noc.config import NoCConfig
+from repro.noc.link import Channel
+from repro.noc.network import Network
+from repro.noc.output_unit import UpstreamPort
+from repro.noc.policy_api import OutVCState
+from repro.traffic.base import TrafficGenerator
+from repro.traffic.real import BenchmarkTraffic
+from repro.traffic.benchmarks import get_profile
+from tests.conftest import drain
+
+
+class TwoVnetTraffic(TrafficGenerator):
+    """Deterministic generator: alternating packets on vnets 0 and 1."""
+
+    name = "two-vnet"
+
+    def __init__(self, num_nodes: int, period: int = 7) -> None:
+        super().__init__(num_nodes)
+        self.period = period
+
+    def inject(self, cycle):
+        if cycle % self.period:
+            return []
+        src = cycle % self.num_nodes
+        dst = (src + 1) % self.num_nodes
+        vnet = (cycle // self.period) % 2
+        return [(src, dst, 2, vnet)]
+
+
+def build_vnet_network(policy="sensor-wise", num_vnets=2, num_vcs=2, traffic=None):
+    config = NoCConfig(num_nodes=4, num_vcs=num_vcs, num_vnets=num_vnets)
+    traffic = traffic if traffic is not None else TwoVnetTraffic(4)
+    return Network(
+        config,
+        make_policy_factory(policy),
+        traffic,
+        pv_model=ProcessVariationModel(seed=21),
+    )
+
+
+class TestConfig:
+    def test_total_vcs(self):
+        assert NoCConfig(num_vcs=2, num_vnets=3).total_vcs == 6
+
+    def test_invalid_vnets_rejected(self):
+        with pytest.raises(ValueError):
+            NoCConfig(num_vnets=0)
+
+
+class TestUpstreamPortVnets:
+    def make_port(self, num_vcs=2, num_vnets=2):
+        return UpstreamPort(
+            num_vcs, 4, None,
+            Channel("d", 1), Channel("c", 1),
+            num_vnets=num_vnets,
+            policy_factory=SensorWisePolicy,
+        )
+
+    def test_multi_vnet_requires_factory(self):
+        with pytest.raises(ValueError):
+            UpstreamPort(2, 4, BaselinePolicy(), Channel("d", 1), Channel("c", 1),
+                         num_vnets=2)
+
+    def test_engines_cover_slices(self):
+        port = self.make_port()
+        assert port.total_vcs == 4
+        assert [(e.start, e.count) for e in port.engines] == [(0, 2), (2, 2)]
+        assert port.engines[0].policy is not port.engines[1].policy
+
+    def test_vnet_of(self):
+        port = self.make_port()
+        assert [port.vnet_of(v) for v in range(4)] == [0, 0, 1, 1]
+        with pytest.raises(ValueError):
+            port.vnet_of(4)
+
+    def test_allocation_respects_vnet(self):
+        port = self.make_port()
+        port.set_new_traffic(True, vnet=1)
+        port.run_policy(0)
+        vc = port.allocate_vc(10, vnet=1)
+        assert vc is not None and port.vnet_of(vc) == 1
+        # vnet 0 had no traffic: all of its VCs are gated, none grantable.
+        assert port.allocate_vc(10, vnet=0) is None
+
+    def test_policies_run_independently(self):
+        port = self.make_port()
+        port.set_new_traffic(True, vnet=0)
+        port.set_new_traffic(False, vnet=1)
+        decisions = port.run_policy(0)
+        assert decisions[0].enable
+        assert not decisions[1].enable
+        # One idle VC awake in vnet 0's slice, none in vnet 1's.
+        states = [port.vc_policy_state(v) for v in range(4)]
+        assert states[:2].count(OutVCState.IDLE) == 1
+        assert states[2:].count(OutVCState.IDLE) == 0
+
+    def test_most_degraded_routed_to_owning_vnet(self):
+        port = self.make_port()
+        port.set_most_degraded(3)  # global id -> vnet 1, local 1
+        assert port.engines[1].most_degraded_vc == 1
+        assert port.engines[0].most_degraded_vc is None
+
+    def test_single_vnet_shims(self):
+        port = UpstreamPort(2, 4, SensorWisePolicy(), Channel("d", 1), Channel("c", 1))
+        port.set_most_degraded(1)
+        assert port.most_degraded_vc == 1
+        assert port.policy.name == "sensor-wise"
+
+
+class TestVnetNetwork:
+    def test_packets_stay_in_their_vnet(self):
+        """Flits of vnet-v packets only ever occupy vnet-v buffers."""
+        net = build_vnet_network(policy="baseline")
+        violations = []
+        for _ in range(400):
+            net.step()
+            for router in net.routers:
+                for port in router.input_ports:
+                    for vc, ivc in enumerate(router.inputs[port].unit.vcs):
+                        for flit in list(ivc.buffer._flits):
+                            if vc // net.config.num_vcs != flit.vnet:
+                                violations.append((router.router_id, port, vc, flit))
+        assert not violations
+
+    def test_delivery_across_vnets(self):
+        net = build_vnet_network(policy="sensor-wise")
+        net.run(900)
+        drain(net)
+        injected = sum(ni.packets_injected for ni in net.interfaces)
+        ejected = sum(ni.packets_ejected for ni in net.interfaces)
+        assert ejected == injected > 50
+
+    def test_policy_reserves_per_vnet(self):
+        """With traffic on both vnets, each vnet keeps its own idle VC —
+        the quiet vnet's VCs all recover."""
+        class Vnet0Only(TrafficGenerator):
+            name = "v0"
+
+            def inject(self, cycle):
+                if cycle % 5:
+                    return []
+                return [(0, 1, 2, 0)]
+
+        net = build_vnet_network(policy="sensor-wise", traffic=Vnet0Only(4))
+        net.run(600)
+        # Router 1 west input port receives node0->node1 traffic.
+        duties = net.duty_cycles(1, "west")
+        vnet0, vnet1 = duties[:2], duties[2:]
+        assert max(vnet0) > 5.0       # active message class
+        assert max(vnet1) < 5.0       # quiet class fully recovers
+
+    def test_real_traffic_on_two_vnets(self):
+        profiles = [get_profile("matmult")] * 4
+        traffic = BenchmarkTraffic(profiles, seed=3, response_vnet=1)
+        net = build_vnet_network(policy="sensor-wise", traffic=traffic)
+        net.run(2500)
+        drain(net, max_cycles=4000)
+        injected = sum(ni.packets_injected for ni in net.interfaces)
+        ejected = sum(ni.packets_ejected for ni in net.interfaces)
+        assert ejected == injected > 20
+
+    def test_ni_rejects_out_of_range_vnet(self):
+        net = build_vnet_network(num_vnets=2)
+        from repro.noc.flit import Packet
+
+        with pytest.raises(ValueError):
+            net.interfaces[0].enqueue(
+                Packet(999, src=0, dst=1, length=1, injected_cycle=0, vnet=5)
+            )
+
+    def test_duty_accounting_covers_all_vnets(self):
+        net = build_vnet_network(policy="baseline")
+        net.run(100)
+        duties = net.duty_cycles(0, "east")
+        assert len(duties) == net.config.total_vcs
+        assert duties == [100.0] * len(duties)
+
+
+class TestVnetSidebandWires:
+    def test_wires_scale_with_vnets(self):
+        from repro.area.overhead import down_up_wires, up_down_wires
+
+        assert up_down_wires(4, num_vnets=2) == 6
+        assert down_up_wires(4, num_vnets=2) == 4
+        with pytest.raises(ValueError):
+            up_down_wires(4, num_vnets=0)

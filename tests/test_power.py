@@ -1,0 +1,127 @@
+"""Tests for the ORION-class power model and leakage/gating accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.area.power import (
+    PowerBreakdown,
+    buffer_leakage_spread,
+    compute_power_report,
+    leakage_scale,
+    thermal_voltage,
+)
+from repro.nbti.constants import TECH_45NM
+from repro.nbti.process_variation import ProcessVariationModel
+from tests.conftest import build_small_network
+
+
+class TestLeakageScale:
+    def test_nominal_is_unity(self):
+        assert leakage_scale(TECH_45NM.vth_nominal) == pytest.approx(1.0)
+
+    def test_lower_vth_leaks_more(self):
+        assert leakage_scale(0.160) > 1.0 > leakage_scale(0.200)
+
+    def test_monotone_decreasing_in_vth(self):
+        vths = [0.15, 0.17, 0.18, 0.19, 0.21]
+        scales = [leakage_scale(v) for v in vths]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_hotter_means_flatter(self):
+        """At higher T the exponential sensitivity to Vth weakens."""
+        cold = leakage_scale(0.160, temperature_k=300.0)
+        hot = leakage_scale(0.160, temperature_k=400.0)
+        assert cold > hot > 1.0
+
+    def test_invalid_vth_rejected(self):
+        with pytest.raises(ValueError):
+            leakage_scale(0.0)
+
+    def test_thermal_voltage(self):
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+
+class TestLeakageSpread:
+    def test_paper_variation_regime(self):
+        """The paper cites ~90 % buffer leakage variation from PV; a
+        realistic per-chip sample lands in the +50..+200 % band."""
+        vths = ProcessVariationModel(seed=3).sample(64)
+        spread = buffer_leakage_spread(vths)
+        assert 1.5 <= spread <= 3.0
+
+    def test_uniform_population_has_no_spread(self):
+        assert buffer_leakage_spread([0.18, 0.18]) == pytest.approx(1.0)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            buffer_leakage_spread([])
+
+
+class TestPowerReport:
+    def run_net(self, policy, cycles=800, rate=0.2):
+        net = build_small_network(policy=policy, flit_rate=rate)
+        net.run(cycles)
+        return net
+
+    def test_breakdown_fields_positive_under_traffic(self):
+        report = compute_power_report(self.run_net("baseline"))
+        assert report.dynamic_buffer_pj > 0
+        assert report.dynamic_crossbar_pj > 0
+        assert report.dynamic_arbitration_pj > 0
+        assert report.dynamic_link_pj > 0
+        assert report.leakage_actual_pj > 0
+        assert report.total_pj == pytest.approx(
+            report.dynamic_pj + report.leakage_actual_pj
+        )
+
+    def test_baseline_saves_no_leakage(self):
+        report = compute_power_report(self.run_net("baseline"))
+        assert report.leakage_saving == pytest.approx(0.0)
+        assert report.leakage_actual_pj == pytest.approx(report.leakage_ungated_pj)
+
+    def test_gating_policies_save_leakage(self):
+        rr = compute_power_report(self.run_net("rr-no-sensor"))
+        sw = compute_power_report(self.run_net("sensor-wise"))
+        assert rr.leakage_saving > 0.5
+        assert sw.leakage_saving > 0.5
+
+    def test_dynamic_energy_similar_across_policies(self):
+        """Same traffic -> roughly the same switching energy."""
+        base = compute_power_report(self.run_net("baseline"))
+        sw = compute_power_report(self.run_net("sensor-wise"))
+        assert sw.dynamic_pj == pytest.approx(base.dynamic_pj, rel=0.1)
+
+    def test_idle_network_is_leakage_only(self):
+        net = build_small_network(policy="baseline", flit_rate=0.0)
+        net.run(200)
+        report = compute_power_report(net)
+        assert report.dynamic_pj == 0.0
+        assert report.leakage_actual_pj > 0.0
+
+    def test_power_mw_scales_with_window(self):
+        report = compute_power_report(self.run_net("baseline", cycles=400))
+        mw = report.power_mw(TECH_45NM.clock_period_s)
+        assert mw > 0.0
+        assert report.power_mw(2 * TECH_45NM.clock_period_s) == pytest.approx(mw / 2)
+
+    def test_empty_window_power_zero(self):
+        empty = PowerBreakdown(0, 0, 0, 0, 0, 0, 0)
+        assert empty.power_mw(1e-9) == 0.0
+        assert empty.leakage_saving == 0.0
+
+    def test_as_text_mentions_saving(self):
+        report = compute_power_report(self.run_net("sensor-wise"))
+        assert "gating saved" in report.as_text()
+
+    def test_aging_leakage_toggle(self):
+        net = self.run_net("baseline")
+        with_aging = compute_power_report(net, include_aging_leakage=True)
+        without = compute_power_report(net, include_aging_leakage=False)
+        # NBTI raises |Vth|, so the aged population leaks *less*; the
+        # long-term model's weak time dependence makes the effect a few
+        # percent even at simulation-scale horizons.
+        assert with_aging.leakage_actual_pj < without.leakage_actual_pj
+        assert with_aging.leakage_actual_pj == pytest.approx(
+            without.leakage_actual_pj, rel=0.15
+        )

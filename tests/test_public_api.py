@@ -1,0 +1,67 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version_matches_pyproject(self):
+        import pathlib
+
+        pyproject = pathlib.Path(repro.__file__).parents[2] / "pyproject.toml"
+        assert f'version = "{repro.__version__}"' in pyproject.read_text()
+
+    def test_quick_simulation_defaults(self):
+        result = repro.quick_simulation(cycles=1200)
+        assert len(result.duty_cycles) == 2
+        assert all(0.0 <= d <= 100.0 for d in result.duty_cycles)
+        assert result.net_stats.packets_ejected > 0
+
+    def test_quick_simulation_policy_choice(self):
+        base = repro.quick_simulation(policy="baseline", cycles=800)
+        assert base.duty_cycles == [100.0, 100.0]
+
+    def test_quick_simulation_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            repro.quick_simulation(policy="nope", cycles=100)
+
+
+class TestSubpackageExports:
+    """Every name in each subpackage's __all__ must actually resolve."""
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.nbti",
+            "repro.noc",
+            "repro.core",
+            "repro.traffic",
+            "repro.area",
+            "repro.stats",
+            "repro.experiments",
+        ],
+    )
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__") and module.__all__
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_paper_policies_importable_from_core(self):
+        from repro.core import PAPER_POLICIES, make_policy_factory
+
+        for name in PAPER_POLICIES:
+            assert make_policy_factory(name)().name == name
+
+    def test_docstrings_on_public_modules(self):
+        for module_name in (
+            "repro", "repro.nbti.model", "repro.noc.router",
+            "repro.core.policies", "repro.experiments.tables",
+        ):
+            module = importlib.import_module(module_name)
+            assert module.__doc__ and len(module.__doc__) > 40

@@ -1,0 +1,76 @@
+"""Tests for the streaming statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.summary import RunningStats, VectorStats, mean, std
+
+FLOATS = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestRunningStats:
+    def test_basic_moments(self):
+        rs = RunningStats()
+        rs.extend([2.0, 4.0, 6.0])
+        assert rs.mean == pytest.approx(4.0)
+        assert rs.std == pytest.approx(np.std([2.0, 4.0, 6.0]))
+
+    def test_empty(self):
+        rs = RunningStats()
+        assert rs.count == 0
+        assert rs.mean == 0.0
+        assert rs.std == 0.0
+
+    def test_single_value(self):
+        rs = RunningStats()
+        rs.add(5.0)
+        assert rs.mean == 5.0
+        assert rs.std == 0.0
+
+    def test_min_max(self):
+        rs = RunningStats()
+        rs.extend([3.0, -1.0, 7.0])
+        assert rs.min == -1.0
+        assert rs.max == 7.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(FLOATS, min_size=1, max_size=100))
+    def test_matches_numpy(self, values):
+        rs = RunningStats()
+        rs.extend(values)
+        assert rs.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-6)
+        assert rs.std == pytest.approx(float(np.std(values)), rel=1e-6, abs=1e-6)
+
+
+class TestVectorStats:
+    def test_per_component_moments(self):
+        vs = VectorStats(2)
+        vs.add([1.0, 10.0])
+        vs.add([3.0, 30.0])
+        assert vs.count == 2
+        assert vs.means() == [pytest.approx(2.0), pytest.approx(20.0)]
+        assert vs.stds() == [pytest.approx(1.0), pytest.approx(10.0)]
+
+    def test_length_mismatch_rejected(self):
+        vs = VectorStats(2)
+        with pytest.raises(ValueError):
+            vs.add([1.0])
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            VectorStats(0)
+
+
+class TestFunctions:
+    def test_mean_and_std(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert std([1.0, 2.0, 3.0]) == pytest.approx(float(np.std([1, 2, 3])))
+
+    def test_degenerate_inputs(self):
+        assert mean([]) == 0.0
+        assert std([]) == 0.0
+        assert std([4.0]) == 0.0

@@ -1,0 +1,129 @@
+"""Tests for the injection-sweep harness and the extended policy zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import StaticReservePolicy, make_policy_factory
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.sweeps import run_injection_sweep
+from repro.noc.policy_api import states_of, PolicyContext
+from tests.conftest import build_small_network
+
+FAST = ScenarioConfig(num_nodes=4, num_vcs=2, cycles=1500, warmup=300)
+
+
+class TestStaticReservePolicy:
+    def ctx(self, states, reserved=0):
+        return PolicyContext(
+            cycle=0, vc_states=states_of(states), new_traffic=True,
+            most_degraded_vc=None,
+        )
+
+    def test_reserved_vc_kept_awake(self):
+        policy = StaticReservePolicy(reserved_vc=1)
+        decision = policy.decide(self.ctx(["idle", "idle", "idle"]))
+        assert decision.awake == frozenset((1,))
+        assert decision.idle_vc == 1
+
+    def test_active_reserved_vc_gates_everything_else(self):
+        policy = StaticReservePolicy(reserved_vc=0)
+        decision = policy.decide(self.ctx(["active", "idle"]))
+        assert decision.awake == frozenset()
+
+    def test_reserved_vc_wraps(self):
+        policy = StaticReservePolicy(reserved_vc=5)
+        decision = policy.decide(self.ctx(["idle", "idle"]))
+        assert decision.idle_vc == 1  # 5 % 2
+
+    def test_negative_reserved_rejected(self):
+        with pytest.raises(ValueError):
+            StaticReservePolicy(reserved_vc=-1)
+
+    def test_factory_registration(self):
+        policy = make_policy_factory("static-reserve", reserved_vc=1)()
+        assert policy.name == "static-reserve"
+        assert policy.reserved_vc == 1
+
+    def test_reserved_vc_ages_like_no_traffic_variant(self):
+        """End to end: the reserved VC pays ~100 % duty while the other
+        recovers — the failure mode sensors fix."""
+        net = build_small_network(policy="static-reserve", flit_rate=0.1)
+        net.run(1500)
+        duties = net.duty_cycles(0, "east")
+        assert duties[0] > 90.0
+        assert duties[1] < 30.0
+
+
+class TestInjectionSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_injection_sweep(
+            (0.1, 0.3), base=FAST, policies=("rr-no-sensor", "sensor-wise")
+        )
+
+    def test_points_in_rate_order(self, sweep):
+        assert sweep.rates() == [0.1, 0.3]
+
+    def test_series_shapes(self, sweep):
+        for metric in ("md_duty", "latency", "throughput"):
+            series = sweep.series("sensor-wise", metric)
+            assert len(series) == 2
+            assert all(v >= 0.0 for v in series)
+
+    def test_duty_rises_with_load(self, sweep):
+        duties = sweep.series("rr-no-sensor", "md_duty")
+        assert duties[1] > duties[0]
+
+    def test_gap_defined_and_positive(self, sweep):
+        gaps = sweep.gaps()
+        assert all(g is not None and g > 0 for g in gaps)
+
+    def test_format_contains_rates(self, sweep):
+        text = sweep.format()
+        assert "0.10" in text and "0.30" in text
+
+    def test_csv_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 points
+        header = lines[0].split(",")
+        assert "rr-no-sensor.md_duty" in header
+        assert "gap" in header
+        first = dict(zip(header, lines[1].split(",")))
+        assert float(first["injection_rate"]) == 0.1
+
+    def test_gap_none_without_reference(self):
+        sweep = run_injection_sweep((0.1,), base=FAST, policies=("baseline",))
+        assert sweep.gaps() == [None]
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ValueError):
+            run_injection_sweep((), base=FAST)
+
+    def test_kwargs_override_base(self):
+        sweep = run_injection_sweep((0.1,), base=FAST, num_vcs=4)
+        assert sweep.scenario.num_vcs == 4
+        assert len(sweep.points[0].results["sensor-wise"].duty_cycles) == 4
+
+
+class TestNewCLICommands:
+    def test_sweep_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        csv = tmp_path / "out.csv"
+        assert main([
+            "sweep", "--cycles", "1200", "--warmup", "200",
+            "--rates", "0.1", "--csv", str(csv),
+        ]) == 0
+        assert "Injection sweep" in capsys.readouterr().out
+        assert csv.exists()
+
+    def test_power_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["power", "--cycles", "1200", "--warmup", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Power breakdown" in out
+        assert "average power" in out

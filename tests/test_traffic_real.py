@@ -1,0 +1,163 @@
+"""Tests for benchmark profiles and the benchmark-mix traffic generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traffic.benchmarks import (
+    ALL_PROFILES,
+    SPLASH2_PROFILES,
+    WCET_PROFILES,
+    BenchmarkProfile,
+    get_profile,
+    random_mix,
+)
+from repro.traffic.real import BenchmarkTraffic
+
+
+class TestProfiles:
+    def test_suites_are_disjoint_and_union(self):
+        assert not set(SPLASH2_PROFILES) & set(WCET_PROFILES)
+        assert set(ALL_PROFILES) == set(SPLASH2_PROFILES) | set(WCET_PROFILES)
+
+    def test_known_benchmarks_present(self):
+        for name in ("ocean", "fft", "barnes", "crc", "matmult"):
+            assert name in ALL_PROFILES
+
+    def test_profile_lookup(self):
+        assert get_profile("ocean").suite == "splash2"
+        with pytest.raises(KeyError):
+            get_profile("doom")
+
+    def test_duty_and_average_rate(self):
+        p = BenchmarkProfile("x", "t", on_rate=0.4, burst_mean=100, idle_mean=300)
+        assert p.duty == pytest.approx(0.25)
+        assert p.average_rate == pytest.approx(0.1)
+
+    def test_memory_bound_vs_compute_bound_ordering(self):
+        """The qualitative characterization: OCEAN/FFT/RADIX are hungrier
+        than WATER and the WCET kernels."""
+        for heavy in ("ocean", "fft", "radix"):
+            for light in ("water-nsq", "crc", "fir"):
+                assert get_profile(heavy).average_rate > get_profile(light).average_rate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", "t", on_rate=0.0, burst_mean=10, idle_mean=10)
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", "t", on_rate=0.1, burst_mean=0.5, idle_mean=10)
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                "x", "t", on_rate=0.1, burst_mean=10, idle_mean=10,
+                locality_fraction=0.8, hotspot_fraction=0.5,
+            )
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                "x", "t", on_rate=0.1, burst_mean=10, idle_mean=10,
+                reply_probability=1.5,
+            )
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                "x", "t", on_rate=0.1, burst_mean=10, idle_mean=10,
+                request_length=0,
+            )
+
+
+class TestRandomMix:
+    def test_one_profile_per_core(self):
+        mix = random_mix(16, seed=3)
+        assert len(mix) == 16
+
+    def test_deterministic(self):
+        a = [p.name for p in random_mix(8, seed=4)]
+        b = [p.name for p in random_mix(8, seed=4)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [p.name for p in random_mix(8, seed=4)]
+        b = [p.name for p in random_mix(8, seed=5)]
+        assert a != b
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            random_mix(0, seed=1)
+
+
+class TestBenchmarkTraffic:
+    def make(self, **kwargs):
+        return BenchmarkTraffic.random(4, mix_seed=7, **kwargs)
+
+    def test_injections_valid(self):
+        gen = self.make()
+        for cycle in range(3000):
+            for src, dst, length in gen.inject(cycle):
+                assert 0 <= src < 4 and 0 <= dst < 4
+                assert src != dst
+                assert length >= 1
+
+    def test_deterministic(self):
+        a = self.make()
+        b = self.make()
+        for cycle in range(1000):
+            assert a.inject(cycle) == b.inject(cycle)
+
+    def test_responses_follow_requests(self):
+        """With reply probability > 0, some packets flow back to sources
+        after the service delay."""
+        profiles = [get_profile("matmult")] * 4  # reply=0.9, hotspot-heavy
+        gen = BenchmarkTraffic(profiles, seed=3, service_delay=10)
+        requests = set()
+        responses = 0
+        for cycle in range(20000):
+            for src, dst, length in gen.inject(cycle):
+                if length == profiles[0].response_length and (dst, src) in requests:
+                    responses += 1
+                if length == profiles[0].request_length:
+                    requests.add((src, dst))
+        assert responses > 0
+
+    def test_traffic_is_bursty(self):
+        """ON/OFF modulation: per-window injection counts vary far more
+        than a Poisson stream of the same mean."""
+        profiles = [get_profile("ocean")] * 4
+        gen = BenchmarkTraffic(profiles, seed=5)
+        window = 200
+        counts = []
+        for w in range(100):
+            counts.append(
+                sum(len(gen.inject(c)) for c in range(w * window, (w + 1) * window))
+            )
+        mean = sum(counts) / len(counts)
+        var = sum((c - mean) ** 2 for c in counts) / len(counts)
+        assert mean > 0
+        assert var > 2.0 * mean  # Poisson would have var ~= mean
+
+    def test_average_rate_tracks_profile(self):
+        """Long-run flit rate approaches the profile's average rate."""
+        profile = get_profile("lu")
+        gen = BenchmarkTraffic([profile] * 4, seed=9)
+        flits = 0
+        cycles = 60000
+        for cycle in range(cycles):
+            for _, _, length in gen.inject(cycle):
+                flits += length
+        measured = flits / (cycles * 4)
+        assert measured == pytest.approx(profile.average_rate, rel=0.35)
+
+    def test_hot_banks_default_to_corners(self):
+        gen = BenchmarkTraffic.random(16, mix_seed=1)
+        assert gen.hot_banks == [0, 3, 12, 15]
+
+    def test_custom_hot_banks(self):
+        gen = BenchmarkTraffic.random(4, mix_seed=1, hot_banks=[2])
+        assert gen.hot_banks == [2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkTraffic.random(4, mix_seed=1, service_delay=0)
+        with pytest.raises(ValueError):
+            BenchmarkTraffic.random(4, mix_seed=1, hot_banks=[99])
+
+    def test_describe_lists_benchmarks(self):
+        gen = self.make()
+        assert "benchmark-mix" in gen.describe()

@@ -1,0 +1,186 @@
+"""Tests for synthetic traffic patterns."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.base import (
+    CompositeTraffic,
+    NullTraffic,
+    TrafficGenerator,
+    grid_shape,
+    validate_rate,
+)
+from repro.traffic.synthetic import PATTERNS, HotspotTraffic, SyntheticTraffic
+
+
+class TestBase:
+    def test_grid_shape(self):
+        assert grid_shape(16) == (4, 4)
+        assert grid_shape(4) == (2, 2)
+        assert grid_shape(8) == (4, 2)
+        assert grid_shape(2) == (2, 1)
+
+    def test_validate_rate(self):
+        assert validate_rate(0.5) == 0.5
+        with pytest.raises(ValueError):
+            validate_rate(-0.1)
+        with pytest.raises(ValueError):
+            validate_rate(1.1)
+
+    def test_null_traffic_is_silent(self):
+        gen = NullTraffic(4)
+        assert all(gen.inject(c) == [] for c in range(50))
+
+    def test_composite_superposes(self):
+        a = SyntheticTraffic("uniform", 4, flit_rate=0.4, packet_length=1, seed=1)
+        b = SyntheticTraffic("uniform", 4, flit_rate=0.4, packet_length=1, seed=2)
+        both = CompositeTraffic([a, b])
+        a2 = SyntheticTraffic("uniform", 4, flit_rate=0.4, packet_length=1, seed=1)
+        b2 = SyntheticTraffic("uniform", 4, flit_rate=0.4, packet_length=1, seed=2)
+        for cycle in range(100):
+            assert both.inject(cycle) == a2.inject(cycle) + b2.inject(cycle)
+
+    def test_composite_validation(self):
+        with pytest.raises(ValueError):
+            CompositeTraffic([])
+        with pytest.raises(ValueError):
+            CompositeTraffic([NullTraffic(4), NullTraffic(8)])
+
+    def test_min_nodes(self):
+        with pytest.raises(ValueError):
+            NullTraffic(1)
+
+
+class TestSyntheticTraffic:
+    def test_rate_is_respected(self):
+        gen = SyntheticTraffic("uniform", 16, flit_rate=0.2, packet_length=4, seed=1)
+        packets = sum(len(gen.inject(c)) for c in range(20000))
+        flits = packets * 4
+        rate = flits / (20000 * 16)
+        assert rate == pytest.approx(0.2, rel=0.05)
+
+    def test_determinism(self):
+        a = SyntheticTraffic("uniform", 4, flit_rate=0.3, packet_length=4, seed=9)
+        b = SyntheticTraffic("uniform", 4, flit_rate=0.3, packet_length=4, seed=9)
+        for cycle in range(200):
+            assert a.inject(cycle) == b.inject(cycle)
+
+    def test_no_self_addressed_packets(self):
+        for pattern in PATTERNS:
+            gen = SyntheticTraffic(pattern, 16, flit_rate=0.5, packet_length=1, seed=2)
+            for cycle in range(300):
+                for src, dst, _ in gen.inject(cycle):
+                    assert src != dst
+                    assert 0 <= src < 16 and 0 <= dst < 16
+
+    def test_uniform_covers_all_destinations(self):
+        gen = SyntheticTraffic("uniform", 4, flit_rate=0.9, packet_length=1, seed=3)
+        dsts = {d for c in range(2000) for _, d, _ in gen.inject(c)}
+        assert dsts == {0, 1, 2, 3}
+
+    def test_transpose_is_deterministic_mapping(self):
+        gen = SyntheticTraffic("transpose", 16, flit_rate=0.9, packet_length=1, seed=4)
+        seen = {}
+        for cycle in range(500):
+            for src, dst, _ in gen.inject(cycle):
+                seen.setdefault(src, dst)
+                assert seen[src] == dst
+        # Transpose of node 1 (1,0) is (0,1) = node 4 on a 4x4 grid.
+        if 1 in seen:
+            assert seen[1] == 4
+
+    def test_bit_complement_mapping(self):
+        gen = SyntheticTraffic("bit_complement", 16, flit_rate=0.9, packet_length=1, seed=5)
+        for cycle in range(200):
+            for src, dst, _ in gen.inject(cycle):
+                assert dst == (~src) & 15
+
+    def test_bit_complement_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic("bit_complement", 6, flit_rate=0.1)
+
+    def test_tornado_mapping(self):
+        gen = SyntheticTraffic("tornado", 16, flit_rate=0.9, packet_length=1, seed=6)
+        for cycle in range(200):
+            for src, dst, _ in gen.inject(cycle):
+                sx, sy = src % 4, src // 4
+                assert dst == sy * 4 + (sx + 2) % 4
+
+    def test_neighbor_mapping(self):
+        gen = SyntheticTraffic("neighbor", 4, flit_rate=0.9, packet_length=1, seed=7)
+        for cycle in range(200):
+            for src, dst, _ in gen.inject(cycle):
+                sx, sy = src % 2, src // 2
+                assert dst == sy * 2 + (sx + 1) % 2
+
+    def test_shuffle_and_bit_reverse_valid(self):
+        for pattern in ("shuffle", "bit_reverse"):
+            gen = SyntheticTraffic(pattern, 8, flit_rate=0.9, packet_length=1, seed=8)
+            for cycle in range(100):
+                for src, dst, _ in gen.inject(cycle):
+                    assert 0 <= dst < 8
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic("zigzag", 4, flit_rate=0.1)
+
+    def test_invalid_packet_length_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic("uniform", 4, flit_rate=0.5, packet_length=0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraffic("uniform", 4, flit_rate=1.5)
+        with pytest.raises(ValueError):
+            SyntheticTraffic("uniform", 4, flit_rate=-0.1)
+
+    def test_describe(self):
+        gen = SyntheticTraffic("uniform", 4, flit_rate=0.1)
+        assert "uniform" in gen.describe()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_injections_always_valid(self, seed):
+        gen = SyntheticTraffic("uniform", 8, flit_rate=0.6, packet_length=2, seed=seed)
+        for cycle in range(50):
+            for src, dst, length in gen.inject(cycle):
+                assert src != dst
+                assert length is None
+
+
+class TestHotspotTraffic:
+    def test_hotspots_receive_more(self):
+        gen = HotspotTraffic(
+            16, flit_rate=0.5, hotspots=[5], hotspot_fraction=0.8,
+            packet_length=1, seed=1,
+        )
+        counts = {}
+        for cycle in range(5000):
+            for _, dst, _ in gen.inject(cycle):
+                counts[dst] = counts.get(dst, 0) + 1
+        total = sum(counts.values())
+        assert counts.get(5, 0) / total > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(4, 0.1, hotspots=[])
+        with pytest.raises(ValueError):
+            HotspotTraffic(4, 0.1, hotspots=[9])
+        with pytest.raises(ValueError):
+            HotspotTraffic(4, 0.1, hotspots=[1], hotspot_fraction=1.5)
+
+    def test_no_self_addressed(self):
+        gen = HotspotTraffic(4, 0.8, hotspots=[0], hotspot_fraction=0.9,
+                             packet_length=1, seed=2)
+        for cycle in range(1000):
+            for src, dst, _ in gen.inject(cycle):
+                assert src != dst
+
+
+def test_abstract_generator_requires_inject():
+    gen = TrafficGenerator(4)
+    with pytest.raises(NotImplementedError):
+        gen.inject(0)

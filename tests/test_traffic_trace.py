@@ -1,0 +1,100 @@
+"""Tests for traffic trace recording and replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traffic.synthetic import SyntheticTraffic
+from repro.traffic.trace import (
+    TraceRecorder,
+    TraceTraffic,
+    load_trace,
+    save_trace,
+)
+
+
+class TestTraceRecorder:
+    def test_records_everything_forwarded(self):
+        inner = SyntheticTraffic("uniform", 4, flit_rate=0.5, packet_length=2, seed=1)
+        rec = TraceRecorder(inner, default_length=2)
+        forwarded = []
+        for cycle in range(200):
+            forwarded.extend((cycle, s, d) for s, d, _ in rec.inject(cycle))
+        assert [(c, s, d) for c, s, d, _ in rec.records] == forwarded
+
+    def test_default_length_fills_none(self):
+        inner = SyntheticTraffic("uniform", 4, flit_rate=0.5, packet_length=2, seed=1)
+        rec = TraceRecorder(inner, default_length=7)
+        for cycle in range(100):
+            rec.inject(cycle)
+        assert rec.records
+        assert all(length == 7 for _, _, _, length in rec.records)
+
+    def test_invalid_default_length(self):
+        inner = SyntheticTraffic("uniform", 4, flit_rate=0.1)
+        with pytest.raises(ValueError):
+            TraceRecorder(inner, default_length=0)
+
+
+class TestTraceTraffic:
+    RECORDS = [(0, 0, 1, 4), (0, 2, 3, 4), (5, 1, 0, 2)]
+
+    def test_replay_at_recorded_cycles(self):
+        gen = TraceTraffic(self.RECORDS, num_nodes=4)
+        assert gen.inject(0) == [(0, 1, 4), (2, 3, 4)]
+        assert gen.inject(1) == []
+        assert gen.inject(5) == [(1, 0, 2)]
+        assert gen.exhausted
+
+    def test_reset_rewinds(self):
+        gen = TraceTraffic(self.RECORDS, num_nodes=4)
+        gen.inject(0)
+        gen.reset()
+        assert gen.inject(0) == [(0, 1, 4), (2, 3, 4)]
+
+    def test_skipped_past_records_not_bunched(self):
+        gen = TraceTraffic(self.RECORDS, num_nodes=4)
+        assert gen.inject(10) == []
+        assert gen.exhausted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceTraffic([(-1, 0, 1, 4)], num_nodes=4)
+        with pytest.raises(ValueError):
+            TraceTraffic([(0, 0, 9, 4)], num_nodes=4)
+        with pytest.raises(ValueError):
+            TraceTraffic([(0, 2, 2, 4)], num_nodes=4)
+        with pytest.raises(ValueError):
+            TraceTraffic([(0, 0, 1, 0)], num_nodes=4)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        records = [(0, 0, 1, 4), (3, 2, 0, 1)]
+        save_trace(records, path)
+        assert load_trace(path) == records
+
+    def test_recorder_save(self, tmp_path):
+        inner = SyntheticTraffic("uniform", 4, flit_rate=0.5, packet_length=2, seed=1)
+        rec = TraceRecorder(inner, default_length=2)
+        for cycle in range(50):
+            rec.inject(cycle)
+        path = tmp_path / "t.csv"
+        rec.save(path)
+        replay = TraceTraffic.load(path, num_nodes=4)
+        assert replay.records == sorted(rec.records)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# header\n\n1,0,1,4\n")
+        assert load_trace(path) == [(1, 0, 1, 4)]
+
+    def test_malformed_lines_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1,2,3\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+        path.write_text("a,b,c,d\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
