@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from typing import Optional
 
 from repro.area.orion import (
     GATE_AREA_UM2_45,
@@ -112,7 +113,7 @@ class OverheadReport:
 
 
 def compute_overhead_report(
-    geometry: RouterGeometry = RouterGeometry(),
+    geometry: Optional[RouterGeometry] = None,
     links_per_router: int = 4,
     link_length_mm: float = 1.0,
 ) -> OverheadReport:
@@ -131,6 +132,7 @@ def compute_overhead_report(
     """
     if links_per_router < 1:
         raise ValueError(f"links_per_router must be >= 1, got {links_per_router}")
+    geometry = geometry if geometry is not None else RouterGeometry()
     scale = tech_scale(geometry.tech)
     router = router_area_um2(geometry)
     sensors = geometry.sensor_count * SENSOR_AREA_UM2 * scale

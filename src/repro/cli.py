@@ -12,9 +12,12 @@ Examples
     repro-noc vth --rate 0.1             # Sec. V Vth-saving projection
     repro-noc cooperation --rate 0.1     # Sec. V cooperation gain
     repro-noc simulate --policy sensor-wise --nodes 16 --vcs 4
+    repro-noc campaign --jobs 4 --cache-dir .repro-cache
 
 The defaults use scaled-down cycle counts (see DESIGN.md §3); pass
-``--cycles``/``--warmup`` for longer runs.
+``--cycles``/``--warmup`` for longer runs.  Table/campaign/sweep
+commands accept ``--jobs N`` (process-parallel scenarios, identical
+results) and ``--cache-dir`` (skip already-computed scenarios).
 """
 
 from __future__ import annotations
@@ -28,6 +31,43 @@ def _add_sim_args(parser: argparse.ArgumentParser, cycles: int = 20_000) -> None
     parser.add_argument("--cycles", type=int, default=cycles, help="measured cycles")
     parser.add_argument("--warmup", type=int, default=2_000, help="warm-up cycles to discard")
     parser.add_argument("--seed", type=int, default=1, help="master seed")
+
+
+def _jobs_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = auto-detect), got {value}"
+        )
+    return value
+
+
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_jobs_count, default=1, metavar="N",
+        help="parallel worker processes (0 = auto-detect, 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk scenario result cache (reruns skip computed scenarios)",
+    )
+
+
+def _make_executor(args: argparse.Namespace):
+    """Executor from --jobs/--cache-dir (None keeps the serial path)."""
+    from repro.experiments.parallel import make_executor
+
+    executor = make_executor(
+        args.jobs,
+        cache_dir=args.cache_dir,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    return executor
+
+
+def _print_exec_summary(executor) -> None:
+    if executor is not None:
+        print(executor.summary(), file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,12 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p2 = sub.add_parser("table2", help="Table II: synthetic traffic, 4 VCs")
     _add_sim_args(p2)
+    _add_exec_args(p2)
 
     p3 = sub.add_parser("table3", help="Table III: synthetic traffic, 2 VCs")
     _add_sim_args(p3)
+    _add_exec_args(p3)
 
     p4 = sub.add_parser("table4", help="Table IV: benchmark-mix traffic, 2 VCs")
     _add_sim_args(p4, cycles=15_000)
+    _add_exec_args(p4)
     p4.add_argument("--iterations", type=int, default=10, help="benchmark mixes per scenario")
 
     parea = sub.add_parser("area", help="Sec. III-D area-overhead report")
@@ -74,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="regenerate every paper artifact into one report"
     )
     _add_sim_args(pcamp, cycles=12_000)
+    _add_exec_args(pcamp)
     pcamp.add_argument("--iterations", type=int, default=10)
     pcamp.add_argument("--out", default="campaign_report.md", help="markdown report path")
     pcamp.add_argument("--json-dir", default=None, help="also persist tables as JSON here")
@@ -84,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     psweep = sub.add_parser("sweep", help="injection-rate sweep with CSV export")
     _add_sim_args(psweep, cycles=10_000)
+    _add_exec_args(psweep)
     psweep.add_argument("--nodes", type=int, default=4)
     psweep.add_argument("--vcs", type=int, default=2)
     psweep.add_argument(
@@ -129,23 +174,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command in ("table2", "table3"):
         from repro.experiments.tables import run_synthetic_table
 
+        executor = _make_executor(args)
         num_vcs = 4 if args.command == "table2" else 2
         table = run_synthetic_table(
-            num_vcs=num_vcs, cycles=args.cycles, warmup=args.warmup, seed=args.seed
+            num_vcs=num_vcs, cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+            executor=executor,
         )
         print(table.format())
+        _print_exec_summary(executor)
         return 0
 
     if args.command == "table4":
         from repro.experiments.tables import run_real_table
 
+        executor = _make_executor(args)
         table = run_real_table(
             iterations=args.iterations,
             cycles=args.cycles,
             warmup=args.warmup,
             seed=args.seed,
+            executor=executor,
         )
         print(table.format())
+        _print_exec_summary(executor)
         return 0
 
     if args.command == "area":
@@ -189,9 +240,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             include_real_traffic=not args.skip_real,
         )
-        result = run_campaign(config, report_path=args.out, json_dir=args.json_dir)
+        executor = _make_executor(args)
+        result = run_campaign(
+            config, report_path=args.out, json_dir=args.json_dir, executor=executor
+        )
         print(result.to_markdown())
         print(f"report written to {args.out} ({result.wall_seconds:.0f}s)")
+        _print_exec_summary(executor)
         return 0
 
     if args.command == "sweep":
@@ -204,11 +259,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_nodes=args.nodes, num_vcs=args.vcs,
             cycles=args.cycles, warmup=args.warmup, seed=args.seed,
         )
-        sweep = run_injection_sweep(rates, policies=policies, base=base)
+        executor = _make_executor(args)
+        sweep = run_injection_sweep(rates, policies=policies, base=base, executor=executor)
         print(sweep.format())
         if args.csv:
             sweep.to_csv(args.csv)
             print(f"\nwrote {args.csv}")
+        _print_exec_summary(executor)
         return 0
 
     if args.command == "power":
@@ -247,7 +304,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"duty cycles   : {[round(d, 2) for d in result.duty_cycles]}")
         print(f"MD VC         : {result.md_vc} ({result.md_duty:.2f}%)")
         print(f"network       : {result.net_stats}")
-        print(f"wall time     : {result.wall_seconds:.2f}s")
+        print(
+            f"wall time     : {result.wall_seconds:.2f}s "
+            f"(build {result.build_seconds:.2f}s + sim {result.sim_seconds:.2f}s)"
+        )
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -16,6 +16,7 @@ from typing import Optional, Union
 
 from repro.area import compute_overhead_report
 from repro.experiments.config import ScenarioConfig, format_experimental_setup
+from repro.experiments.parallel import Executor
 from repro.experiments.tables import (
     run_cooperation_gain,
     run_real_table,
@@ -55,6 +56,7 @@ class CampaignResult:
     cooperation: object
     area_text: str
     wall_seconds: float
+    execution_summary: Optional[str] = None
 
     def to_markdown(self) -> str:
         cfg = self.config
@@ -111,33 +113,45 @@ class CampaignResult:
             self.cooperation.format(),
             "```",
         ]
+        if self.execution_summary:
+            parts += ["## Execution", "```", self.execution_summary, "```"]
         return "\n".join(parts) + "\n"
 
 
 def run_campaign(
-    config: CampaignConfig = CampaignConfig(),
+    config: Optional[CampaignConfig] = None,
     report_path: Optional[Union[str, Path]] = None,
     json_dir: Optional[Union[str, Path]] = None,
+    executor: Optional[Executor] = None,
 ) -> CampaignResult:
     """Run the full reproduction and optionally persist its artifacts.
 
     Parameters
     ----------
     config:
-        Cycle budgets (the defaults regenerate everything in minutes;
-        scale ``cycles`` up for closer-to-paper runs).
+        Cycle budgets (``None`` means fresh defaults: everything
+        regenerates in minutes; scale ``cycles`` up for
+        closer-to-paper runs).
     report_path:
         When given, the markdown report is written there.
     json_dir:
         When given, the three tables are additionally saved as JSON via
         :mod:`repro.experiments.persistence`.
+    executor:
+        Optional :class:`~repro.experiments.parallel.Executor` fanning
+        the campaign's independent scenarios across worker processes
+        (and/or serving them from its on-disk cache).  Table contents
+        are identical to the serial run.
     """
+    config = config if config is not None else CampaignConfig()
     started = time.perf_counter()
     table2 = run_synthetic_table(
-        num_vcs=4, cycles=config.cycles, warmup=config.warmup, seed=config.seed
+        num_vcs=4, cycles=config.cycles, warmup=config.warmup, seed=config.seed,
+        executor=executor,
     )
     table3 = run_synthetic_table(
-        num_vcs=2, cycles=config.cycles, warmup=config.warmup, seed=config.seed
+        num_vcs=2, cycles=config.cycles, warmup=config.warmup, seed=config.seed,
+        executor=executor,
     )
     table4 = None
     if config.include_real_traffic:
@@ -147,17 +161,18 @@ def run_campaign(
             cycles=config.cycles,
             warmup=config.warmup,
             seed=config.seed,
+            executor=executor,
         )
     vth_scenario = ScenarioConfig(
         num_nodes=4, num_vcs=4, injection_rate=0.3,
         cycles=config.cycles, warmup=config.warmup, seed=config.seed,
     )
-    vth_report = run_vth_saving(vth_scenario)
+    vth_report = run_vth_saving(vth_scenario, executor=executor)
     coop_scenario = ScenarioConfig(
         num_nodes=4, num_vcs=2, injection_rate=0.3,
         cycles=config.cycles, warmup=config.warmup, seed=config.seed,
     )
-    cooperation = run_cooperation_gain(coop_scenario)
+    cooperation = run_cooperation_gain(coop_scenario, executor=executor)
     area_text = compute_overhead_report().as_text()
     result = CampaignResult(
         config=config,
@@ -168,6 +183,7 @@ def run_campaign(
         cooperation=cooperation,
         area_text=area_text,
         wall_seconds=time.perf_counter() - started,
+        execution_summary=executor.summary() if executor is not None else None,
     )
     if json_dir is not None:
         from repro.experiments.persistence import (

@@ -1,0 +1,320 @@
+"""Parallel scenario execution: executors, result cache, progress.
+
+Every paper artifact is a pile of independent ``run_scenario`` calls —
+the comparison protocol (identical traffic/PV per policy) is enforced
+purely by seed derivation (:func:`repro.nbti.process_variation.scenario_seed`),
+never by shared state, which makes the sweep embarrassingly parallel.
+This module exploits that:
+
+* :class:`Executor` maps ``(ScenarioConfig, iteration)`` work units to
+  :class:`~repro.experiments.runner.ScenarioResult` objects either
+  serially or on a ``concurrent.futures`` process pool, with results
+  bit-identical to a serial run (determinism is a property of the
+  work units, not of scheduling; verified by ``tests/test_parallel.py``).
+* :class:`ResultCache` is an on-disk cache keyed by a stable hash of
+  the scenario parameters, the iteration and a schema/code version, so
+  repeated campaigns and benchmarks skip already-computed scenarios.
+* :class:`ExecutorStats` accumulates per-scenario timing (scenarios
+  completed, wall seconds, serial-time estimate and the implied
+  speedup) so long campaign runs are observable.
+
+Pool failures (spawn errors, broken pools, unpicklable payloads) fall
+back to in-process serial execution instead of aborting the campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.version import __version__
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import ScenarioResult, run_scenario
+
+#: One unit of simulation work: a fully-specified scenario + traffic
+#: iteration.  Everything the result depends on is in these two values.
+WorkUnit = Tuple[ScenarioConfig, int]
+
+#: Bump when a change to the simulator alters results for an unchanged
+#: ScenarioConfig (invalidates every cached result).
+CACHE_SCHEMA_VERSION = 1
+
+#: Pool-infrastructure failures that trigger the serial fallback.  An
+#: exception raised by the scenario itself (bad config, simulator bug)
+#: is *not* in this set and propagates to the caller unchanged.
+_POOL_FAILURES = (OSError, BrokenProcessPool, pickle.PicklingError, ImportError)
+
+
+def _execute_unit(unit: WorkUnit) -> ScenarioResult:
+    """Top-level worker entry point (must be picklable by name)."""
+    scenario, iteration = unit
+    return run_scenario(scenario, iteration)
+
+
+def cache_key(scenario: ScenarioConfig, iteration: int) -> str:
+    """Stable content hash of everything a scenario result depends on.
+
+    Covers every ``ScenarioConfig`` field, the traffic iteration, the
+    cache schema version and the package version — so a cache survives
+    process restarts but never serves results across code changes that
+    declare themselves (schema bump / release).
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "version": __version__,
+        "iteration": iteration,
+        "scenario": dataclasses.asdict(scenario),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk :class:`ScenarioResult` cache (one pickle per work unit).
+
+    Writes are atomic (temp file + ``os.replace``) so a killed run never
+    leaves a truncated entry; unreadable entries are treated as misses.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise NotADirectoryError(
+                f"cache path exists and is not a directory: {self.root}"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, scenario: ScenarioConfig, iteration: int) -> Optional[ScenarioResult]:
+        """Return the cached result for a unit, or ``None`` on a miss."""
+        path = self._path(cache_key(scenario, iteration))
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            return None
+        return result if isinstance(result, ScenarioResult) else None
+
+    def put(self, scenario: ScenarioConfig, iteration: int, result: ScenarioResult) -> None:
+        """Store one computed result (atomic, last-writer-wins)."""
+        path = self._path(cache_key(scenario, iteration))
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+
+@dataclasses.dataclass
+class ExecutorStats:
+    """Accumulated execution accounting across ``Executor.map`` calls."""
+
+    units_total: int = 0
+    units_completed: int = 0
+    cache_hits: int = 0
+    fallbacks: int = 0
+    wall_seconds: float = 0.0
+    #: Sum of per-unit build+sim time — what a serial run would cost.
+    serial_seconds: float = 0.0
+
+    @property
+    def speedup_estimate(self) -> float:
+        """Serial-time estimate divided by actual wall time."""
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.serial_seconds / self.wall_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.units_completed}/{self.units_total} scenarios "
+            f"({self.cache_hits} cached) in {self.wall_seconds:.1f}s wall; "
+            f"serial estimate {self.serial_seconds:.1f}s "
+            f"(~{self.speedup_estimate:.1f}x)"
+        )
+
+
+class Executor:
+    """Maps work units to scenario results, serially or on a process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes.  ``None``/``0`` auto-detects (``os.cpu_count``);
+        ``1`` selects the in-process serial backend.
+    cache:
+        Optional :class:`ResultCache` (or a path, which constructs one).
+        Hits skip simulation entirely; fresh results are stored back.
+    progress:
+        Optional callable receiving one human-readable line per
+        completed scenario (``[3/12] 4core-inj0.10 policy=... 0.42s``).
+
+    Results are returned in work-unit order regardless of completion
+    order, and are bit-identical between backends: a unit's outcome is a
+    pure function of ``(ScenarioConfig, iteration)``.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[Union[ResultCache, str, Path]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if max_workers is None or max_workers == 0:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1 (or 0/None for auto), got {max_workers}")
+        self.max_workers = max_workers
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.progress = progress
+        self.stats = ExecutorStats()
+
+    # -- public API ----------------------------------------------------
+    def map(self, units: Sequence[WorkUnit]) -> List[ScenarioResult]:
+        """Execute every unit and return results in input order."""
+        units = list(units)
+        started = time.perf_counter()
+        self.stats.units_total += len(units)
+        results: List[Optional[ScenarioResult]] = [None] * len(units)
+
+        pending: List[int] = []
+        for index, (scenario, iteration) in enumerate(units):
+            cached = self.cache.get(scenario, iteration) if self.cache else None
+            if cached is not None:
+                results[index] = cached
+                self.stats.cache_hits += 1
+                self._report(index, units[index], cached, cached=True)
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.max_workers > 1 and len(pending) > 1:
+                self._map_pool(units, pending, results)
+            else:
+                self._map_serial(units, pending, results)
+
+        self.stats.units_completed += len(units)
+        self.stats.wall_seconds += time.perf_counter() - started
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def summary(self) -> str:
+        """One-line accounting over everything this executor ran."""
+        return self.stats.summary()
+
+    # -- backends ------------------------------------------------------
+    def _map_serial(
+        self,
+        units: Sequence[WorkUnit],
+        pending: Sequence[int],
+        results: List[Optional[ScenarioResult]],
+    ) -> None:
+        for index in pending:
+            if results[index] is not None:
+                continue
+            result = _execute_unit(units[index])
+            self._finish(index, units[index], result, results)
+
+    def _map_pool(
+        self,
+        units: Sequence[WorkUnit],
+        pending: Sequence[int],
+        results: List[Optional[ScenarioResult]],
+    ) -> None:
+        try:
+            # Unpicklable payloads (e.g. ad-hoc ScenarioConfig subclasses)
+            # would otherwise poison the pool's feeder thread.
+            pickle.dumps(tuple(units[i] for i in pending))
+        except (pickle.PicklingError, AttributeError, TypeError):
+            self.stats.fallbacks += 1
+            self._report_line("work units not picklable; falling back to serial execution")
+            self._map_serial(units, pending, results)
+            return
+        try:
+            workers = min(self.max_workers, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_execute_unit, units[i]): i for i in pending}
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = futures[future]
+                        self._finish(index, units[index], future.result(), results)
+        except _POOL_FAILURES:
+            # Pool infrastructure failed (sandboxed spawn, dead worker,
+            # unpicklable payload): finish the remaining units in-process.
+            self.stats.fallbacks += 1
+            self._report_line("process pool unavailable; falling back to serial execution")
+            self._map_serial(units, pending, results)
+
+    # -- bookkeeping ---------------------------------------------------
+    def _finish(
+        self,
+        index: int,
+        unit: WorkUnit,
+        result: ScenarioResult,
+        results: List[Optional[ScenarioResult]],
+    ) -> None:
+        results[index] = result
+        self.stats.serial_seconds += result.wall_seconds
+        if self.cache is not None:
+            self.cache.put(unit[0], unit[1], result)
+        self._report(index, unit, result, cached=False)
+
+    def _report(self, index: int, unit: WorkUnit, result: ScenarioResult, cached: bool) -> None:
+        if self.progress is None:
+            return
+        scenario, iteration = unit
+        timing = "cache" if cached else f"{result.sim_seconds:.2f}s"
+        self._report_line(
+            f"[{index + 1}/{self.stats.units_total}] {scenario.label} "
+            f"policy={scenario.policy} iter={iteration} {timing}"
+        )
+
+    def _report_line(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)
+
+
+def make_executor(
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Optional[Executor]:
+    """CLI helper: build an :class:`Executor` only when one is wanted.
+
+    ``jobs=1`` with no cache keeps the historical in-function serial
+    path (returns ``None``); ``jobs=0`` auto-detects worker count.
+    """
+    if (jobs == 1 or jobs is None) and cache_dir is None:
+        return None
+    return Executor(max_workers=jobs, cache=cache_dir, progress=progress)
+
+
+def execute_units(
+    units: Sequence[WorkUnit], executor: Optional[Executor] = None
+) -> List[ScenarioResult]:
+    """Run units through ``executor``, or serially in-process when ``None``."""
+    if executor is None:
+        return [run_scenario(scenario, iteration) for scenario, iteration in units]
+    return executor.map(units)

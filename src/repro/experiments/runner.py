@@ -53,8 +53,11 @@ class ScenarioResult:
         per-port ground-truth most-degraded VC is its argmax.
     net_stats:
         Latency/throughput aggregate over the measured window.
-    wall_seconds:
-        Host time the simulation took.
+    build_seconds:
+        Host time spent constructing the network (topology wiring, PV
+        sampling, traffic setup).
+    sim_seconds:
+        Host time spent simulating (warm-up + measured cycles).
     """
 
     scenario: ScenarioConfig
@@ -65,7 +68,13 @@ class ScenarioResult:
     initial_vths: List[float]
     port_initial_vths: Dict[Tuple[int, str], List[float]]
     net_stats: SimStats
-    wall_seconds: float
+    build_seconds: float
+    sim_seconds: float
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total host time (construction + simulation)."""
+        return self.build_seconds + self.sim_seconds
 
     @property
     def md_duty(self) -> float:
@@ -138,12 +147,13 @@ def run_scenario(
     """Run one scenario end to end and collect its measurements."""
     started = time.perf_counter()
     network = build_network(scenario, iteration, nbti_model)
+    built = time.perf_counter()
     if scenario.warmup:
         network.run(scenario.warmup)
         network.reset_nbti()
         network.reset_stats()
     network.run(scenario.cycles)
-    wall = time.perf_counter() - started
+    simulated = time.perf_counter()
 
     measured_port = port_id(scenario.measure_port)
     total_vcs = scenario.num_vcs * scenario.num_vnets
@@ -174,7 +184,8 @@ def run_scenario(
         initial_vths=initial,
         port_initial_vths=port_initial,
         net_stats=network.stats(),
-        wall_seconds=wall,
+        build_seconds=built - started,
+        sim_seconds=simulated - built,
     )
 
 
@@ -182,12 +193,20 @@ def run_policies(
     scenario: ScenarioConfig,
     policies,
     iteration: int = 0,
+    executor=None,
 ) -> Dict[str, ScenarioResult]:
     """Run the same scenario under several policies.
 
     Traffic and PV are identical across policies by construction; only
     the recovery decisions differ (the paper's comparison protocol).
+    An :class:`~repro.experiments.parallel.Executor` fans the policies
+    out across workers (results are identical to the serial path).
     """
+    if executor is not None:
+        results = executor.map(
+            [(scenario.with_policy(policy), iteration) for policy in policies]
+        )
+        return dict(zip(policies, results))
     return {
         policy: run_scenario(scenario.with_policy(policy), iteration)
         for policy in policies

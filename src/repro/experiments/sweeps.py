@@ -14,8 +14,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import Executor, execute_units
 from repro.experiments.report import render_table
-from repro.experiments.runner import ScenarioResult, run_policies
+from repro.experiments.runner import ScenarioResult
 from repro.experiments.tables import PROPOSED_POLICY, REFERENCE_POLICY
 
 
@@ -120,6 +121,7 @@ def run_injection_sweep(
     rates: Sequence[float],
     policies: Sequence[str] = (REFERENCE_POLICY, PROPOSED_POLICY),
     base: Optional[ScenarioConfig] = None,
+    executor: Optional[Executor] = None,
     **scenario_kwargs,
 ) -> InjectionSweep:
     """Sweep offered load, running every policy at each point.
@@ -132,16 +134,27 @@ def run_injection_sweep(
         Policies evaluated at each point (reference + proposed default).
     base:
         Base scenario; ``scenario_kwargs`` override its fields.
+    executor:
+        Optional :class:`~repro.experiments.parallel.Executor`; all
+        (rate, policy) points are independent and fan out at once.
     """
     if not rates:
         raise ValueError("sweep needs at least one rate")
     base = base if base is not None else ScenarioConfig()
     if scenario_kwargs:
         base = dataclasses.replace(base, **scenario_kwargs)
+    units = [
+        (dataclasses.replace(base, injection_rate=rate).with_policy(policy), 0)
+        for rate in rates
+        for policy in policies
+    ]
+    all_results = execute_units(units, executor)
     points: List[SweepPoint] = []
-    for rate in rates:
-        scenario = dataclasses.replace(base, injection_rate=rate)
-        results = run_policies(scenario, policies)
+    for rate_index, rate in enumerate(rates):
+        results = {
+            policy: all_results[rate_index * len(policies) + policy_index]
+            for policy_index, policy in enumerate(policies)
+        }
         md = next(iter(results.values())).md_vc
         points.append(SweepPoint(injection_rate=rate, md_vc=md, results=results))
     return InjectionSweep(scenario=base, policies=tuple(policies), points=points)

@@ -23,8 +23,9 @@ from repro.nbti.constants import SECONDS_PER_YEAR
 from repro.nbti.model import NBTIModel
 from repro.stats.summary import VectorStats
 from repro.experiments.config import REAL_TRAFFIC, ScenarioConfig
+from repro.experiments.parallel import Executor, execute_units
 from repro.experiments.report import pct, pct_pair, render_table
-from repro.experiments.runner import ScenarioResult, run_policies, run_scenario
+from repro.experiments.runner import ScenarioResult, run_policies
 
 #: Reference (rr) and proposed (sensor-wise) policies used by Gap columns.
 REFERENCE_POLICY = "rr-no-sensor"
@@ -98,35 +99,46 @@ def run_synthetic_table(
     warmup: int = 2_000,
     seed: int = 1,
     scenario_kwargs: Optional[dict] = None,
+    executor: Optional[Executor] = None,
 ) -> SyntheticTable:
     """Regenerate Table II (``num_vcs=4``) or Table III (``num_vcs=2``).
 
     Every (architecture, rate) pair is simulated once per policy with a
-    frozen PV sample and identical traffic across policies.
+    frozen PV sample and identical traffic across policies.  All
+    (architecture, rate, policy) units are independent, so an
+    ``executor`` fans the whole table out at once.
     """
     scenario_kwargs = dict(scenario_kwargs or {})
+    bases = [
+        ScenarioConfig(
+            num_nodes=num_nodes,
+            num_vcs=num_vcs,
+            injection_rate=rate,
+            cycles=cycles,
+            warmup=warmup,
+            seed=seed,
+            **scenario_kwargs,
+        )
+        for num_nodes in arches
+        for rate in rates
+    ]
+    units = [(base.with_policy(policy), 0) for base in bases for policy in policies]
+    all_results = execute_units(units, executor)
     rows: List[SyntheticRow] = []
-    for num_nodes in arches:
-        for rate in rates:
-            base = ScenarioConfig(
-                num_nodes=num_nodes,
-                num_vcs=num_vcs,
-                injection_rate=rate,
-                cycles=cycles,
-                warmup=warmup,
-                seed=seed,
-                **scenario_kwargs,
+    for row_index, base in enumerate(bases):
+        results = {
+            policy: all_results[row_index * len(policies) + policy_index]
+            for policy_index, policy in enumerate(policies)
+        }
+        any_result = next(iter(results.values()))
+        rows.append(
+            SyntheticRow(
+                label=base.label,
+                md_vc=any_result.md_vc,
+                duty={p: r.duty_cycles for p, r in results.items()},
+                results=results,
             )
-            results = run_policies(base, policies)
-            any_result = next(iter(results.values()))
-            rows.append(
-                SyntheticRow(
-                    label=base.label,
-                    md_vc=any_result.md_vc,
-                    duty={p: r.duty_cycles for p, r in results.items()},
-                    results=results,
-                )
-            )
+        )
     return SyntheticTable(num_vcs=num_vcs, policies=tuple(policies), rows=rows)
 
 
@@ -200,6 +212,7 @@ def run_real_table(
     warmup: int = 2_000,
     seed: int = 1,
     scenario_kwargs: Optional[dict] = None,
+    executor: Optional[Executor] = None,
 ) -> RealTable:
     """Regenerate Table IV.
 
@@ -207,13 +220,13 @@ def run_real_table(
     (one profile per core); the PV sample — hence the most-degraded VC —
     is constant across the iterations of a scenario, exactly as in the
     paper.  One simulation per (architecture, iteration, policy) covers
-    all of that architecture's measurement rows at once.
+    all of that architecture's measurement rows at once; every such unit
+    is independent, so an ``executor`` fans out the full table.
     """
     scenario_kwargs = dict(scenario_kwargs or {})
     arch_rows = arch_rows if arch_rows is not None else REAL_TRAFFIC_ROWS
-    rows: List[RealRow] = []
-    for num_nodes, points in arch_rows.items():
-        base = ScenarioConfig(
+    bases = {
+        num_nodes: ScenarioConfig(
             num_nodes=num_nodes,
             num_vcs=num_vcs,
             traffic=REAL_TRAFFIC,
@@ -222,6 +235,21 @@ def run_real_table(
             seed=seed,
             **scenario_kwargs,
         )
+        for num_nodes in arch_rows
+    }
+    # (num_nodes, policy, iteration) in deterministic fold order.
+    plan = [
+        (num_nodes, policy, iteration)
+        for num_nodes in arch_rows
+        for iteration in range(iterations)
+        for policy in policies
+    ]
+    all_results = execute_units(
+        [(bases[n].with_policy(p), it) for n, p, it in plan], executor
+    )
+    results_by_key = {key: result for key, result in zip(plan, all_results)}
+    rows: List[RealRow] = []
+    for num_nodes, points in arch_rows.items():
         # (policy, point) -> VectorStats over iterations.
         stats: Dict[Tuple[str, Tuple[int, str]], VectorStats] = {
             (policy, point): VectorStats(num_vcs)
@@ -231,7 +259,7 @@ def run_real_table(
         md_at: Dict[Tuple[int, str], int] = {}
         for iteration in range(iterations):
             for policy in policies:
-                result = run_scenario(base.with_policy(policy), iteration=iteration)
+                result = results_by_key[(num_nodes, policy, iteration)]
                 for point in points:
                     router, port = point
                     stats[(policy, point)].add(result.duty_at(router, port))
@@ -307,6 +335,7 @@ def run_vth_saving(
     policies: Sequence[str] = ("baseline",) + tuple(PAPER_POLICIES),
     years: float = 3.0,
     model: Optional[NBTIModel] = None,
+    executor: Optional[Executor] = None,
 ) -> VthSavingReport:
     """Project each policy's measured MD-VC duty cycle over a lifetime.
 
@@ -317,7 +346,7 @@ def run_vth_saving(
     if years <= 0:
         raise ValueError(f"years must be positive, got {years}")
     model = model if model is not None else NBTIModel.calibrated()
-    results = run_policies(scenario, policies)
+    results = run_policies(scenario, policies, executor=executor)
     horizon = years * SECONDS_PER_YEAR
     if "baseline" in results:
         baseline_alpha = results["baseline"].md_duty / 100.0
@@ -387,9 +416,13 @@ class CooperationReport:
         )
 
 
-def run_cooperation_gain(scenario: ScenarioConfig) -> CooperationReport:
+def run_cooperation_gain(
+    scenario: ScenarioConfig, executor: Optional[Executor] = None
+) -> CooperationReport:
     """Compare sensor-wise with and without upstream traffic information."""
-    results = run_policies(scenario, ("sensor-wise", "sensor-wise-no-traffic"))
+    results = run_policies(
+        scenario, ("sensor-wise", "sensor-wise-no-traffic"), executor=executor
+    )
     md = results["sensor-wise"].md_vc
     coop = results["sensor-wise"].duty_cycles
     non_coop = results["sensor-wise-no-traffic"].duty_cycles

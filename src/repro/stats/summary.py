@@ -111,8 +111,13 @@ def mean(values: Sequence[float]) -> float:
 
 
 def std(values: Sequence[float]) -> float:
-    """Population standard deviation (0.0 for fewer than 2 values)."""
-    if len(values) < 2:
+    """Population standard deviation over n >= 1 values (0.0 when empty).
+
+    Matches :attr:`RunningStats.std` on the same data: a single value is
+    a valid population of one (std 0.0 by the formula, not by special
+    case), and the divisor is ``n``, not ``n - 1``.
+    """
+    if not values:
         return 0.0
     m = mean(values)
     return math.sqrt(sum((v - m) ** 2 for v in values) / len(values))

@@ -18,7 +18,10 @@ class TestParser:
             ["setup"],
             ["table2", "--cycles", "100"],
             ["table3"],
+            ["table3", "--jobs", "4", "--cache-dir", "cache"],
             ["table4", "--iterations", "2"],
+            ["campaign", "--jobs", "0"],
+            ["sweep", "--jobs", "2"],
             ["area", "--vcs", "2"],
             ["vth", "--rate", "0.2"],
             ["cooperation"],
@@ -66,3 +69,18 @@ class TestCommands:
         assert "Table III" in out
         assert "4core-inj0.10" in out
         assert "16core-inj0.30" in out
+
+    def test_table3_jobs_matches_serial(self, capsys, tmp_path):
+        args = ["table3", "--cycles", "800", "--warmup", "200"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        cache = str(tmp_path / "cache")
+        assert main(args + ["--jobs", "2", "--cache-dir", cache]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial_out
+        assert "scenarios" in captured.err  # executor summary on stderr
+        # Cached rerun: identical table again, all hits.
+        assert main(args + ["--jobs", "2", "--cache-dir", cache]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial_out
+        assert "(18 cached)" in captured.err

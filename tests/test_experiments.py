@@ -77,6 +77,16 @@ class TestRunner:
         assert result.net_stats.packets_ejected > 0
         assert result.wall_seconds > 0.0
 
+    def test_wall_seconds_splits_build_and_sim(self):
+        result = run_scenario(ScenarioConfig(num_nodes=4, num_vcs=2, **FAST))
+        assert result.build_seconds > 0.0
+        assert result.sim_seconds > 0.0
+        # build time covers construction only; sim time dominates.
+        assert result.sim_seconds > result.build_seconds
+        assert result.wall_seconds == pytest.approx(
+            result.build_seconds + result.sim_seconds
+        )
+
     def test_md_matches_initial_vth_argmax(self):
         result = run_scenario(ScenarioConfig(num_nodes=4, num_vcs=4, **FAST))
         assert result.md_vc == max(

@@ -74,3 +74,18 @@ class TestFunctions:
         assert mean([]) == 0.0
         assert std([]) == 0.0
         assert std([4.0]) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(FLOATS, min_size=1, max_size=30))
+    def test_std_matches_running_stats(self, values):
+        # Regression: std() used to special-case n=1 while RunningStats
+        # treated it as a valid population of one; both paths must agree
+        # on any n >= 1 (population std, divisor n).
+        rs = RunningStats()
+        rs.extend(values)
+        assert std(values) == pytest.approx(rs.std, rel=1e-6, abs=1e-6)
+
+    def test_std_single_value_agrees_with_running_stats(self):
+        rs = RunningStats()
+        rs.add(7.5)
+        assert std([7.5]) == rs.std == 0.0
