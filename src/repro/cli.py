@@ -13,6 +13,7 @@ Examples
     repro-noc cooperation --rate 0.1     # Sec. V cooperation gain
     repro-noc simulate --policy sensor-wise --nodes 16 --vcs 4
     repro-noc campaign --jobs 4 --cache-dir .repro-cache
+    repro-noc fault-campaign --jobs 4 --timeout 300 --retries 1
 
 The defaults use scaled-down cycle counts (see DESIGN.md §3); pass
 ``--cycles``/``--warmup`` for longer runs.  Table/campaign/sweep
@@ -147,6 +148,47 @@ def build_parser() -> argparse.ArgumentParser:
     ppow.add_argument("--vcs", type=int, default=2)
     ppow.add_argument("--rate", type=float, default=0.2)
     ppow.add_argument("--policy", default="sensor-wise")
+
+    pfault = sub.add_parser(
+        "fault-campaign",
+        help="fault-injection resilience sweep (kinds x rates x policies)",
+    )
+    _add_sim_args(pfault, cycles=2_000)
+    _add_exec_args(pfault)
+    pfault.add_argument("--nodes", type=int, default=4)
+    pfault.add_argument("--vcs", type=int, default=2)
+    pfault.add_argument("--rate", type=float, default=0.1, help="flits/cycle/node")
+    pfault.add_argument(
+        "--sample-period", type=int, default=128,
+        help="sensor sample period (campaign default is short so the "
+        "staleness watchdog can trip within the run)",
+    )
+    pfault.add_argument(
+        "--kinds", default=None,
+        help="comma-separated fault kinds (default: campaign standard set)",
+    )
+    pfault.add_argument(
+        "--fault-rates", default="0.0,0.5,1.0",
+        help="comma-separated fault rates in [0,1]; 0.0 is the baseline row",
+    )
+    pfault.add_argument(
+        "--policies", default="rr-no-sensor,sensor-wise",
+        help="comma-separated policy names",
+    )
+    pfault.add_argument(
+        "--validate-every", type=int, default=16,
+        help="validate_network sweep period in cycles (0 disables)",
+    )
+    pfault.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-scenario wall-clock timeout (hung cells become FAILED rows)",
+    )
+    pfault.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry crashed/hung cells up to N times with backoff",
+    )
+    pfault.add_argument("--out", default=None, help="write the markdown report here")
+    pfault.add_argument("--json", default=None, help="write the deterministic JSON report here")
 
     psim = sub.add_parser("simulate", help="run one scenario and print a summary")
     _add_sim_args(psim)
@@ -288,6 +330,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(report.as_text())
         print(f"average power: {report.power_mw(scenario.noc_config().technology.clock_period_s):.3f} mW")
         return 0
+
+    if args.command == "fault-campaign":
+        from repro.experiments.parallel import make_executor
+        from repro.faults.campaign import FaultCampaignConfig, run_fault_campaign
+
+        kwargs = {}
+        if args.kinds:
+            kwargs["kinds"] = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+        config = FaultCampaignConfig(
+            num_nodes=args.nodes,
+            num_vcs=args.vcs,
+            injection_rate=args.rate,
+            cycles=args.cycles,
+            warmup=args.warmup,
+            seed=args.seed,
+            sensor_sample_period=args.sample_period,
+            fault_rates=tuple(float(r) for r in args.fault_rates.split(",") if r),
+            policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
+            validate_every=args.validate_every,
+            **kwargs,
+        )
+        executor = make_executor(
+            args.jobs,
+            cache_dir=args.cache_dir,
+            timeout=args.timeout,
+            retries=args.retries,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        report = run_fault_campaign(config, executor=executor)
+        print(report.to_markdown())
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(report.to_markdown())
+            print(f"report written to {args.out}", file=sys.stderr)
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(report.to_json())
+            print(f"JSON written to {args.json}", file=sys.stderr)
+        failed = sum(1 for row in report.rows if row.failure is not None)
+        return 1 if failed == len(report.rows) else 0
 
     if args.command == "simulate":
         from repro.experiments.config import ScenarioConfig

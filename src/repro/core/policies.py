@@ -27,6 +27,7 @@ paper's "changed cyclically on a time basis").
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Dict, Optional
 
 from repro.noc.policy_api import (
@@ -178,6 +179,20 @@ class SensorWisePolicy(RecoveryPolicy):
         ``True`` gives the full cooperative *sensor-wise* policy;
         ``False`` gives the *sensor-wise-no-traffic* ablation, which
         always keeps one idle VC awake (``boolTraffic`` forced to 1).
+    fallback_rotation_period:
+        Rotation period of the embedded :class:`RoundRobinSensorlessPolicy`
+        that takes over while the port's Down_Up watchdog reports the
+        sensor information stale or implausible (``ctx.sensor_faulted``).
+
+    Graceful degradation
+    --------------------
+    When the upstream port's watchdog flags the Down_Up report as
+    untrustworthy, :meth:`decide` delegates to an embedded Algorithm 1
+    instance — the best policy possible without sensors — and re-engages
+    Algorithm 2 as soon as the report heals.  The policy epoch tracks
+    the fallback's rotation so the candidate keeps advancing while
+    degraded (re-evaluating Algorithm 2 on an unchanged context is a
+    fixed point, so healthy-run results are unaffected).
     """
 
     name = "sensor-wise"
@@ -185,13 +200,22 @@ class SensorWisePolicy(RecoveryPolicy):
     uses_traffic = True
     stable = True
 
-    def __init__(self, use_traffic: bool = True) -> None:
+    def __init__(self, use_traffic: bool = True, fallback_rotation_period: int = 64) -> None:
         self.use_traffic = use_traffic
         if not use_traffic:
             self.name = "sensor-wise-no-traffic"
             self.uses_traffic = False
+        self.fallback = RoundRobinSensorlessPolicy(
+            rotation_period=fallback_rotation_period
+        )
+
+    def epoch(self, cycle: int) -> int:
+        """Re-evaluate whenever the fallback's candidate rotates."""
+        return cycle // self.fallback.rotation_period
 
     def decide(self, ctx: PolicyContext) -> PolicyDecision:
+        if ctx.sensor_faulted:
+            return self._decide_fallback(ctx)
         bool_traffic = ctx.new_traffic if self.use_traffic else True
         threshold = 1 if bool_traffic else 0
         # A sensor-wise port always has a Down_Up value; ports without
@@ -229,6 +253,17 @@ class SensorWisePolicy(RecoveryPolicy):
             enable=bool_traffic and bool(awake),
             idle_vc=survivor,
         )
+
+    def _decide_fallback(self, ctx: PolicyContext) -> PolicyDecision:
+        """Degraded mode: run Algorithm 1 on the same context.
+
+        The no-traffic ablation has no upstream traffic bit either, so
+        its degraded mode mirrors that by assuming traffic is always
+        waiting (one idle VC stays awake unconditionally).
+        """
+        if not self.use_traffic:
+            ctx = dataclasses.replace(ctx, new_traffic=True)
+        return self.fallback.decide(ctx)
 
 
 #: Registry of policy names to zero-argument factories-of-factories: the

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
+from repro.faults.spec import FaultSpec
 from repro.nbti.process_variation import scenario_seed
 from repro.noc.config import NoCConfig
 
@@ -49,6 +50,15 @@ class ScenarioConfig:
     measure_router, measure_port:
         The sampled input port; the paper samples "the upper left-most
         router on its east input port" for synthetic traffic.
+    faults:
+        :class:`~repro.faults.spec.FaultSpec` list injected into the
+        built network before the run (empty = fault-free).  Onset cycles
+        are absolute (warm-up included).
+    validate_every:
+        When positive, run :func:`repro.noc.validation.validate_network`
+        every N measured cycles and *count* violations in the result
+        (unlike ``Network.run``'s raise-on-first debugging mode) — the
+        fault campaigns' dependability metric.
     """
 
     num_nodes: int = 4
@@ -70,6 +80,8 @@ class ScenarioConfig:
     link_latency: int = 1
     wake_latency: int = 1
     sensor_sample_period: int = 1024
+    faults: Tuple[FaultSpec, ...] = ()
+    validate_every: int = 0
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
@@ -78,6 +90,10 @@ class ScenarioConfig:
             raise ValueError(f"warmup must be >= 0, got {self.warmup}")
         if self.traffic != REAL_TRAFFIC and not 0.0 <= self.injection_rate <= 1.0:
             raise ValueError(f"injection_rate must be in [0, 1], got {self.injection_rate}")
+        if self.validate_every < 0:
+            raise ValueError(f"validate_every must be >= 0, got {self.validate_every}")
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
 
     @property
     def is_real_traffic(self) -> bool:

@@ -20,6 +20,13 @@ This module exploits that:
 
 Pool failures (spawn errors, broken pools, unpicklable payloads) fall
 back to in-process serial execution instead of aborting the campaign.
+
+For hostile workloads (fault campaigns can hang or crash a scenario),
+:meth:`Executor.map_robust` adds per-unit timeouts, bounded retries with
+exponential backoff and structured :class:`ScenarioFailure` records: a
+broken scenario costs one slot in the result list, never the campaign.
+It schedules one killable ``multiprocessing.Process`` per attempt
+(``ProcessPoolExecutor`` cannot terminate an individual hung worker).
 """
 
 from __future__ import annotations
@@ -27,12 +34,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import multiprocessing
 import os
 import pickle
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -46,7 +55,9 @@ WorkUnit = Tuple[ScenarioConfig, int]
 
 #: Bump when a change to the simulator alters results for an unchanged
 #: ScenarioConfig (invalidates every cached result).
-CACHE_SCHEMA_VERSION = 1
+#: v2: ScenarioConfig gained fault-injection fields (faults,
+#: validate_every) and the Down_Up heartbeat changed engine state.
+CACHE_SCHEMA_VERSION = 2
 
 #: Pool-infrastructure failures that trigger the serial fallback.  An
 #: exception raised by the scenario itself (bad config, simulator bug)
@@ -58,6 +69,46 @@ def _execute_unit(unit: WorkUnit) -> ScenarioResult:
     """Top-level worker entry point (must be picklable by name)."""
     scenario, iteration = unit
     return run_scenario(scenario, iteration)
+
+
+def _robust_child(worker: Callable, unit: WorkUnit, conn) -> None:
+    """Entry point of one killable per-attempt worker process."""
+    try:
+        result = worker(unit)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except BaseException:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclasses.dataclass
+class ScenarioFailure:
+    """One work unit that exhausted its attempts (crash or timeout).
+
+    Takes the failed unit's slot in :meth:`Executor.map_robust` output,
+    so downstream consumers see exactly which scenario broke and why
+    without the campaign aborting.
+    """
+
+    scenario: ScenarioConfig
+    iteration: int
+    error_type: str
+    message: str
+    attempts: int
+    timed_out: bool
+    wall_seconds: float
+
+    def __str__(self) -> str:
+        kind = "timeout" if self.timed_out else self.error_type
+        return (
+            f"{self.scenario.label} policy={self.scenario.policy} "
+            f"iter={self.iteration}: {kind} after {self.attempts} attempt(s): "
+            f"{self.message}"
+        )
 
 
 def cache_key(scenario: ScenarioConfig, iteration: int) -> str:
@@ -82,7 +133,9 @@ class ResultCache:
     """On-disk :class:`ScenarioResult` cache (one pickle per work unit).
 
     Writes are atomic (temp file + ``os.replace``) so a killed run never
-    leaves a truncated entry; unreadable entries are treated as misses.
+    leaves a truncated entry; unreadable entries are treated as misses
+    *and counted* (``corrupt_entries``) so cache rot stays visible — a
+    plain miss (no file) is not corruption and is not counted.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -92,6 +145,10 @@ class ResultCache:
                 f"cache path exists and is not a directory: {self.root}"
             )
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Entries that existed on disk but could not be loaded (or held
+        #: the wrong type): truncated pickles, permission errors, stale
+        #: class layouts.  Served as misses, surfaced by the Executor.
+        self.corrupt_entries = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
@@ -102,9 +159,15 @@ class ResultCache:
         try:
             with open(path, "rb") as fh:
                 result = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+        except FileNotFoundError:
             return None
-        return result if isinstance(result, ScenarioResult) else None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            self.corrupt_entries += 1
+            return None
+        if not isinstance(result, ScenarioResult):
+            self.corrupt_entries += 1
+            return None
+        return result
 
     def put(self, scenario: ScenarioConfig, iteration: int, result: ScenarioResult) -> None:
         """Store one computed result (atomic, last-writer-wins)."""
@@ -136,6 +199,14 @@ class ExecutorStats:
     wall_seconds: float = 0.0
     #: Sum of per-unit build+sim time — what a serial run would cost.
     serial_seconds: float = 0.0
+    #: map_robust accounting: units that exhausted their attempts,
+    #: individual retry launches, per-attempt timeouts fired.
+    failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    #: Corrupt cache entries served as misses (mirrors the cache's own
+    #: counter so one summary line covers everything).
+    cache_corrupt: int = 0
 
     @property
     def speedup_estimate(self) -> float:
@@ -145,12 +216,20 @@ class ExecutorStats:
         return self.serial_seconds / self.wall_seconds
 
     def summary(self) -> str:
-        return (
+        line = (
             f"{self.units_completed}/{self.units_total} scenarios "
             f"({self.cache_hits} cached) in {self.wall_seconds:.1f}s wall; "
             f"serial estimate {self.serial_seconds:.1f}s "
             f"(~{self.speedup_estimate:.1f}x)"
         )
+        if self.failures or self.timeouts or self.retries:
+            line += (
+                f"; {self.failures} failed"
+                f" ({self.timeouts} timeouts, {self.retries} retries)"
+            )
+        if self.cache_corrupt:
+            line += f"; {self.cache_corrupt} corrupt cache entries"
+        return line
 
 
 class Executor:
@@ -167,6 +246,19 @@ class Executor:
     progress:
         Optional callable receiving one human-readable line per
         completed scenario (``[3/12] 4core-inj0.10 policy=... 0.42s``).
+    timeout:
+        ``map_robust`` only: per-attempt wall-clock limit in seconds.
+        A hung attempt is terminated (its process killed) and counted;
+        ``None`` disables the limit.
+    retries:
+        ``map_robust`` only: extra attempts after a crash or timeout
+        (total attempts = ``retries + 1``).
+    retry_backoff:
+        ``map_robust`` only: delay before retry ``k`` is
+        ``retry_backoff * 2**(k-1)`` seconds (exponential backoff).
+    worker:
+        ``map_robust`` only: the unit-executing callable (picklable by
+        name); tests substitute hanging/crashing workers.
 
     Results are returned in work-unit order regardless of completion
     order, and are bit-identical between backends: a unit's outcome is a
@@ -178,17 +270,32 @@ class Executor:
         max_workers: Optional[int] = None,
         cache: Optional[Union[ResultCache, str, Path]] = None,
         progress: Optional[Callable[[str], None]] = None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        retry_backoff: float = 0.25,
+        worker: Callable[[WorkUnit], ScenarioResult] = _execute_unit,
     ) -> None:
         if max_workers is None or max_workers == 0:
             max_workers = os.cpu_count() or 1
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1 (or 0/None for auto), got {max_workers}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.max_workers = max_workers
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
         self.progress = progress
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.worker = worker
         self.stats = ExecutorStats()
+        self._warned_corrupt = False
 
     # -- public API ----------------------------------------------------
     def map(self, units: Sequence[WorkUnit]) -> List[ScenarioResult]:
@@ -207,12 +314,58 @@ class Executor:
                 self._report(index, units[index], cached, cached=True)
             else:
                 pending.append(index)
+        self._sync_cache_corruption()
 
         if pending:
             if self.max_workers > 1 and len(pending) > 1:
                 self._map_pool(units, pending, results)
             else:
                 self._map_serial(units, pending, results)
+
+        self.stats.units_completed += len(units)
+        self.stats.wall_seconds += time.perf_counter() - started
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    def map_robust(
+        self, units: Sequence[WorkUnit]
+    ) -> List[Union[ScenarioResult, ScenarioFailure]]:
+        """Execute every unit, surviving crashes and hangs.
+
+        Like :meth:`map`, but each unit runs in its own killable
+        process with the executor's ``timeout``/``retries`` budget; a
+        unit that exhausts its attempts yields a :class:`ScenarioFailure`
+        in its slot instead of aborting the campaign.  Successful
+        results are bit-identical to :meth:`map` (same pure worker).
+        """
+        units = list(units)
+        started = time.perf_counter()
+        self.stats.units_total += len(units)
+        results: List[Optional[Union[ScenarioResult, ScenarioFailure]]] = [None] * len(units)
+
+        pending: List[int] = []
+        for index, (scenario, iteration) in enumerate(units):
+            cached = self.cache.get(scenario, iteration) if self.cache else None
+            if cached is not None:
+                results[index] = cached
+                self.stats.cache_hits += 1
+                self._report(index, units[index], cached, cached=True)
+            else:
+                pending.append(index)
+        self._sync_cache_corruption()
+
+        if pending:
+            try:
+                self._map_robust_processes(units, pending, results)
+            except _POOL_FAILURES:
+                # No subprocesses available at all (sandbox): degrade to
+                # in-process execution — crashes still become failure
+                # records, but hangs cannot be interrupted.
+                self.stats.fallbacks += 1
+                self._report_line(
+                    "process spawning unavailable; running robust map in-process "
+                    "(timeouts not enforceable)"
+                )
+                self._map_robust_serial(units, pending, results)
 
         self.stats.units_completed += len(units)
         self.stats.wall_seconds += time.perf_counter() - started
@@ -267,6 +420,198 @@ class Executor:
             self._report_line("process pool unavailable; falling back to serial execution")
             self._map_serial(units, pending, results)
 
+    # -- robust backend ------------------------------------------------
+    def _map_robust_serial(
+        self,
+        units: Sequence[WorkUnit],
+        pending: Sequence[int],
+        results: List[Optional[Union[ScenarioResult, ScenarioFailure]]],
+    ) -> None:
+        """In-process robust execution: retries yes, timeouts no."""
+        for index in pending:
+            if results[index] is not None:
+                continue
+            unit = units[index]
+            unit_started = time.perf_counter()
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    result = self.worker(unit)
+                except Exception as exc:  # noqa: BLE001 - becomes a record
+                    if attempt <= self.retries:
+                        self.stats.retries += 1
+                        backoff = self.retry_backoff * (2 ** (attempt - 1))
+                        if backoff > 0:
+                            time.sleep(backoff)
+                        continue
+                    self._fail(
+                        index,
+                        ScenarioFailure(
+                            scenario=unit[0],
+                            iteration=unit[1],
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            attempts=attempt,
+                            timed_out=False,
+                            wall_seconds=time.perf_counter() - unit_started,
+                        ),
+                        results,
+                    )
+                    break
+                else:
+                    self._finish(index, unit, result, results)
+                    break
+
+    def _map_robust_processes(
+        self,
+        units: Sequence[WorkUnit],
+        pending: Sequence[int],
+        results: List[Optional[Union[ScenarioResult, ScenarioFailure]]],
+    ) -> None:
+        """One killable process per attempt, at most ``max_workers`` live.
+
+        The scheduler multiplexes three event sources: result pipes
+        becoming readable, per-attempt deadlines expiring, and backoff
+        delays elapsing for queued retries.
+        """
+        ctx = multiprocessing.get_context()
+        # (unit index, attempt number, earliest monotonic start time)
+        queue: List[Tuple[int, int, float]] = [(i, 1, 0.0) for i in pending]
+        running: dict = {}  # receiving pipe end -> task record
+        unit_started = {i: time.perf_counter() for i in pending}
+
+        def launch(index: int, attempt: int) -> None:
+            recv_end, send_end = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_robust_child,
+                args=(self.worker, units[index], send_end),
+                daemon=True,
+            )
+            proc.start()
+            send_end.close()
+            running[recv_end] = {
+                "index": index,
+                "attempt": attempt,
+                "proc": proc,
+                "deadline": (
+                    None if self.timeout is None
+                    else time.monotonic() + self.timeout
+                ),
+            }
+
+        def retry_or_fail(index: int, attempt: int, error_type: str,
+                          message: str, timed_out: bool) -> None:
+            if attempt <= self.retries:
+                self.stats.retries += 1
+                backoff = self.retry_backoff * (2 ** (attempt - 1))
+                queue.append((index, attempt + 1, time.monotonic() + backoff))
+                return
+            self._fail(
+                index,
+                ScenarioFailure(
+                    scenario=units[index][0],
+                    iteration=units[index][1],
+                    error_type=error_type,
+                    message=message,
+                    attempts=attempt,
+                    timed_out=timed_out,
+                    wall_seconds=time.perf_counter() - unit_started[index],
+                ),
+                results,
+            )
+
+        def reap(conn, task, timed_out: bool) -> None:
+            proc = task["proc"]
+            message = None
+            if timed_out:
+                proc.terminate()
+            else:
+                try:
+                    if conn.poll():
+                        message = conn.recv()
+                except (EOFError, OSError):
+                    message = None
+            proc.join()
+            conn.close()
+            index, attempt = task["index"], task["attempt"]
+            if timed_out:
+                self.stats.timeouts += 1
+                retry_or_fail(
+                    index, attempt, "Timeout",
+                    f"attempt exceeded {self.timeout}s", timed_out=True,
+                )
+            elif message is not None and message[0] == "ok":
+                self._finish(index, units[index], message[1], results)
+            elif message is not None and message[0] == "error":
+                retry_or_fail(index, attempt, message[1], message[2], timed_out=False)
+            else:
+                retry_or_fail(
+                    index, attempt, "WorkerDied",
+                    f"worker exited with code {proc.exitcode}", timed_out=False,
+                )
+
+        try:
+            while queue or running:
+                now = time.monotonic()
+                # Launch every due queued attempt while slots are free.
+                while len(running) < self.max_workers:
+                    due = next(
+                        (k for k, item in enumerate(queue) if item[2] <= now), None
+                    )
+                    if due is None:
+                        break
+                    index, attempt, _ = queue.pop(due)
+                    launch(index, attempt)
+
+                # Sleep until the next event could possibly happen.
+                horizons = [
+                    t["deadline"] for t in running.values() if t["deadline"] is not None
+                ]
+                horizons.extend(item[2] for item in queue)
+                wait_for = (
+                    None if not horizons
+                    else max(0.0, min(horizons) - time.monotonic())
+                )
+                if running:
+                    ready = connection_wait(list(running), timeout=wait_for)
+                    now = time.monotonic()
+                    for conn in ready:
+                        reap(conn, running.pop(conn), timed_out=False)
+                    for conn in [
+                        c for c, t in running.items()
+                        if t["deadline"] is not None and now >= t["deadline"]
+                    ]:
+                        reap(conn, running.pop(conn), timed_out=True)
+                elif wait_for:
+                    time.sleep(wait_for)
+        finally:
+            for conn, task in running.items():
+                task["proc"].terminate()
+                task["proc"].join()
+                conn.close()
+
+    def _fail(
+        self,
+        index: int,
+        failure: ScenarioFailure,
+        results: List[Optional[Union[ScenarioResult, ScenarioFailure]]],
+    ) -> None:
+        results[index] = failure
+        self.stats.failures += 1
+        self._report_line(f"[{index + 1}/{self.stats.units_total}] FAILED {failure}")
+
+    def _sync_cache_corruption(self) -> None:
+        if self.cache is None or self.cache.corrupt_entries <= self.stats.cache_corrupt:
+            return
+        self.stats.cache_corrupt = self.cache.corrupt_entries
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            self._report_line(
+                f"warning: {self.cache.corrupt_entries} corrupt result-cache "
+                f"entries under {self.cache.root} were treated as misses"
+            )
+
     # -- bookkeeping ---------------------------------------------------
     def _finish(
         self,
@@ -300,15 +645,21 @@ def make_executor(
     jobs: Optional[int] = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> Optional[Executor]:
     """CLI helper: build an :class:`Executor` only when one is wanted.
 
-    ``jobs=1`` with no cache keeps the historical in-function serial
-    path (returns ``None``); ``jobs=0`` auto-detects worker count.
+    ``jobs=1`` with no cache and no robustness knobs keeps the
+    historical in-function serial path (returns ``None``); ``jobs=0``
+    auto-detects worker count.
     """
-    if (jobs == 1 or jobs is None) and cache_dir is None:
+    if (jobs == 1 or jobs is None) and cache_dir is None and timeout is None and retries == 0:
         return None
-    return Executor(max_workers=jobs, cache=cache_dir, progress=progress)
+    return Executor(
+        max_workers=jobs, cache=cache_dir, progress=progress,
+        timeout=timeout, retries=retries,
+    )
 
 
 def execute_units(

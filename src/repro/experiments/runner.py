@@ -58,6 +58,13 @@ class ScenarioResult:
         sampling, traffic setup).
     sim_seconds:
         Host time spent simulating (warm-up + measured cycles).
+    violations:
+        Total :func:`repro.noc.validation.validate_network` findings over
+        the measured window (only collected when the scenario sets
+        ``validate_every > 0``; zero otherwise).
+    fault_counters:
+        :meth:`FaultInjector.counters` aggregate for faulted scenarios;
+        ``None`` for fault-free runs.
     """
 
     scenario: ScenarioConfig
@@ -70,6 +77,8 @@ class ScenarioResult:
     net_stats: SimStats
     build_seconds: float
     sim_seconds: float
+    violations: int = 0
+    fault_counters: Optional[Dict[str, int]] = None
 
     @property
     def wall_seconds(self) -> float:
@@ -147,12 +156,27 @@ def run_scenario(
     """Run one scenario end to end and collect its measurements."""
     started = time.perf_counter()
     network = build_network(scenario, iteration, nbti_model)
+    injector = None
+    if scenario.faults:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(scenario.faults, master_seed=scenario.seed)
+        injector.apply(network)
     built = time.perf_counter()
     if scenario.warmup:
         network.run(scenario.warmup)
         network.reset_nbti()
         network.reset_stats()
-    network.run(scenario.cycles)
+    violations = 0
+    if scenario.validate_every > 0:
+        from repro.noc.validation import validate_network
+
+        for i in range(scenario.cycles):
+            network.step()
+            if (i + 1) % scenario.validate_every == 0:
+                violations += len(validate_network(network))
+    else:
+        network.run(scenario.cycles)
     simulated = time.perf_counter()
 
     measured_port = port_id(scenario.measure_port)
@@ -186,6 +210,8 @@ def run_scenario(
         net_stats=network.stats(),
         build_seconds=built - started,
         sim_seconds=simulated - built,
+        violations=violations,
+        fault_counters=injector.counters() if injector is not None else None,
     )
 
 

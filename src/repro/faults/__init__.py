@@ -1,0 +1,56 @@
+"""Fault injection and resilience campaigns for the sensor-wise control plane.
+
+The package keeps the simulator core fault-free by default: faults are
+declarative :class:`FaultSpec` records that a :class:`FaultInjector`
+turns into hooks on a *built* network (sensor-bank hooks, swapped
+control channels, per-buffer wake hooks).  :mod:`repro.faults.campaign`
+sweeps kinds × rates × policies and renders the resilience report used
+by the ``fault-campaign`` CLI subcommand.
+"""
+
+from repro.faults.spec import DOWN_UP_KINDS, FAULT_KINDS, FaultSpec, derive_seed
+from repro.faults.channels import FaultyChannel
+from repro.faults.injector import (
+    EmergencyWake,
+    FaultInjector,
+    SensorBankFault,
+    WakeFault,
+)
+
+#: Campaign API re-exported lazily (PEP 562): repro.experiments.config
+#: imports repro.faults.spec, and repro.faults.campaign imports
+#: repro.experiments — an eager import here would close that cycle.
+_CAMPAIGN_EXPORTS = (
+    "FaultCampaignConfig",
+    "ResilienceReport",
+    "ResilienceRow",
+    "campaign_cells",
+    "make_specs",
+    "run_fault_campaign",
+)
+
+
+def __getattr__(name):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.faults import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "DOWN_UP_KINDS",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "derive_seed",
+    "FaultyChannel",
+    "EmergencyWake",
+    "FaultInjector",
+    "SensorBankFault",
+    "WakeFault",
+    "FaultCampaignConfig",
+    "ResilienceReport",
+    "ResilienceRow",
+    "campaign_cells",
+    "make_specs",
+    "run_fault_campaign",
+]

@@ -1,0 +1,142 @@
+"""Faulty control channels: drop, delay and corrupt link items.
+
+A :class:`FaultyChannel` is a drop-in :class:`~repro.noc.link.Channel`
+replacement the :class:`~repro.faults.injector.FaultInjector` swaps into
+the wiring of a targeted port.  Within the fault's activity window it
+
+* drops sent items with a per-item probability (optionally filtered,
+  e.g. only ``("wake", vc)`` commands),
+* adds a fixed extra delay to every sent item, and/or
+* injects spurious receiver-side items (wire noise) with a per-cycle
+  probability, drawn uniformly from ``noise_values``.
+
+Outside the window it behaves exactly like the channel it replaced.
+All randomness comes from a private ``random.Random`` seeded via
+:func:`repro.faults.spec.derive_seed`, so runs are reproducible across
+processes and across serial/parallel execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.noc.link import Channel
+
+T = TypeVar("T")
+
+
+class FaultyChannel(Channel[T]):
+    """A channel that misbehaves during a fault's activity window.
+
+    Parameters
+    ----------
+    name, latency:
+        As for :class:`Channel` (copy them from the replaced channel).
+    onset, duration:
+        Activity window ``[onset, onset + duration)``; ``None`` duration
+        never ends.
+    drop_probability:
+        Per-sent-item drop chance while active.
+    drop_filter:
+        Optional predicate restricting which items may be dropped.
+    extra_delay:
+        Extra cycles added to each item sent while active.
+    noise_probability:
+        Per-cycle chance of injecting one spurious item on the receive
+        side while active (consulted at most once per cycle).
+    noise_values:
+        Candidate spurious items (e.g. ``range(total_vcs)`` for a
+        Down_Up channel); required when ``noise_probability > 0``.
+    seed:
+        Seed of the private fault RNG.
+    """
+
+    __slots__ = (
+        "onset", "duration", "drop_probability", "drop_filter",
+        "extra_delay", "noise_probability", "noise_values",
+        "dropped", "delayed", "corrupted",
+        "_rng", "_last_noise_cycle",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        latency: int = 1,
+        onset: int = 0,
+        duration: Optional[int] = None,
+        drop_probability: float = 0.0,
+        drop_filter: Optional[Callable[[T], bool]] = None,
+        extra_delay: int = 0,
+        noise_probability: float = 0.0,
+        noise_values: Sequence[T] = (),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, latency)
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(f"drop_probability must be in [0, 1], got {drop_probability}")
+        if not 0.0 <= noise_probability <= 1.0:
+            raise ValueError(f"noise_probability must be in [0, 1], got {noise_probability}")
+        if extra_delay < 0:
+            raise ValueError(f"extra_delay must be >= 0, got {extra_delay}")
+        if noise_probability > 0.0 and not noise_values:
+            raise ValueError("noise_probability > 0 needs noise_values")
+        self.onset = onset
+        self.duration = duration
+        self.drop_probability = drop_probability
+        self.drop_filter = drop_filter
+        self.extra_delay = extra_delay
+        self.noise_probability = noise_probability
+        self.noise_values = list(noise_values)
+        self.dropped = 0
+        self.delayed = 0
+        self.corrupted = 0
+        self._rng = random.Random(seed)
+        self._last_noise_cycle = -1
+
+    def active(self, cycle: int) -> bool:
+        if cycle < self.onset:
+            return False
+        return self.duration is None or cycle < self.onset + self.duration
+
+    def adopt(self, old: Channel[T]) -> "FaultyChannel[T]":
+        """Take over an existing channel's in-flight items (swap helper)."""
+        self._heap = old._heap
+        self._seq = old._seq
+        return self
+
+    def send(self, item: T, cycle: int) -> None:
+        if self.active(cycle):
+            if (
+                self.drop_probability > 0.0
+                and (self.drop_filter is None or self.drop_filter(item))
+                and self._rng.random() < self.drop_probability
+            ):
+                self.dropped += 1
+                return
+            if self.extra_delay:
+                self.delayed += 1
+                heapq.heappush(
+                    self._heap,
+                    (cycle + self.latency + self.extra_delay, self._seq, item),
+                )
+                self._seq += 1
+                return
+        super().send(item, cycle)
+
+    def pop_ready(self, cycle: int) -> List[T]:
+        out = super().pop_ready(cycle)
+        if (
+            self.noise_probability > 0.0
+            and cycle != self._last_noise_cycle
+            and self.active(cycle)
+        ):
+            self._last_noise_cycle = cycle
+            if self._rng.random() < self.noise_probability:
+                spurious = self._rng.choice(self.noise_values)
+                self.corrupted += 1
+                # `out` may be the shared empty list — never mutate it.
+                out = list(out)
+                out.append(spurious)
+        return out

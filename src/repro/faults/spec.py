@@ -1,0 +1,166 @@
+"""Declarative fault descriptions for the sensor-wise control plane.
+
+A :class:`FaultSpec` names *where* a fault lives (router + input port,
+optionally a VC), *what* breaks (one of :data:`FAULT_KINDS`), *when*
+(onset cycle + optional duration) and *how hard* (a per-event rate or a
+fixed parameter).  Specs are frozen, hashable and JSON-serializable, so
+they ride inside :class:`~repro.experiments.config.ScenarioConfig` and
+participate in result-cache keys.
+
+Fault kinds
+-----------
+``stuck-sensor``
+    The sensor bank keeps measuring (heartbeats continue) but reports a
+    wrong verdict: either a fixed most-degraded VC (``stuck_vc``) or one
+    device's reading pinned to ``stuck_reading`` volts (``vc`` selects
+    the device).  Undetectable by the upstream watchdog — the point is
+    to measure how gracefully the policy tolerates being lied to.
+``sensor-dropout``
+    The bank stops measuring; its verdict goes stale and the Down_Up
+    heartbeat disappears, which the upstream staleness watchdog detects.
+``down-up-drop`` / ``down-up-delay`` / ``down-up-corrupt``
+    The Down_Up link drops reports (per-report probability ``rate``),
+    delays them by ``delay`` extra cycles, or injects spurious in-range
+    reports (per-cycle probability ``rate``) — wire noise that flaps
+    faster than any real sensor can and trips the plausibility watchdog.
+``up-down-drop``
+    The Up_Down link drops gate/wake commands (probability ``rate``;
+    ``command`` restricts to ``"gate"`` or ``"wake"``).  Lost wakes are
+    survivable only via the emergency wake-on-arrival relaxation, which
+    the injector enables on the targeted port (see docs/RESILIENCE.md).
+``stuck-gated``
+    The sleep-transistor driver misbehaves on wake: each wake command is
+    lost with probability ``rate`` (buffer stays gated until a flit
+    arrival forces the emergency wake) or, when ``extra_wake_cycles`` is
+    set, completes that many cycles late.
+
+All randomness derives from :func:`derive_seed` — a content hash of the
+spec plus a master seed — so campaigns are reproducible cross-process
+(``hash()`` is salted per interpreter and never used).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Optional, Tuple
+
+#: Every supported fault kind, in documentation order.
+FAULT_KINDS: Tuple[str, ...] = (
+    "stuck-sensor",
+    "sensor-dropout",
+    "down-up-drop",
+    "down-up-delay",
+    "down-up-corrupt",
+    "up-down-drop",
+    "stuck-gated",
+)
+
+#: Kinds that attack the Down_Up (sensor report) channel.
+DOWN_UP_KINDS = ("down-up-drop", "down-up-delay", "down-up-corrupt")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: site, kind, activity window and parameters.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    router, port:
+        Site: the *downstream* input port the fault attaches to (the
+        sensor bank, its Down_Up sender, its Up_Down receiver and its
+        buffers all live there).  ``port`` is a compass name or
+        ``"local"``.
+    onset, duration:
+        Activity window in absolute cycles (warm-up included):
+        ``[onset, onset + duration)``; ``None`` duration never ends.
+    rate:
+        Per-event probability in ``[0, 1]`` for the stochastic kinds
+        (drop/corrupt/stuck-gated); ignored by the deterministic ones.
+    vc:
+        Local VC index the fault targets (``stuck-sensor`` with
+        ``stuck_reading``, ``stuck-gated``); ``None`` targets every VC.
+    stuck_vc:
+        ``stuck-sensor``: the (vnet-local) VC id reported regardless of
+        the real readings.
+    stuck_reading:
+        ``stuck-sensor``: |Vth| in volts pinned onto device ``vc``.
+    delay:
+        ``down-up-delay``: extra cycles added to each report.
+    extra_wake_cycles:
+        ``stuck-gated``: late-wake penalty; ``None`` means affected
+        wakes are lost outright.
+    command:
+        ``up-down-drop``: restrict drops to ``"gate"`` or ``"wake"``
+        commands (``None`` drops both).
+    seed:
+        Per-spec salt mixed into :func:`derive_seed`.
+    """
+
+    kind: str
+    router: int = 0
+    port: str = "east"
+    onset: int = 0
+    duration: Optional[int] = None
+    rate: float = 1.0
+    vc: Optional[int] = None
+    stuck_vc: Optional[int] = None
+    stuck_reading: Optional[float] = None
+    delay: int = 0
+    extra_wake_cycles: Optional[int] = None
+    command: Optional[str] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(FAULT_KINDS)
+            raise ValueError(f"unknown fault kind {self.kind!r}; known kinds: {known}")
+        if self.router < 0:
+            raise ValueError(f"router must be >= 0, got {self.router}")
+        if self.onset < 0:
+            raise ValueError(f"onset must be >= 0, got {self.onset}")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError(f"duration must be >= 1 or None, got {self.duration}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+        if self.extra_wake_cycles is not None and self.extra_wake_cycles < 1:
+            raise ValueError(
+                f"extra_wake_cycles must be >= 1 or None, got {self.extra_wake_cycles}"
+            )
+        if self.command is not None and self.command not in ("gate", "wake"):
+            raise ValueError(f"command must be 'gate', 'wake' or None, got {self.command!r}")
+        if self.kind == "stuck-sensor" and self.stuck_vc is None and self.stuck_reading is None:
+            raise ValueError("stuck-sensor needs stuck_vc or stuck_reading")
+        if self.kind == "down-up-delay" and self.delay == 0:
+            raise ValueError("down-up-delay needs delay >= 1")
+
+    def active(self, cycle: int) -> bool:
+        """Whether the fault's activity window covers ``cycle``."""
+        if cycle < self.onset:
+            return False
+        return self.duration is None or cycle < self.onset + self.duration
+
+    def site(self) -> Tuple[int, str]:
+        """The targeted (router, input-port-name) pair."""
+        return (self.router, self.port)
+
+
+def derive_seed(spec: FaultSpec, master_seed: int, salt: str = "") -> int:
+    """Deterministic cross-process RNG seed for one fault instance.
+
+    Content-hashes the spec, the campaign master seed and an optional
+    salt (distinguishing multiple RNG consumers of one spec).  Python's
+    builtin ``hash`` is process-salted and therefore never used here.
+    """
+    payload = json.dumps(
+        {"spec": dataclasses.asdict(spec), "master": master_seed, "salt": salt},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")

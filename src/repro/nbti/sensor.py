@@ -124,7 +124,10 @@ class SensorBank:
         Cycles between measurements (default 1024).
     """
 
-    __slots__ = ("devices", "sensor", "sample_period", "_last_md", "_last_readings", "_last_sample_cycle")
+    __slots__ = (
+        "devices", "sensor", "sample_period", "fault",
+        "_last_md", "_last_readings", "_last_sample_cycle",
+    )
 
     def __init__(
         self,
@@ -139,6 +142,10 @@ class SensorBank:
         self.devices = list(devices)
         self.sensor = sensor if sensor is not None else IdealSensor()
         self.sample_period = sample_period
+        #: Optional fault-injection hook (see :mod:`repro.faults`).  When
+        #: set, it intercepts :meth:`sample` and :meth:`most_degraded_in`;
+        #: the bank itself stays fault-free by default.
+        self.fault = None
         self._last_readings: List[float] = [d.initial_vth for d in self.devices]
         self._last_md = self._argmax(self._last_readings)
         self._last_sample_cycle = -1
@@ -155,13 +162,50 @@ class SensorBank:
         """Measure (if the period elapsed) and return the most-degraded VC.
 
         Safe to call every cycle; actual measurements happen on cycle 0
-        and then once per ``sample_period``.
+        and then once per ``sample_period``.  A fault hook, when
+        installed, intercepts the measurement (stuck/dropped sensors).
         """
+        if self.fault is not None:
+            return self.fault.sample(self, cycle)
+        return self._sample(cycle)
+
+    def _sample(self, cycle: int) -> int:
+        """The fault-free measurement path (hooks delegate back here)."""
         if self._last_sample_cycle < 0 or cycle - self._last_sample_cycle >= self.sample_period:
             self._last_readings = [self.sensor.measure(d) for d in self.devices]
             self._last_md = self._argmax(self._last_readings)
             self._last_sample_cycle = cycle
         return self._last_md
+
+    def sample_age(self, cycle: int) -> int:
+        """Cycles elapsed since the bank last actually measured.
+
+        0 means the bank sampled this very cycle; before any sample has
+        happened the age counts from the build-time latch at cycle -1
+        (i.e. ``cycle + 1``).  Diagnostics and the staleness watchdog
+        both key off this.
+        """
+        return cycle - self._last_sample_cycle
+
+    @property
+    def last_sample_cycle(self) -> int:
+        """Cycle of the most recent actual measurement (-1 = never)."""
+        return self._last_sample_cycle
+
+    def most_degraded_in(self, start: int, count: int) -> int:
+        """Most-degraded VC within ``[start, start+count)`` (global id).
+
+        This is the comparator reduction that feeds one vnet's
+        ``Down_Up`` lines; a fault hook may pin or distort it.
+        """
+        if self.fault is not None:
+            return self.fault.most_degraded_in(self, start, count)
+        return self._most_degraded_in(start, count)
+
+    def _most_degraded_in(self, start: int, count: int) -> int:
+        readings = self._last_readings
+        local = max(range(count), key=lambda i: (readings[start + i], -i))
+        return start + local
 
     @property
     def most_degraded(self) -> int:

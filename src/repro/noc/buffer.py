@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Optional, Tuple
 
 from repro.nbti.transistor import PMOSDevice
 from repro.noc.flit import Flit
@@ -51,7 +51,10 @@ class VCBuffer:
         buffers at the NIs are excluded by default).
     """
 
-    __slots__ = ("capacity", "device", "track_nbti", "_flits", "_state", "_wake_remaining")
+    __slots__ = (
+        "capacity", "device", "track_nbti", "wake_fault", "on_push_unpowered",
+        "_flits", "_state", "_wake_remaining",
+    )
 
     def __init__(
         self,
@@ -64,6 +67,14 @@ class VCBuffer:
         self.capacity = capacity
         self.device = device
         self.track_nbti = track_nbti
+        #: Optional fault hooks (see :mod:`repro.faults`).  ``wake_fault``
+        #: maps a wake latency to a modified latency (or ``None`` to drop
+        #: the wake entirely: a stuck sleep transistor).  ``on_push_unpowered``
+        #: is consulted when a flit arrives at a non-ON buffer; returning
+        #: True forces an emergency wake-on-arrival instead of the hard
+        #: :class:`BufferError`.  Both stay ``None`` in fault-free runs.
+        self.wake_fault = None
+        self.on_push_unpowered = None
         self._flits: Deque[Flit] = deque()
         self._state = PowerState.ON
         self._wake_remaining = 0
@@ -90,10 +101,21 @@ class VCBuffer:
         """Peek the oldest buffered flit, or None when empty."""
         return self._flits[0] if self._flits else None
 
+    @property
+    def flits(self) -> Tuple[Flit, ...]:
+        """Read-only snapshot of the buffered flits, oldest first."""
+        return tuple(self._flits)
+
     def push(self, flit: Flit) -> None:
         """Append a flit; the buffer must be powered and not full."""
         if self._state is not PowerState.ON:
-            raise BufferError(f"push into a {self._state.value} buffer: {flit!r}")
+            if self.on_push_unpowered is not None and self.on_push_unpowered(self, flit):
+                # Emergency wake-on-arrival: the flit's own wordline
+                # energizes the rail (documented relaxation; faults only).
+                self._state = PowerState.ON
+                self._wake_remaining = 0
+            else:
+                raise BufferError(f"push into a {self._state.value} buffer: {flit!r}")
         if self.is_full:
             raise BufferError(f"buffer overflow (capacity {self.capacity}): {flit!r}")
         self._flits.append(flit)
@@ -140,6 +162,10 @@ class VCBuffer:
             return
         if self._state is PowerState.WAKING:
             return
+        if self.wake_fault is not None:
+            latency = self.wake_fault(latency)
+            if latency is None:
+                return  # wake command lost in the sleep-transistor driver
         if latency == 0:
             self._state = PowerState.ON
         else:

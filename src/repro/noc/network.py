@@ -57,6 +57,11 @@ class SimStats:
     p50_packet_latency: float = 0.0
     p95_packet_latency: float = 0.0
     p99_packet_latency: float = 0.0
+    #: Down_Up watchdog accounting, summed over every (port, vnet)
+    #: engine: degrade transitions and cycles spent in the degraded
+    #: (sensor-less fallback) mode.  Zero in healthy runs.
+    sensor_degrade_events: int = 0
+    sensor_degraded_cycles: int = 0
 
     def __str__(self) -> str:
         return (
@@ -112,6 +117,11 @@ class Network:
         self.cycle = 0
         #: First cycle of the measurement window (bumped by reset_stats).
         self.stats_window_start = 0
+        #: Flit-conservation offset: injected + pending - ejected -
+        #: in_flight equals this at all times.  Zero from build;
+        #: reset_stats re-bases it so mid-run counter resets (warm-up
+        #: discard) don't fake conservation violations.
+        self.conservation_baseline = 0
 
         self.routers: List[Router] = []
         self.interfaces: List[NetworkInterface] = []
@@ -207,7 +217,15 @@ class Network:
                 wake_latency=cfg.wake_latency,
             )
 
-        # Upstream ports: one per router output port + one per NI.
+        # Upstream ports: one per router output port + one per NI.  The
+        # Down_Up watchdog thresholds derive from the sensing physics:
+        # a healthy bank heartbeats every sample_period (plus the link
+        # latency), so two missed heartbeats is unambiguous staleness,
+        # and verdict changes can never legitimately arrive closer than
+        # one sample period apart.
+        md_stale_after = 2 * cfg.sensor_sample_period + 2 * cfg.link_latency
+        md_min_change_interval = cfg.sensor_sample_period
+
         def make_upstream(down_chans: Dict[str, Channel]) -> UpstreamPort:
             return UpstreamPort(
                 cfg.num_vcs,
@@ -218,6 +236,8 @@ class Network:
                 wake_latency=cfg.wake_latency,
                 num_vnets=cfg.num_vnets,
                 policy_factory=policy_factory,
+                md_stale_after=md_stale_after,
+                md_min_change_interval=md_min_change_interval,
             )
 
         # Router construction.
@@ -278,10 +298,10 @@ class Network:
                     chunk = readings[start:start + cfg.num_vcs]
                     md = start + max(range(cfg.num_vcs), key=lambda i: (chunk[i], -i))
                     if port == LOCAL:
-                        self.interfaces[node].injection_port.set_most_degraded(md)
+                        self.interfaces[node].injection_port.set_most_degraded(md, 0)
                     else:
                         up_node, up_port = neighbor_of_inverse(topo, node, port)
-                        self.routers[up_node].outputs[up_port].upstream.set_most_degraded(md)
+                        self.routers[up_node].outputs[up_port].upstream.set_most_degraded(md, 0)
 
     def _route_fn(self, node: int):
         routing = self.routing
@@ -351,7 +371,7 @@ class Network:
         for vc in ni._inj_credit_channel.pop_ready(cycle):
             ni.injection_port.on_credit(vc)
         for vc in ni._inj_down_up_channel.pop_ready(cycle):
-            ni.injection_port.set_most_degraded(vc)
+            ni.injection_port.set_most_degraded(vc, cycle)
         unit = ni.ejection_unit
         for command, vc in ni._eject_control_channel.pop_ready(cycle):
             unit.apply_command(command, vc)
@@ -394,11 +414,32 @@ class Network:
         for device in self.devices.values():
             device.counter.reset()
 
+    def upstream_ports(self) -> List[UpstreamPort]:
+        """Every upstream port in the NoC (router outputs + NI injectors)."""
+        ports = [
+            router.outputs[p].upstream
+            for router in self.routers
+            for p in router.output_ports
+        ]
+        ports.extend(ni.injection_port for ni in self.interfaces)
+        return ports
+
     def reset_stats(self) -> None:
-        """Drop NI latency/throughput statistics (warm-up discard)."""
+        """Drop NI latency/throughput statistics (warm-up discard).
+
+        Watchdog degrade *counters* restart with the window; the health
+        state itself (timestamps, faulted flags) carries over — a port
+        degraded during warm-up is still degraded afterwards.
+        """
         for ni in self.interfaces:
             ni.reset_stats()
+        for port in self.upstream_ports():
+            for engine in port.engines:
+                engine.degrade_events = 0
+                engine.degraded_cycles = 0
         self.stats_window_start = self.cycle
+        pending = sum(ni.pending_flits for ni in self.interfaces)
+        self.conservation_baseline = pending - self.in_flight_flits()
 
     def in_flight_flits(self) -> int:
         """Flits currently buffered or on a link (conservation checks)."""
@@ -427,6 +468,13 @@ class Network:
             idx = min(len(latencies) - 1, int(q * (len(latencies) - 1)))
             return float(latencies[idx])
 
+        degrade_events = 0
+        degraded_cycles = 0
+        for port in self.upstream_ports():
+            for engine in port.engines:
+                degrade_events += engine.degrade_events
+                degraded_cycles += engine.degraded_cycles
+
         return SimStats(
             cycles=window,
             packets_injected=sum(ni.packets_injected for ni in self.interfaces),
@@ -439,6 +487,8 @@ class Network:
             p50_packet_latency=percentile(0.50),
             p95_packet_latency=percentile(0.95),
             p99_packet_latency=percentile(0.99),
+            sensor_degrade_events=degrade_events,
+            sensor_degraded_cycles=degraded_cycles,
         )
 
 

@@ -82,6 +82,12 @@ class VnetEngine:
         "new_traffic",
         "most_degraded_vc",
         "last_decision",
+        "md_updated_cycle",
+        "md_changed_cycle",
+        "implausible_until",
+        "faulted",
+        "degrade_events",
+        "degraded_cycles",
         "_ctx_version",
         "_policy_key",
         "_alloc_arbiter",
@@ -95,6 +101,15 @@ class VnetEngine:
         self.new_traffic = False
         self.most_degraded_vc: Optional[int] = None  # local (slice) index
         self.last_decision: Optional[PolicyDecision] = None
+        # Down_Up health watchdog (see UpstreamPort.run_policy).  The
+        # watchdog only arms once a report has actually been received
+        # (md_updated_cycle stays None on sensor-less/ejection ports).
+        self.md_updated_cycle: Optional[int] = None
+        self.md_changed_cycle: Optional[int] = None
+        self.implausible_until = -1
+        self.faulted = False
+        self.degrade_events = 0
+        self.degraded_cycles = 0
         self._ctx_version = 0
         self._policy_key: Optional[Tuple[int, int]] = None
         self._alloc_arbiter = RoundRobinArbiter(count)
@@ -134,6 +149,16 @@ class UpstreamPort:
     policy_factory:
         Builds one policy instance per vnet; required when
         ``num_vnets > 1`` (per-vnet policies must not share state).
+    md_stale_after:
+        Staleness watchdog threshold: when more than this many cycles
+        pass without a ``Down_Up`` delivery (heartbeat or change), the
+        vnet is marked ``faulted`` and sensor-wise policies degrade to
+        their sensor-less fallback.  ``None`` disables the watchdog.
+    md_min_change_interval:
+        Plausibility threshold: most-degraded *changes* arriving closer
+        together than this (sensors only re-measure every
+        ``sample_period``) are implausible and trip the watchdog for a
+        hold-off window.  ``0`` disables the plausibility check.
     """
 
     __slots__ = (
@@ -144,6 +169,8 @@ class UpstreamPort:
         "data_channel",
         "control_channel",
         "wake_latency",
+        "md_stale_after",
+        "md_min_change_interval",
         "entries",
         "engines",
         "gate_commands",
@@ -160,6 +187,8 @@ class UpstreamPort:
         wake_latency: int = 1,
         num_vnets: int = 1,
         policy_factory=None,
+        md_stale_after: Optional[int] = None,
+        md_min_change_interval: int = 0,
     ) -> None:
         if num_vcs < 1:
             raise ValueError(f"num_vcs must be >= 1, got {num_vcs}")
@@ -178,6 +207,14 @@ class UpstreamPort:
         self.data_channel = data_channel
         self.control_channel = control_channel
         self.wake_latency = wake_latency
+        if md_stale_after is not None and md_stale_after <= 0:
+            raise ValueError(f"md_stale_after must be positive, got {md_stale_after}")
+        if md_min_change_interval < 0:
+            raise ValueError(
+                f"md_min_change_interval must be >= 0, got {md_min_change_interval}"
+            )
+        self.md_stale_after = md_stale_after
+        self.md_min_change_interval = md_min_change_interval
         self.entries: List[OutVCEntry] = [
             OutVCEntry(buffer_depth) for _ in range(self.total_vcs)
         ]
@@ -244,7 +281,32 @@ class UpstreamPort:
             vc_states=states,
             new_traffic=engine.new_traffic,
             most_degraded_vc=engine.most_degraded_vc,
+            sensor_faulted=engine.faulted,
         )
+
+    def _tick_watchdog(self, engine: VnetEngine, cycle: int) -> None:
+        """Re-assess one vnet's Down_Up health (staleness + plausibility).
+
+        Only sensor-consuming policies on ports that have actually
+        received a report participate; transitions bust the memo so the
+        policy re-decides immediately on degrade and on heal.
+        """
+        if (
+            self.md_stale_after is None
+            or engine.md_updated_cycle is None
+            or not engine.policy.uses_sensor
+        ):
+            return
+        stale = cycle - engine.md_updated_cycle > self.md_stale_after
+        implausible = cycle < engine.implausible_until
+        faulted = stale or implausible
+        if faulted != engine.faulted:
+            engine.faulted = faulted
+            if faulted:
+                engine.degrade_events += 1
+            engine.invalidate()
+        if engine.faulted:
+            engine.degraded_cycles += 1
 
     def run_policy(self, cycle: int) -> List[PolicyDecision]:
         """Evaluate every vnet's policy and apply the decisions.
@@ -256,6 +318,7 @@ class UpstreamPort:
         """
         decisions: List[PolicyDecision] = []
         for engine in self.engines:
+            self._tick_watchdog(engine, cycle)
             policy = engine.policy
             if policy.stable:
                 key = (engine._ctx_version, policy.epoch(cycle))
@@ -399,18 +462,37 @@ class UpstreamPort:
     # ------------------------------------------------------------------
     # Down_Up link sink
     # ------------------------------------------------------------------
-    def set_most_degraded(self, vc: int) -> None:
+    def set_most_degraded(self, vc: int, cycle: Optional[int] = None) -> None:
         """Latch a most-degraded VC id delivered by the Down_Up link.
 
         ``vc`` is a global index; it updates the owning vnet's marker.
+        When ``cycle`` is given the delivery also feeds the health
+        watchdog: every delivery refreshes the staleness timestamp, and
+        a *change* arriving sooner than ``md_min_change_interval`` after
+        the previous change is flagged implausible (sensors re-measure
+        at most once per sample period, so faster flapping can only be
+        wire noise) for a ``md_stale_after`` hold-off window.
         """
         if not 0 <= vc < self.total_vcs:
             raise ValueError(f"most-degraded vc {vc} out of range [0, {self.total_vcs})")
         engine = self.engines[self.vnet_of(vc)]
         local = vc - engine.start
         if local != engine.most_degraded_vc:
+            # The first latch (None -> value) is not a "change" — only
+            # value-to-value transitions feed the plausibility check.
+            if cycle is not None and engine.most_degraded_vc is not None:
+                if (
+                    self.md_min_change_interval > 0
+                    and engine.md_changed_cycle is not None
+                    and cycle - engine.md_changed_cycle < self.md_min_change_interval
+                    and self.md_stale_after is not None
+                ):
+                    engine.implausible_until = cycle + self.md_stale_after
+                engine.md_changed_cycle = cycle
             engine.most_degraded_vc = local
             engine.invalidate()
+        if cycle is not None:
+            engine.md_updated_cycle = cycle
 
     def idle_vc_count(self) -> int:
         """Number of VCs currently IDLE and awake (diagnostics)."""

@@ -54,12 +54,17 @@ class PolicyContext:
     most_degraded_vc:
         Most-degraded VC id from the ``Down_Up`` link; ``None`` when the
         port has no sensors (sensor-less configurations).
+    sensor_faulted:
+        True while the port's staleness/plausibility watchdog considers
+        the ``Down_Up`` information untrustworthy; sensor-wise policies
+        should degrade gracefully to a sensor-less strategy.
     """
 
     cycle: int
     vc_states: Tuple[OutVCState, ...]
     new_traffic: bool
     most_degraded_vc: Optional[int] = None
+    sensor_faulted: bool = False
 
     @property
     def num_vcs(self) -> int:

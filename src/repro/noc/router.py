@@ -124,7 +124,7 @@ class Router:
             for vc in wiring.credit_channel.pop_ready(cycle):
                 wiring.upstream.on_credit(vc)
             for vc in wiring.down_up_channel.pop_ready(cycle):
-                wiring.upstream.set_most_degraded(vc)
+                wiring.upstream.set_most_degraded(vc, cycle)
 
     # ------------------------------------------------------------------
     # Phase 1: pre-VA recovery policies
@@ -237,9 +237,11 @@ class Router:
 
         One most-degraded id is maintained per (input port, vnet) —
         the comparator reduces each vnet's sensor slice independently.
-        The Down_Up wires always carry a value; re-sending only changes
-        (plus the initial latch done at build time) is an exact, cheaper
-        equivalent.
+        The Down_Up wires always carry a value; re-sending on changes
+        and on every actual sensor measurement (a once-per-sample-period
+        heartbeat, plus the initial latch done at build time) is an
+        exact equivalent that also lets the upstream watchdog observe a
+        dead sensor bank as a missing heartbeat.
         """
         n_vcs = self.num_vcs
         for port in self.input_ports:
@@ -249,16 +251,11 @@ class Router:
             if bank is None:
                 continue
             bank.sample(cycle)
-            readings = bank.readings
+            refreshed = bank.last_sample_cycle == cycle
             for vnet in range(self.num_vnets):
-                start = vnet * n_vcs
-                slice_readings = readings[start:start + n_vcs]
-                local_md = max(
-                    range(n_vcs), key=lambda i: (slice_readings[i], -i)
-                )
-                current = start + local_md
+                current = bank.most_degraded_in(vnet * n_vcs, n_vcs)
                 key = (port, vnet)
-                if self._last_md_sent.get(key) != current:
+                if refreshed or self._last_md_sent.get(key) != current:
                     self._last_md_sent[key] = current
                     self._down_up_send(port, current, cycle)
 

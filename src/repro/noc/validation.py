@@ -106,7 +106,7 @@ def _validate_wormhole_state(network) -> List[str]:
         for port in router.input_ports:
             for vc, ivc in enumerate(router.inputs[port].unit.vcs):
                 where = f"router {router.router_id} {port_name(port)} VC{vc}"
-                flits = list(ivc.buffer._flits)
+                flits = ivc.buffer.flits
                 if flits and not ivc.busy:
                     out.append(f"{where}: flits buffered but VC not busy")
                 pids = {f.packet_id for f in flits}
@@ -132,10 +132,13 @@ def _validate_conservation(network) -> List[str]:
     ejected = sum(ni.flits_ejected for ni in network.interfaces)
     in_flight = network.in_flight_flits()
     pending = sum(ni.pending_flits for ni in network.interfaces)
-    # in_flight_flits() includes NI pending queues.
-    if injected + pending != ejected + in_flight:
+    # in_flight_flits() includes NI pending queues.  The baseline is 0
+    # from build and re-based by Network.reset_stats, so the check also
+    # holds after a mid-run warm-up counter reset.
+    baseline = getattr(network, "conservation_baseline", 0)
+    if injected + pending != ejected + in_flight + baseline:
         return [
             f"conservation violated: injected={injected} pending={pending} "
-            f"ejected={ejected} in_flight={in_flight}"
+            f"ejected={ejected} in_flight={in_flight} (baseline {baseline})"
         ]
     return []

@@ -1,0 +1,109 @@
+"""Property-based fuzzing of the fault-injection layer: a faulted small
+mesh must keep the cross-cutting invariants every cycle.
+
+The sensor-plane and Down_Up kinds never touch power commands, so they
+must produce *zero* violations.  The wake-losing kinds (``up-down-drop``,
+``stuck-gated``) run under the documented emergency wake-on-arrival
+relaxation: the only violation class they may produce is the transient
+upstream/downstream power disagreement (see docs/RESILIENCE.md §limits);
+anything else — conservation, wormhole order, credit bounds — is a bug.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import make_policy_factory
+from repro.faults import FAULT_KINDS, FaultInjector, FaultSpec
+from repro.nbti.process_variation import ProcessVariationModel
+from repro.noc.config import NoCConfig
+from repro.noc.network import Network
+from repro.noc.validation import validate_network
+from repro.traffic.synthetic import SyntheticTraffic
+
+#: Kinds that must never cause any invariant violation.
+SAFE_KINDS = (
+    "stuck-sensor",
+    "sensor-dropout",
+    "down-up-drop",
+    "down-up-delay",
+    "down-up-corrupt",
+)
+#: Kinds that may lose wake commands: only the power-agreement check is
+#: allowed to fire (the documented relaxation), nothing else.
+WAKE_LOSING_KINDS = ("up-down-drop", "stuck-gated")
+
+assert set(SAFE_KINDS) | set(WAKE_LOSING_KINDS) == set(FAULT_KINDS)
+
+RUN_CYCLES = 250
+
+
+def _build_faulted_network(kind, rate, onset, duration, policy, seed):
+    config = NoCConfig(num_nodes=4, num_vcs=2, seed=seed % 1000,
+                       sensor_sample_period=32)
+    traffic = SyntheticTraffic("uniform", 4, flit_rate=0.2,
+                               packet_length=4, seed=seed)
+    network = Network(
+        config,
+        make_policy_factory(policy),
+        traffic,
+        pv_model=ProcessVariationModel(seed=seed // 5),
+    )
+    kwargs = dict(kind=kind, router=0, port="east", onset=onset,
+                  duration=duration, seed=seed % 97)
+    if kind == "stuck-sensor":
+        kwargs["stuck_vc"] = seed % 2
+    if kind == "down-up-delay":
+        kwargs["delay"] = 1 + seed % 5
+    if kind in ("down-up-drop", "down-up-corrupt", "up-down-drop", "stuck-gated"):
+        kwargs["rate"] = rate
+    FaultInjector([FaultSpec(**kwargs)], master_seed=seed % 13).apply(network)
+    return network
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    kind=st.sampled_from(SAFE_KINDS),
+    rate=st.floats(min_value=0.1, max_value=1.0),
+    onset=st.integers(min_value=0, max_value=100),
+    duration=st.one_of(st.none(), st.integers(min_value=1, max_value=150)),
+    policy=st.sampled_from(["sensor-wise", "rr-no-sensor"]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_safe_kinds_keep_every_invariant(kind, rate, onset, duration, policy, seed):
+    network = _build_faulted_network(kind, rate, onset, duration, policy, seed)
+    for _ in range(RUN_CYCLES):
+        network.step()
+        violations = validate_network(network)
+        assert violations == [], (
+            f"{kind} rate={rate} onset={onset} duration={duration} "
+            f"policy={policy} seed={seed}: {violations}"
+        )
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    kind=st.sampled_from(WAKE_LOSING_KINDS),
+    rate=st.floats(min_value=0.1, max_value=1.0),
+    onset=st.integers(min_value=0, max_value=100),
+    duration=st.one_of(st.none(), st.integers(min_value=1, max_value=150)),
+    policy=st.sampled_from(["sensor-wise", "rr-no-sensor"]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_wake_losing_kinds_only_break_power_agreement(
+    kind, rate, onset, duration, policy, seed
+):
+    network = _build_faulted_network(kind, rate, onset, duration, policy, seed)
+    for _ in range(RUN_CYCLES):
+        network.step()
+        unexpected = [
+            v for v in validate_network(network)
+            if "upstream gated=" not in v
+        ]
+        assert unexpected == [], (
+            f"{kind} rate={rate} onset={onset} duration={duration} "
+            f"policy={policy} seed={seed}: {unexpected}"
+        )

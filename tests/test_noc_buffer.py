@@ -184,3 +184,21 @@ class TestNBTIHooks:
 
     def test_deviceless_buffer_tick_is_safe(self):
         VCBuffer(2).nbti_tick()  # must not raise
+
+
+class TestFlitsView:
+    def test_flits_is_a_read_only_snapshot(self):
+        buf = VCBuffer(4)
+        flits = [make_flit(i) for i in range(3)]
+        for f in flits:
+            buf.push(f)
+        view = buf.flits
+        assert isinstance(view, tuple)
+        assert [f.seq for f in view] == [0, 1, 2]
+        # A snapshot: later pops don't mutate an already-taken view.
+        buf.pop()
+        assert [f.seq for f in view] == [0, 1, 2]
+        assert [f.seq for f in buf.flits] == [1, 2]
+
+    def test_empty_buffer_has_empty_view(self):
+        assert VCBuffer(2).flits == ()
