@@ -14,6 +14,12 @@ Examples
     repro-noc simulate --policy sensor-wise --nodes 16 --vcs 4
     repro-noc campaign --jobs 4 --cache-dir .repro-cache
     repro-noc fault-campaign --jobs 4 --timeout 300 --retries 1
+    repro-noc trace --cycles 2000 --out-dir traces   # Chrome/Perfetto trace
+    repro-noc metrics --cycles 2000 --json m.json    # metrics-only telemetry
+
+Pass ``-v``/``-q`` (before the subcommand, repeatable) to raise or
+lower stderr diagnostic verbosity; artifact output on stdout is
+unaffected.
 
 The defaults use scaled-down cycle counts (see DESIGN.md §3); pass
 ``--cycles``/``--warmup`` for longer runs.  Table/campaign/sweep
@@ -26,6 +32,10 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+from repro.telemetry.log import emit, get_logger, setup_cli_logging
+
+log = get_logger("cli")
 
 
 def _add_sim_args(parser: argparse.ArgumentParser, cycles: int = 20_000) -> None:
@@ -52,6 +62,10 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="on-disk scenario result cache (reruns skip computed scenarios)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect per-scenario timing distributions into the summary",
+    )
 
 
 def _make_executor(args: argparse.Namespace):
@@ -61,14 +75,15 @@ def _make_executor(args: argparse.Namespace):
     executor = make_executor(
         args.jobs,
         cache_dir=args.cache_dir,
-        progress=lambda line: print(line, file=sys.stderr),
+        progress=log.info,
+        profile=getattr(args, "profile", False),
     )
     return executor
 
 
 def _print_exec_summary(executor) -> None:
     if executor is not None:
-        print(executor.summary(), file=sys.stderr)
+        log.info(executor.summary())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Sensor-wise methodology to face NBTI stress "
             "of NoC buffers' (DATE 2013)"
         ),
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more diagnostics on stderr (repeatable)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="less diagnostics on stderr (repeatable)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -200,17 +223,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--traffic", default="uniform",
         help="synthetic pattern name or 'benchmark-mix'",
     )
+
+    ptrace = sub.add_parser(
+        "trace", help="run one scenario with cycle-level tracing enabled"
+    )
+    _add_sim_args(ptrace, cycles=2_000)
+    ptrace.add_argument("--nodes", type=int, default=4)
+    ptrace.add_argument("--vcs", type=int, default=2)
+    ptrace.add_argument("--rate", type=float, default=0.1)
+    ptrace.add_argument("--policy", default="sensor-wise")
+    ptrace.add_argument(
+        "--traffic", default="uniform",
+        help="synthetic pattern name or 'benchmark-mix'",
+    )
+    ptrace.add_argument(
+        "--out-dir", default="traces", metavar="DIR",
+        help="directory the trace files are written into",
+    )
+    ptrace.add_argument(
+        "--formats", default="chrome,jsonl",
+        help="comma-separated trace sinks: chrome, jsonl, csv",
+    )
+
+    pmet = sub.add_parser(
+        "metrics", help="run one scenario collecting metrics only (no trace files)"
+    )
+    _add_sim_args(pmet, cycles=2_000)
+    pmet.add_argument("--nodes", type=int, default=4)
+    pmet.add_argument("--vcs", type=int, default=2)
+    pmet.add_argument("--rate", type=float, default=0.1)
+    pmet.add_argument("--policy", default="sensor-wise")
+    pmet.add_argument(
+        "--traffic", default="uniform",
+        help="synthetic pattern name or 'benchmark-mix'",
+    )
+    pmet.add_argument("--json", default=None, help="also write the metrics as JSON here")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    setup_cli_logging(args.verbose - args.quiet)
 
     if args.command == "setup":
         from repro.experiments.config import format_experimental_setup
 
-        print(format_experimental_setup())
+        emit(format_experimental_setup())
         return 0
 
     if args.command in ("table2", "table3"):
@@ -222,7 +281,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_vcs=num_vcs, cycles=args.cycles, warmup=args.warmup, seed=args.seed,
             executor=executor,
         )
-        print(table.format())
+        emit(table.format())
         _print_exec_summary(executor)
         return 0
 
@@ -237,7 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             executor=executor,
         )
-        print(table.format())
+        emit(table.format())
         _print_exec_summary(executor)
         return 0
 
@@ -247,7 +306,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         geometry = RouterGeometry(
             num_ports=args.ports, num_vcs=args.vcs, flit_width_bits=args.flit_bits
         )
-        print(compute_overhead_report(geometry).as_text())
+        emit(compute_overhead_report(geometry).as_text())
         return 0
 
     if args.command == "vth":
@@ -258,7 +317,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
             cycles=args.cycles, warmup=args.warmup, seed=args.seed,
         )
-        print(run_vth_saving(scenario, years=args.years).format())
+        emit(run_vth_saving(scenario, years=args.years).format())
         return 0
 
     if args.command == "cooperation":
@@ -269,7 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
             cycles=args.cycles, warmup=args.warmup, seed=args.seed,
         )
-        print(run_cooperation_gain(scenario).format())
+        emit(run_cooperation_gain(scenario).format())
         return 0
 
     if args.command == "campaign":
@@ -286,8 +345,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_campaign(
             config, report_path=args.out, json_dir=args.json_dir, executor=executor
         )
-        print(result.to_markdown())
-        print(f"report written to {args.out} ({result.wall_seconds:.0f}s)")
+        emit(result.to_markdown())
+        emit(f"report written to {args.out} ({result.wall_seconds:.0f}s)")
         _print_exec_summary(executor)
         return 0
 
@@ -303,10 +362,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         executor = _make_executor(args)
         sweep = run_injection_sweep(rates, policies=policies, base=base, executor=executor)
-        print(sweep.format())
+        emit(sweep.format())
         if args.csv:
             sweep.to_csv(args.csv)
-            print(f"\nwrote {args.csv}")
+            emit(f"\nwrote {args.csv}")
         _print_exec_summary(executor)
         return 0
 
@@ -326,9 +385,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         network.reset_stats()
         network.run(scenario.cycles)
         report = compute_power_report(network)
-        print(f"scenario: {scenario.label} policy={scenario.policy}")
-        print(report.as_text())
-        print(f"average power: {report.power_mw(scenario.noc_config().technology.clock_period_s):.3f} mW")
+        emit(f"scenario: {scenario.label} policy={scenario.policy}")
+        emit(report.as_text())
+        emit(f"average power: {report.power_mw(scenario.noc_config().technology.clock_period_s):.3f} mW")
         return 0
 
     if args.command == "fault-campaign":
@@ -356,18 +415,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_dir=args.cache_dir,
             timeout=args.timeout,
             retries=args.retries,
-            progress=lambda line: print(line, file=sys.stderr),
+            progress=log.info,
+            profile=args.profile,
         )
         report = run_fault_campaign(config, executor=executor)
-        print(report.to_markdown())
+        emit(report.to_markdown())
         if args.out:
             with open(args.out, "w") as fh:
                 fh.write(report.to_markdown())
-            print(f"report written to {args.out}", file=sys.stderr)
+            log.info("report written to %s", args.out)
         if args.json:
             with open(args.json, "w") as fh:
                 fh.write(report.to_json())
-            print(f"JSON written to {args.json}", file=sys.stderr)
+            log.info("JSON written to %s", args.json)
+        _print_exec_summary(executor)
         failed = sum(1 for row in report.rows if row.failure is not None)
         return 1 if failed == len(report.rows) else 0
 
@@ -381,15 +442,64 @@ def main(argv: Optional[List[str]] = None) -> int:
             cycles=args.cycles, warmup=args.warmup, seed=args.seed,
         )
         result = run_scenario(scenario)
-        print(f"scenario      : {scenario.label} policy={scenario.policy}")
-        print(f"measured port : router {scenario.measure_router} {scenario.measure_port}")
-        print(f"duty cycles   : {[round(d, 2) for d in result.duty_cycles]}")
-        print(f"MD VC         : {result.md_vc} ({result.md_duty:.2f}%)")
-        print(f"network       : {result.net_stats}")
-        print(
+        emit(f"scenario      : {scenario.label} policy={scenario.policy}")
+        emit(f"measured port : router {scenario.measure_router} {scenario.measure_port}")
+        emit(f"duty cycles   : {[round(d, 2) for d in result.duty_cycles]}")
+        emit(f"MD VC         : {result.md_vc} ({result.md_duty:.2f}%)")
+        emit(f"network       : {result.net_stats}")
+        emit(
             f"wall time     : {result.wall_seconds:.2f}s "
             f"(build {result.build_seconds:.2f}s + sim {result.sim_seconds:.2f}s)"
         )
+        return 0
+
+    if args.command == "trace":
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import run_scenario
+
+        formats = tuple(f.strip() for f in args.formats.split(",") if f.strip())
+        scenario = ScenarioConfig(
+            num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
+            policy=args.policy, traffic=args.traffic,
+            cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+        ).traced(trace_dir=args.out_dir, formats=formats)
+        result = run_scenario(scenario)
+        summary = result.telemetry
+        emit(f"scenario      : {scenario.label} policy={scenario.policy}")
+        emit(f"traced window : cycles {summary.window_start}..{summary.end_cycle}")
+        emit(f"events        : {summary.total_events}")
+        for name in sorted(summary.event_counts):
+            emit(f"  {name:<24s} {summary.event_counts[name]}")
+        emit("trace files   :")
+        for path in summary.trace_files:
+            emit(f"  {path}")
+        emit(
+            "open the .trace.json file at https://ui.perfetto.dev or "
+            "chrome://tracing to inspect it"
+        )
+        return 0
+
+    if args.command == "metrics":
+        import json as _json
+
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import run_scenario
+        from repro.telemetry.metrics import format_metrics_dict
+
+        scenario = ScenarioConfig(
+            num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
+            policy=args.policy, traffic=args.traffic,
+            cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+        ).traced(trace_dir=None, formats=())
+        result = run_scenario(scenario)
+        metrics = result.telemetry.metrics
+        emit(f"scenario      : {scenario.label} policy={scenario.policy}")
+        emit(format_metrics_dict(metrics))
+        if args.json:
+            with open(args.json, "w") as fh:
+                _json.dump(metrics, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            log.info("metrics JSON written to %s", args.json)
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -35,6 +35,7 @@ from repro.noc.policy_api import (
     PolicyDecision,
     RecoveryPolicy,
 )
+from repro.telemetry import probes
 
 
 class BaselinePolicy(RecoveryPolicy):
@@ -101,6 +102,12 @@ class RoundRobinSensorlessPolicy(RecoveryPolicy):
         offset = candidate
         for _ in range(ctx.num_vcs):
             if ctx.is_idle(offset) or ctx.is_recovery(offset):
+                if self.trace is not None:
+                    self.trace.instant(
+                        probes.POLICY_KEEP_AWAKE, "policy", tid=self.trace_tid,
+                        args={"candidate": candidate, "kept": offset},
+                        ts=ctx.cycle,
+                    )
                 return PolicyDecision.keep_one(offset)
             offset = (offset + 1) % ctx.num_vcs
         # Every VC is ACTIVE: nothing to keep idle, nothing to gate.
@@ -247,6 +254,12 @@ class SensorWisePolicy(RecoveryPolicy):
         awake = idle - gated
         if survivor is None:
             survivor = md
+        if self.trace is not None:
+            self.trace.instant(
+                probes.POLICY_KEEP_AWAKE, "policy", tid=self.trace_tid,
+                args={"survivor": survivor, "md": md, "enable": bool_traffic and bool(awake)},
+                ts=ctx.cycle,
+            )
         # Lines 17-18: enable qualifies the idle_vc lines.
         return PolicyDecision(
             awake=frozenset(awake),
@@ -263,6 +276,11 @@ class SensorWisePolicy(RecoveryPolicy):
         """
         if not self.use_traffic:
             ctx = dataclasses.replace(ctx, new_traffic=True)
+        if self.trace is not None:
+            self.trace.instant(
+                probes.POLICY_FALLBACK, "policy", tid=self.trace_tid,
+                ts=ctx.cycle,
+            )
         return self.fallback.decide(ctx)
 
 

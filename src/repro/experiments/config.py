@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 from repro.faults.spec import FaultSpec
 from repro.nbti.process_variation import scenario_seed
 from repro.noc.config import NoCConfig
+from repro.telemetry.config import TelemetryConfig
 
 #: Traffic kind marker for the benchmark-mix ("real") workloads.
 REAL_TRAFFIC = "benchmark-mix"
@@ -59,6 +60,10 @@ class ScenarioConfig:
         every N measured cycles and *count* violations in the result
         (unlike ``Network.run``'s raise-on-first debugging mode) — the
         fault campaigns' dependability metric.
+    telemetry:
+        Opt-in :class:`~repro.telemetry.config.TelemetryConfig` turning
+        the run into a traced/metered run (see :meth:`traced`).  ``None``
+        (the default) keeps the simulator completely uninstrumented.
     """
 
     num_nodes: int = 4
@@ -82,6 +87,7 @@ class ScenarioConfig:
     sensor_sample_period: int = 1024
     faults: Tuple[FaultSpec, ...] = ()
     validate_every: int = 0
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
@@ -137,6 +143,16 @@ class ScenarioConfig:
     def with_policy(self, policy: str) -> "ScenarioConfig":
         """Same scenario (same traffic, same PV sample), another policy."""
         return dataclasses.replace(self, policy=policy)
+
+    def traced(self, trace_dir: Optional[str] = None, **kwargs) -> "ScenarioConfig":
+        """Same scenario as a traced run: one call enables telemetry.
+
+        ``kwargs`` forward to :class:`TelemetryConfig` (e.g. ``formats``,
+        ``metrics``, per-subsystem toggles).
+        """
+        return dataclasses.replace(
+            self, telemetry=TelemetryConfig(trace_dir=trace_dir, **kwargs)
+        )
 
 
 #: The paper's Table I, as (parameter, value) pairs.

@@ -46,6 +46,8 @@ from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.version import __version__
+from repro.telemetry.log import current_log_level, setup_worker_logging
+from repro.telemetry.metrics import MetricsRegistry
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import ScenarioResult, run_scenario
 
@@ -57,7 +59,9 @@ WorkUnit = Tuple[ScenarioConfig, int]
 #: ScenarioConfig (invalidates every cached result).
 #: v2: ScenarioConfig gained fault-injection fields (faults,
 #: validate_every) and the Down_Up heartbeat changed engine state.
-CACHE_SCHEMA_VERSION = 2
+#: v3: ScenarioConfig gained the telemetry field, ScenarioResult gained
+#: a telemetry summary, and SimStats percentiles moved to QuantileSketch.
+CACHE_SCHEMA_VERSION = 3
 
 #: Pool-infrastructure failures that trigger the serial fallback.  An
 #: exception raised by the scenario itself (bad config, simulator bug)
@@ -71,8 +75,17 @@ def _execute_unit(unit: WorkUnit) -> ScenarioResult:
     return run_scenario(scenario, iteration)
 
 
-def _robust_child(worker: Callable, unit: WorkUnit, conn) -> None:
+def _pool_worker_init(log_level: Optional[int]) -> None:
+    """Pool-worker initializer: mirror the parent's CLI verbosity.
+
+    Module-level so the spawn start method can pickle it by name.
+    """
+    setup_worker_logging(log_level)
+
+
+def _robust_child(worker: Callable, unit: WorkUnit, conn, log_level: Optional[int] = None) -> None:
     """Entry point of one killable per-attempt worker process."""
+    setup_worker_logging(log_level)
     try:
         result = worker(unit)
         conn.send(("ok", result))
@@ -259,6 +272,14 @@ class Executor:
     worker:
         ``map_robust`` only: the unit-executing callable (picklable by
         name); tests substitute hanging/crashing workers.
+    profile:
+        Collect per-scenario timing distributions (build / sim / wall
+        seconds) into :attr:`metrics`; the summary line then reports
+        sim-time percentiles across the campaign.
+    log_level:
+        Logging level to install in worker processes (defaults to the
+        effective level of the ``repro`` logger at construction, so
+        ``-v``/``-q`` verbosity propagates through pools).
 
     Results are returned in work-unit order regardless of completion
     order, and are bit-identical between backends: a unit's outcome is a
@@ -274,6 +295,8 @@ class Executor:
         retries: int = 0,
         retry_backoff: float = 0.25,
         worker: Callable[[WorkUnit], ScenarioResult] = _execute_unit,
+        profile: bool = False,
+        log_level: Optional[int] = None,
     ) -> None:
         if max_workers is None or max_workers == 0:
             max_workers = os.cpu_count() or 1
@@ -295,6 +318,11 @@ class Executor:
         self.retry_backoff = retry_backoff
         self.worker = worker
         self.stats = ExecutorStats()
+        #: Campaign-level timing distributions; ``None`` unless profiling.
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if profile else None
+        )
+        self.log_level = log_level if log_level is not None else current_log_level()
         self._warned_corrupt = False
 
     # -- public API ----------------------------------------------------
@@ -373,7 +401,15 @@ class Executor:
 
     def summary(self) -> str:
         """One-line accounting over everything this executor ran."""
-        return self.stats.summary()
+        line = self.stats.summary()
+        if self.metrics is not None:
+            sim = self.metrics.histograms.get("scenario.sim_seconds")
+            if sim is not None and sim.count:
+                line += (
+                    f"; sim p50/p95/p99 = "
+                    f"{sim.p50:.2f}/{sim.p95:.2f}/{sim.p99:.2f}s"
+                )
+        return line
 
     # -- backends ------------------------------------------------------
     def _map_serial(
@@ -405,7 +441,11 @@ class Executor:
             return
         try:
             workers = min(self.max_workers, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_pool_worker_init,
+                initargs=(self.log_level,),
+            ) as pool:
                 futures = {pool.submit(_execute_unit, units[i]): i for i in pending}
                 not_done = set(futures)
                 while not_done:
@@ -485,7 +525,7 @@ class Executor:
             recv_end, send_end = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_robust_child,
-                args=(self.worker, units[index], send_end),
+                args=(self.worker, units[index], send_end, self.log_level),
                 daemon=True,
             )
             proc.start()
@@ -622,6 +662,10 @@ class Executor:
     ) -> None:
         results[index] = result
         self.stats.serial_seconds += result.wall_seconds
+        if self.metrics is not None:
+            self.metrics.observe("scenario.build_seconds", result.build_seconds)
+            self.metrics.observe("scenario.sim_seconds", result.sim_seconds)
+            self.metrics.observe("scenario.wall_seconds", result.wall_seconds)
         if self.cache is not None:
             self.cache.put(unit[0], unit[1], result)
         self._report(index, unit, result, cached=False)
@@ -647,18 +691,25 @@ def make_executor(
     progress: Optional[Callable[[str], None]] = None,
     timeout: Optional[float] = None,
     retries: int = 0,
+    profile: bool = False,
 ) -> Optional[Executor]:
     """CLI helper: build an :class:`Executor` only when one is wanted.
 
-    ``jobs=1`` with no cache and no robustness knobs keeps the
+    ``jobs=1`` with no cache and no robustness/profiling knobs keeps the
     historical in-function serial path (returns ``None``); ``jobs=0``
     auto-detects worker count.
     """
-    if (jobs == 1 or jobs is None) and cache_dir is None and timeout is None and retries == 0:
+    if (
+        (jobs == 1 or jobs is None)
+        and cache_dir is None
+        and timeout is None
+        and retries == 0
+        and not profile
+    ):
         return None
     return Executor(
         max_workers=jobs, cache=cache_dir, progress=progress,
-        timeout=timeout, retries=retries,
+        timeout=timeout, retries=retries, profile=profile,
     )
 
 

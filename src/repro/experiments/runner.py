@@ -12,6 +12,7 @@ The runner enforces the paper's consistency rules:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
 from typing import Dict, List, Optional, Tuple
@@ -21,6 +22,7 @@ from repro.nbti.model import NBTIModel
 from repro.nbti.process_variation import ProcessVariationModel, scenario_seed
 from repro.noc.network import Network, SimStats
 from repro.noc.topology import port_id, port_name
+from repro.telemetry.runtime import Telemetry, TelemetrySummary
 from repro.traffic.real import BenchmarkTraffic
 from repro.traffic.synthetic import SyntheticTraffic
 
@@ -65,6 +67,10 @@ class ScenarioResult:
     fault_counters:
         :meth:`FaultInjector.counters` aggregate for faulted scenarios;
         ``None`` for fault-free runs.
+    telemetry:
+        :class:`~repro.telemetry.runtime.TelemetrySummary` of the run
+        when the scenario opted in (``scenario.telemetry``); ``None``
+        otherwise.
     """
 
     scenario: ScenarioConfig
@@ -79,6 +85,7 @@ class ScenarioResult:
     sim_seconds: float
     violations: int = 0
     fault_counters: Optional[Dict[str, int]] = None
+    telemetry: Optional[TelemetrySummary] = None
 
     @property
     def wall_seconds(self) -> float:
@@ -148,56 +155,81 @@ def build_network(
     )
 
 
+def _phase(telemetry: Optional[Telemetry], name: str):
+    """A runner-phase span, or a no-op for untraced runs."""
+    if telemetry is None:
+        return contextlib.nullcontext()
+    return telemetry.span(name)
+
+
 def run_scenario(
     scenario: ScenarioConfig,
     iteration: int = 0,
     nbti_model: Optional[NBTIModel] = None,
 ) -> ScenarioResult:
     """Run one scenario end to end and collect its measurements."""
+    telemetry = None
+    if scenario.telemetry is not None:
+        telemetry = Telemetry(
+            scenario.telemetry,
+            run_name=f"{scenario.label}-{scenario.policy}-i{iteration}",
+        )
     started = time.perf_counter()
-    network = build_network(scenario, iteration, nbti_model)
-    injector = None
-    if scenario.faults:
-        from repro.faults.injector import FaultInjector
+    with _phase(telemetry, "build"):
+        network = build_network(scenario, iteration, nbti_model)
+        injector = None
+        if scenario.faults:
+            from repro.faults.injector import FaultInjector
 
-        injector = FaultInjector(scenario.faults, master_seed=scenario.seed)
-        injector.apply(network)
+            injector = FaultInjector(scenario.faults, master_seed=scenario.seed)
+            injector.apply(network)
+        # Instrument before warm-up: the trace must contain every gating
+        # transition so the power state at the measurement-window start
+        # is derivable by replay (the reconciliation tests rely on it).
+        if telemetry is not None:
+            telemetry.attach(network)
+            if injector is not None:
+                telemetry.attach_faults(injector)
     built = time.perf_counter()
     if scenario.warmup:
-        network.run(scenario.warmup)
-        network.reset_nbti()
-        network.reset_stats()
+        with _phase(telemetry, "warmup"):
+            network.run(scenario.warmup)
+            network.reset_nbti()
+            network.reset_stats()
     violations = 0
-    if scenario.validate_every > 0:
-        from repro.noc.validation import validate_network
+    with _phase(telemetry, "measure"):
+        if scenario.validate_every > 0:
+            from repro.noc.validation import validate_network
 
-        for i in range(scenario.cycles):
-            network.step()
-            if (i + 1) % scenario.validate_every == 0:
-                violations += len(validate_network(network))
-    else:
-        network.run(scenario.cycles)
+            for i in range(scenario.cycles):
+                network.step()
+                if (i + 1) % scenario.validate_every == 0:
+                    violations += len(validate_network(network))
+        else:
+            network.run(scenario.cycles)
     simulated = time.perf_counter()
 
-    measured_port = port_id(scenario.measure_port)
-    total_vcs = scenario.num_vcs * scenario.num_vnets
-    duty = network.duty_cycles(scenario.measure_router, measured_port)
-    initial = [
-        network.device(scenario.measure_router, measured_port, vc).initial_vth
-        for vc in range(total_vcs)
-    ]
-    md_vc = max(range(total_vcs), key=lambda v: (initial[v], v))
+    with _phase(telemetry, "harvest"):
+        measured_port = port_id(scenario.measure_port)
+        total_vcs = scenario.num_vcs * scenario.num_vnets
+        duty = network.duty_cycles(scenario.measure_router, measured_port)
+        initial = [
+            network.device(scenario.measure_router, measured_port, vc).initial_vth
+            for vc in range(total_vcs)
+        ]
+        md_vc = max(range(total_vcs), key=lambda v: (initial[v], v))
 
-    port_duty: Dict[Tuple[int, str], List[float]] = {}
-    port_initial: Dict[Tuple[int, str], List[float]] = {}
-    for router in network.routers:
-        for port in router.input_ports:
-            key = (router.router_id, port_name(port))
-            port_duty[key] = router.duty_cycles(port)
-            port_initial[key] = [
-                network.device(router.router_id, port, vc).initial_vth
-                for vc in range(total_vcs)
-            ]
+        port_duty: Dict[Tuple[int, str], List[float]] = {}
+        port_initial: Dict[Tuple[int, str], List[float]] = {}
+        for router in network.routers:
+            for port in router.input_ports:
+                key = (router.router_id, port_name(port))
+                port_duty[key] = router.duty_cycles(port)
+                port_initial[key] = [
+                    network.device(router.router_id, port, vc).initial_vth
+                    for vc in range(total_vcs)
+                ]
+        net_stats = network.stats()
 
     return ScenarioResult(
         scenario=scenario,
@@ -207,11 +239,14 @@ def run_scenario(
         port_duty=port_duty,
         initial_vths=initial,
         port_initial_vths=port_initial,
-        net_stats=network.stats(),
+        net_stats=net_stats,
         build_seconds=built - started,
         sim_seconds=simulated - built,
         violations=violations,
         fault_counters=injector.counters() if injector is not None else None,
+        telemetry=(
+            telemetry.finalize(network, scenario) if telemetry is not None else None
+        ),
     )
 
 

@@ -29,6 +29,7 @@ from repro.noc.network import Network, neighbor_of_inverse
 from repro.noc.topology import LOCAL, port_id
 from repro.faults.channels import FaultyChannel
 from repro.faults.spec import DOWN_UP_KINDS, FaultSpec, derive_seed
+from repro.telemetry import probes
 
 
 class SensorBankFault:
@@ -42,12 +43,13 @@ class SensorBankFault:
     the outcome: a pinned device reading or a pinned reported VC.
     """
 
-    __slots__ = ("spec", "samples_dropped", "stuck_reports", "_cycle")
+    __slots__ = ("spec", "samples_dropped", "stuck_reports", "trace", "_cycle")
 
     def __init__(self, spec: FaultSpec) -> None:
         self.spec = spec
         self.samples_dropped = 0
         self.stuck_reports = 0
+        self.trace = None
         self._cycle = -1
 
     def sample(self, bank, cycle: int) -> int:
@@ -62,6 +64,11 @@ class SensorBankFault:
             )
             if due:
                 self.samples_dropped += 1
+                if self.trace is not None:
+                    self.trace.instant(
+                        probes.FAULT_SAMPLE_DROPPED, "fault",
+                        tid=bank.trace_id, ts=cycle,
+                    )
             return bank._last_md
         # stuck-sensor: measure normally, then distort.
         md = bank._sample(cycle)
@@ -80,6 +87,13 @@ class SensorBankFault:
             and spec.active(self._cycle)
         ):
             self.stuck_reports += 1
+            if self.trace is not None:
+                self.trace.instant(
+                    probes.FAULT_STUCK_REPORT, "fault",
+                    tid=bank.trace_id,
+                    args={"vc": start + (spec.stuck_vc % count)},
+                    ts=self._cycle,
+                )
             return start + (spec.stuck_vc % count)
         return bank._most_degraded_in(start, count)
 
@@ -87,13 +101,14 @@ class SensorBankFault:
 class WakeFault:
     """``VCBuffer.wake_fault`` hook: lose or slow wake commands."""
 
-    __slots__ = ("spec", "clock", "blocked", "delayed", "_rng")
+    __slots__ = ("spec", "clock", "blocked", "delayed", "trace", "_rng")
 
     def __init__(self, spec: FaultSpec, clock: Callable[[], int], seed: int) -> None:
         self.spec = spec
         self.clock = clock
         self.blocked = 0
         self.delayed = 0
+        self.trace = None
         self._rng = random.Random(seed)
 
     def __call__(self, latency: int) -> Optional[int]:
@@ -104,8 +119,17 @@ class WakeFault:
             return latency
         if spec.extra_wake_cycles is None:
             self.blocked += 1
+            if self.trace is not None:
+                self.trace.instant(
+                    probes.FAULT_WAKE_BLOCKED, "fault", ts=self.clock()
+                )
             return None
         self.delayed += 1
+        if self.trace is not None:
+            self.trace.instant(
+                probes.FAULT_WAKE_DELAYED, "fault",
+                args={"extra": spec.extra_wake_cycles}, ts=self.clock(),
+            )
         return latency + spec.extra_wake_cycles
 
 
@@ -118,13 +142,18 @@ class EmergencyWake:
     window closed and must still be absorbed rather than crash.
     """
 
-    __slots__ = ("count",)
+    __slots__ = ("count", "trace")
 
     def __init__(self) -> None:
         self.count = 0
+        self.trace = None
 
     def __call__(self, buffer, flit) -> bool:
         self.count += 1
+        if self.trace is not None:
+            self.trace.instant(
+                probes.FAULT_EMERGENCY_WAKE, "fault", tid=buffer.trace_id
+            )
         return True
 
 
@@ -286,6 +315,20 @@ class FaultInjector:
                 hook = EmergencyWake()
                 ivc.buffer.on_push_unpowered = hook
                 self.emergency_wakes.append(hook)
+
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, tracer) -> None:
+        """Point every installed hook at a tracer (see repro.telemetry).
+
+        Call after :meth:`apply`; fault activity then shows up as
+        ``fault.*`` instant events alongside the component probes.
+        """
+        for fault in self.bank_faults:
+            fault.trace = tracer
+        for fault in self.wake_faults:
+            fault.trace = tracer
+        for hook in self.emergency_wakes:
+            hook.trace = tracer
 
     # ------------------------------------------------------------------
     def counters(self) -> Dict[str, int]:

@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.nbti.transistor import PMOSDevice
+from repro.telemetry import probes
 
 
 class NBTISensor:
@@ -125,7 +126,7 @@ class SensorBank:
     """
 
     __slots__ = (
-        "devices", "sensor", "sample_period", "fault",
+        "devices", "sensor", "sample_period", "fault", "trace", "trace_id",
         "_last_md", "_last_readings", "_last_sample_cycle",
     )
 
@@ -146,6 +147,10 @@ class SensorBank:
         #: set, it intercepts :meth:`sample` and :meth:`most_degraded_in`;
         #: the bank itself stays fault-free by default.
         self.fault = None
+        #: Telemetry handle + track id (see repro.telemetry.runtime);
+        #: ``None``/0 outside traced runs.
+        self.trace = None
+        self.trace_id = 0
         self._last_readings: List[float] = [d.initial_vth for d in self.devices]
         self._last_md = self._argmax(self._last_readings)
         self._last_sample_cycle = -1
@@ -173,7 +178,18 @@ class SensorBank:
         """The fault-free measurement path (hooks delegate back here)."""
         if self._last_sample_cycle < 0 or cycle - self._last_sample_cycle >= self.sample_period:
             self._last_readings = [self.sensor.measure(d) for d in self.devices]
-            self._last_md = self._argmax(self._last_readings)
+            md = self._argmax(self._last_readings)
+            if self.trace is not None:
+                self.trace.instant(
+                    probes.SENSOR_SAMPLE, "sensor", tid=self.trace_id,
+                    args={"md": md}, ts=cycle,
+                )
+                if md != self._last_md:
+                    self.trace.instant(
+                        probes.SENSOR_MD_CHANGE, "sensor", tid=self.trace_id,
+                        args={"from": self._last_md, "to": md}, ts=cycle,
+                    )
+            self._last_md = md
             self._last_sample_cycle = cycle
         return self._last_md
 

@@ -22,6 +22,7 @@ from typing import Deque, Optional, Tuple
 
 from repro.nbti.transistor import PMOSDevice
 from repro.noc.flit import Flit
+from repro.telemetry import probes
 
 
 class PowerState(enum.Enum):
@@ -53,7 +54,7 @@ class VCBuffer:
 
     __slots__ = (
         "capacity", "device", "track_nbti", "wake_fault", "on_push_unpowered",
-        "_flits", "_state", "_wake_remaining",
+        "trace", "trace_id", "_flits", "_state", "_wake_remaining",
     )
 
     def __init__(
@@ -75,6 +76,10 @@ class VCBuffer:
         #: :class:`BufferError`.  Both stay ``None`` in fault-free runs.
         self.wake_fault = None
         self.on_push_unpowered = None
+        #: Telemetry handle + track id (see repro.telemetry.runtime);
+        #: ``None``/0 outside traced runs.
+        self.trace = None
+        self.trace_id = 0
         self._flits: Deque[Flit] = deque()
         self._state = PowerState.ON
         self._wake_remaining = 0
@@ -114,6 +119,10 @@ class VCBuffer:
                 # energizes the rail (documented relaxation; faults only).
                 self._state = PowerState.ON
                 self._wake_remaining = 0
+                if self.trace is not None:
+                    self.trace.instant(
+                        probes.BUFFER_EMERGENCY_WAKE, "buffer", tid=self.trace_id
+                    )
             else:
                 raise BufferError(f"push into a {self._state.value} buffer: {flit!r}")
         if self.is_full:
@@ -147,6 +156,8 @@ class VCBuffer:
         """Cut the supply.  Only legal on an empty buffer; idempotent."""
         if self._flits:
             raise BufferError("cannot gate a buffer that is storing flits")
+        if self.trace is not None and self._state is not PowerState.GATED:
+            self.trace.instant(probes.BUFFER_GATE, "buffer", tid=self.trace_id)
         self._state = PowerState.GATED
         self._wake_remaining = 0
 
@@ -166,6 +177,11 @@ class VCBuffer:
             latency = self.wake_fault(latency)
             if latency is None:
                 return  # wake command lost in the sleep-transistor driver
+        if self.trace is not None:
+            self.trace.instant(
+                probes.BUFFER_WAKE, "buffer", tid=self.trace_id,
+                args={"latency": latency},
+            )
         if latency == 0:
             self._state = PowerState.ON
         else:
@@ -178,6 +194,10 @@ class VCBuffer:
             self._wake_remaining -= 1
             if self._wake_remaining <= 0:
                 self._state = PowerState.ON
+                if self.trace is not None:
+                    self.trace.instant(
+                        probes.BUFFER_WAKE_COMPLETE, "buffer", tid=self.trace_id
+                    )
 
     # ------------------------------------------------------------------
     # NBTI hooks

@@ -34,6 +34,7 @@ from repro.noc.policy_api import RecoveryPolicy
 from repro.noc.router import InputWiring, OutputWiring, Router
 from repro.noc.routing import build_routing
 from repro.noc.topology import LOCAL, Topology, build_topology, port_name
+from repro.stats.summary import QuantileSketch
 
 #: Builds a fresh policy instance for each upstream port.
 PolicyFactory = Callable[[], RecoveryPolicy]
@@ -462,11 +463,15 @@ class Network:
         window = self.cycle - self.stats_window_start
         cycles = max(1, window)
 
+        # Streaming percentiles: below the sketch's sample budget this
+        # reproduces sorted(latencies)[int(q*(n-1))] exactly, so golden
+        # artifacts are byte-stable; beyond it, memory stays bounded.
+        sketch = QuantileSketch()
+        for latency in latencies:
+            sketch.add(latency)
+
         def percentile(q: float) -> float:
-            if not latencies:
-                return 0.0
-            idx = min(len(latencies) - 1, int(q * (len(latencies) - 1)))
-            return float(latencies[idx])
+            return float(sketch.quantile(q))
 
         degrade_events = 0
         degraded_cycles = 0

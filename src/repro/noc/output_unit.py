@@ -44,6 +44,7 @@ from repro.noc.policy_api import (
     PolicyDecision,
     RecoveryPolicy,
 )
+from repro.telemetry import probes
 
 #: Power-gating command carried by the Up_Down control channel.
 GateCommand = Tuple[str, int]  # ("gate" | "wake", vc)
@@ -175,6 +176,8 @@ class UpstreamPort:
         "engines",
         "gate_commands",
         "wake_commands",
+        "trace",
+        "trace_id",
     )
 
     def __init__(
@@ -229,6 +232,10 @@ class UpstreamPort:
         # Telemetry: how many gate / wake commands this port has issued.
         self.gate_commands = 0
         self.wake_commands = 0
+        #: Telemetry handle + track id (see repro.telemetry.runtime);
+        #: ``None``/0 outside traced runs.
+        self.trace = None
+        self.trace_id = 0
 
     # ------------------------------------------------------------------
     # Introspection shims (single-vnet convenience)
@@ -304,6 +311,13 @@ class UpstreamPort:
             engine.faulted = faulted
             if faulted:
                 engine.degrade_events += 1
+            if self.trace is not None:
+                self.trace.instant(
+                    probes.WATCHDOG_DEGRADE if faulted else probes.WATCHDOG_HEAL,
+                    "watchdog", tid=self.trace_id,
+                    args={"vnet": engine.vnet, "stale": stale, "implausible": implausible},
+                    ts=cycle,
+                )
             engine.invalidate()
         if engine.faulted:
             engine.degraded_cycles += 1
@@ -352,10 +366,20 @@ class UpstreamPort:
                 entry.available_at = cycle + self.control_channel.latency + self.wake_latency
                 self.control_channel.send(("wake", vc), cycle)
                 self.wake_commands += 1
+                if self.trace is not None:
+                    self.trace.instant(
+                        probes.PORT_WAKE_CMD, "port", tid=self.trace_id,
+                        args={"vc": vc}, ts=cycle,
+                    )
             elif not want_awake and not entry.gated:
                 entry.gated = True
                 self.control_channel.send(("gate", vc), cycle)
                 self.gate_commands += 1
+                if self.trace is not None:
+                    self.trace.instant(
+                        probes.PORT_GATE_CMD, "port", tid=self.trace_id,
+                        args={"vc": vc}, ts=cycle,
+                    )
         engine.last_decision = decision
 
     def set_new_traffic(self, value: bool, vnet: int = 0) -> None:

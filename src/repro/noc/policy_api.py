@@ -155,6 +155,10 @@ class RecoveryPolicy:
     #: they are only re-run when an input actually changes.  Leave False
     #: for custom policies unless the property is known to hold.
     stable: bool = False
+    #: Telemetry handle + track id (see repro.telemetry.runtime);
+    #: class-level ``None``/0 keeps untraced runs zero-cost.
+    trace = None
+    trace_tid: int = 0
 
     def decide(self, ctx: PolicyContext) -> PolicyDecision:
         """Evaluate the pre-VA stage for one cycle."""

@@ -1,5 +1,5 @@
 """Statistics helpers: streaming moments for multi-iteration tables."""
 
-from repro.stats.summary import RunningStats, VectorStats, mean, std
+from repro.stats.summary import QuantileSketch, RunningStats, VectorStats, mean, std
 
-__all__ = ["RunningStats", "VectorStats", "mean", "std"]
+__all__ = ["QuantileSketch", "RunningStats", "VectorStats", "mean", "std"]

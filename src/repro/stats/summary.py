@@ -50,6 +50,32 @@ class RunningStats:
         for v in values:
             self.add(v)
 
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator in (Chan's parallel combination).
+
+        After the merge this accumulator describes the union of both
+        observation sets exactly (same mean/variance as a single-stream
+        fold, up to floating-point association).
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     @property
     def mean(self) -> float:
         """Sample mean (0.0 when empty)."""
@@ -103,6 +129,120 @@ class VectorStats:
 
     def __repr__(self) -> str:
         return f"VectorStats(size={self.size}, n={self.count})"
+
+
+class QuantileSketch:
+    """Deterministic streaming quantile estimator (p50/p95/p99...).
+
+    A small KLL-style compactor ladder: level ``L`` holds samples of
+    weight ``2**L``.  New values land in level 0; when a level outgrows
+    ``max_samples`` it is sorted and every second order-statistic is
+    promoted to the next level (weight doubles).  The whole structure is
+    a pure function of the insertion sequence — no randomness — so
+    serial and parallel runs agree bit-for-bit.
+
+    **Exactness guarantee**: until ``count`` exceeds ``max_samples`` no
+    compaction has happened, and :meth:`quantile` reproduces the exact
+    order-statistic ``sorted(values)[int(q * (n - 1))]`` — the formula
+    :class:`repro.noc.network.SimStats` has always used — so replacing
+    an exact percentile with a sketch leaves small-run outputs
+    byte-identical.  Beyond that the error is bounded by the compaction
+    resolution (~1/max_samples of the weight range per level).
+
+    >>> qs = QuantileSketch()
+    >>> qs.extend([5.0, 1.0, 3.0, 2.0, 4.0])
+    >>> qs.quantile(0.5)
+    3.0
+    >>> qs.p99
+    5.0
+    """
+
+    __slots__ = ("max_samples", "count", "_levels")
+
+    def __init__(self, max_samples: int = 8192) -> None:
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self.max_samples = max_samples
+        self.count = 0
+        self._levels: List[List[float]] = [[]]
+
+    def add(self, value: float) -> None:
+        """Fold one observation."""
+        self.count += 1
+        self._levels[0].append(value)
+        if len(self._levels[0]) > self.max_samples:
+            self._compact(0)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations."""
+        for v in values:
+            self.add(v)
+
+    def _compact(self, level: int) -> None:
+        buf = self._levels[level]
+        buf.sort()
+        promoted = buf[1::2]
+        del buf[:]
+        if level + 1 == len(self._levels):
+            self._levels.append([])
+        self._levels[level + 1].extend(promoted)
+        if len(self._levels[level + 1]) > self.max_samples:
+            self._compact(level + 1)
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch in (level-wise concatenation + compaction)."""
+        self.count += other.count
+        for level, buf in enumerate(other._levels):
+            while level >= len(self._levels):
+                self._levels.append([])
+            self._levels[level].extend(buf)
+        for level in range(len(self._levels)):
+            if len(self._levels[level]) > self.max_samples:
+                self._compact(level)
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0.0 for an empty sketch).
+
+        Walks the weighted order statistics to the rank
+        ``int(q * (W - 1))`` where ``W`` is the retained weight — with
+        only weight-1 samples this is exactly the legacy index formula.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        weighted = [
+            (value, 1 << level)
+            for level, buf in enumerate(self._levels)
+            for value in buf
+        ]
+        if not weighted:
+            return 0.0
+        weighted.sort(key=lambda pair: pair[0])
+        total = sum(w for _, w in weighted)
+        target = int(q * (total - 1))
+        cumulative = 0
+        for value, weight in weighted:
+            cumulative += weight
+            if cumulative > target:
+                return float(value)
+        return float(weighted[-1][0])
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(n={self.count}, "
+            f"p50={self.p50:.3f}, p95={self.p95:.3f}, p99={self.p99:.3f})"
+        )
 
 
 def mean(values: Sequence[float]) -> float:

@@ -1,0 +1,222 @@
+"""Metrics primitives: counters, gauges and streaming histograms.
+
+A :class:`MetricsRegistry` is a deterministic bag of named instruments:
+
+* :class:`Counter` — monotonically increasing integer,
+* :class:`Gauge` — last-write-wins scalar,
+* :class:`Histogram` — streaming moments (:class:`RunningStats`) plus a
+  :class:`QuantileSketch` for p50/p95/p99.
+
+Instruments are created on first use, snapshots (:meth:`~MetricsRegistry.as_dict`)
+are sorted by name, and every operation is a pure function of the
+observation sequence — so a registry filled by a worker process equals
+the registry a serial run would have produced, which is what lets
+per-scenario metrics aggregate into campaign reports regardless of
+``--jobs``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.stats.summary import QuantileSketch, RunningStats
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-write-wins scalar measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming distribution: Welford moments + quantile sketch."""
+
+    __slots__ = ("name", "stats", "sketch")
+
+    def __init__(self, name: str, max_samples: int = 2048) -> None:
+        self.name = name
+        self.stats = RunningStats()
+        self.sketch = QuantileSketch(max_samples=max_samples)
+
+    def observe(self, value: float) -> None:
+        self.stats.add(value)
+        self.sketch.add(value)
+
+    @property
+    def count(self) -> int:
+        return self.stats.count
+
+    @property
+    def mean(self) -> float:
+        return self.stats.mean
+
+    @property
+    def std(self) -> float:
+        return self.stats.std
+
+    @property
+    def min(self) -> float:
+        return self.stats.min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self.stats.max if self.count else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.sketch.p50
+
+    @property
+    def p95(self) -> float:
+        return self.sketch.p95
+
+    @property
+    def p99(self) -> float:
+        return self.sketch.p99
+
+    def merge(self, other: "Histogram") -> None:
+        self.stats.merge(other.stats)
+        self.sketch.merge(other.sketch)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, p50={self.p50:.3f})"
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create access and deterministic dumps."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create -------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, max_samples: int = 2048) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name, max_samples=max_samples)
+        return instrument
+
+    # -- convenience ---------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- aggregation / export ------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (campaign-level aggregation)."""
+        for name, counter in other.counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other.gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, histogram in other.histograms.items():
+            self.histogram(name).merge(histogram)
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready snapshot, keys sorted for deterministic dumps."""
+        return {
+            "counters": {n: self.counters[n].value for n in sorted(self.counters)},
+            "gauges": {n: self.gauges[n].value for n in sorted(self.gauges)},
+            "histograms": {n: self.histograms[n].as_dict() for n in sorted(self.histograms)},
+        }
+
+    def format(self) -> str:
+        """Human-readable rendering of the registry."""
+        return format_metrics_dict(self.as_dict())
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )
+
+
+def format_metrics_dict(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Render an :meth:`MetricsRegistry.as_dict` snapshot as text."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            value = gauges[name]
+            rendered = f"{value:.6g}" if isinstance(value, float) and math.isfinite(value) else str(value)
+            lines.append(f"  {name:<{width}}  {rendered}")
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(n) for n in histograms)
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<{width}}  n={h['count']} mean={h['mean']:.4g} "
+                f"p50/p95/p99={h['p50']:.4g}/{h['p95']:.4g}/{h['p99']:.4g} "
+                f"min/max={h['min']:.4g}/{h['max']:.4g}"
+            )
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)

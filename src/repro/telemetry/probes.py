@@ -1,0 +1,105 @@
+"""Probe-point catalogue: the named events the simulator can emit.
+
+Every instrumented component refers to these constants (never ad-hoc
+strings), so the full observable surface of the simulator is enumerable
+in one place — ``docs/OBSERVABILITY.md`` renders this catalogue, and the
+trace tests validate emitted events against it.
+
+Probe names are hierarchical (``<component>.<event>``); the component
+prefix doubles as the Chrome-trace category (``cat`` field), which lets
+Perfetto filter whole subsystems at once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# -- VC buffers (repro.noc.buffer.VCBuffer) ---------------------------------
+#: Sleep transistor cut the supply: the VC enters NBTI **recovery** this
+#: cycle (commands apply in phase 1, aging counts in phase 7 of the same
+#: cycle, so a gate at ts=c means cycle c is already a recovery cycle).
+BUFFER_GATE = "buffer.gate"
+#: Wake command accepted: the rail re-energizes (GATED -> WAKING/ON), so
+#: NBTI **stress** resumes at ts=c.  ``args.latency`` is the ramp time.
+BUFFER_WAKE = "buffer.wake"
+#: Wake ramp finished (WAKING -> ON); the buffer can accept flits again.
+BUFFER_WAKE_COMPLETE = "buffer.wake_complete"
+#: Emergency wake-on-arrival (faulted runs only): a flit reached a
+#: non-ON buffer and energized the rail itself.
+BUFFER_EMERGENCY_WAKE = "buffer.emergency_wake"
+
+# -- NBTI sensor banks (repro.nbti.sensor.SensorBank) -----------------------
+#: The bank actually measured (once per sample period).  ``args.md`` is
+#: the new most-degraded VC verdict.
+SENSOR_SAMPLE = "sensor.sample"
+#: The most-degraded verdict changed; ``args`` carries ``from``/``to``.
+SENSOR_MD_CHANGE = "sensor.md_change"
+
+# -- Recovery policies (repro.core.policies) --------------------------------
+#: A policy re-decided and elected a keep-awake survivor.  Memoized
+#: policies only emit on true re-evaluations, not every cycle.
+POLICY_KEEP_AWAKE = "policy.keep_awake"
+#: A sensor-wise policy decided via its embedded sensor-less fallback
+#: (the port's Down_Up watchdog currently reports the sensor faulted).
+POLICY_FALLBACK = "policy.fallback_decide"
+
+# -- Upstream ports (repro.noc.output_unit.UpstreamPort) --------------------
+#: A gate command was put on the Up_Down link; ``args.vc`` is global.
+PORT_GATE_CMD = "port.gate_cmd"
+#: A wake command was put on the Up_Down link; ``args.vc`` is global.
+PORT_WAKE_CMD = "port.wake_cmd"
+
+# -- Down_Up health watchdog (VnetEngine degrade/heal) ----------------------
+#: A vnet's sensor feed was flagged stale/implausible: graceful
+#: degradation engages (sensor-wise falls back to Algorithm 1).
+WATCHDOG_DEGRADE = "watchdog.degrade"
+#: The sensor feed healed: the full sensor-wise policy re-engages.
+WATCHDOG_HEAL = "watchdog.heal"
+
+# -- Fault-injection hooks (repro.faults.injector) --------------------------
+#: ``sensor-dropout`` suppressed a due measurement.
+FAULT_SAMPLE_DROPPED = "fault.sample_dropped"
+#: ``stuck-sensor`` pinned a Down_Up report to a fixed VC.
+FAULT_STUCK_REPORT = "fault.stuck_report"
+#: ``stuck-gated`` swallowed a wake command (sleep-transistor driver).
+FAULT_WAKE_BLOCKED = "fault.wake_blocked"
+#: ``stuck-gated`` slowed a wake command by ``extra_wake_cycles``.
+FAULT_WAKE_DELAYED = "fault.wake_delayed"
+#: The wake-on-arrival relaxation fired (see EmergencyWake).
+FAULT_EMERGENCY_WAKE = "fault.emergency_wake"
+
+# -- Run phases (repro.experiments.runner, host-time spans) -----------------
+#: Span event covering one runner phase (build / warmup / measure /
+#: harvest); emitted on the host-time track (pid 1), duration in µs.
+RUN_PHASE = "run.phase"
+
+#: Every probe name -> (category, one-line description).  The category
+#: is the Chrome-trace ``cat`` field.
+CATALOG: Dict[str, Tuple[str, str]] = {
+    BUFFER_GATE: ("buffer", "VC buffer gated: NBTI recovery starts this cycle"),
+    BUFFER_WAKE: ("buffer", "VC buffer wake accepted: NBTI stress resumes this cycle"),
+    BUFFER_WAKE_COMPLETE: ("buffer", "wake ramp finished; buffer accepts flits again"),
+    BUFFER_EMERGENCY_WAKE: ("buffer", "flit arrival energized a non-ON buffer (faults only)"),
+    SENSOR_SAMPLE: ("sensor", "sensor bank measured; args.md is the new verdict"),
+    SENSOR_MD_CHANGE: ("sensor", "most-degraded verdict changed (args.from/args.to)"),
+    POLICY_KEEP_AWAKE: ("policy", "policy re-decided and chose a keep-awake survivor"),
+    POLICY_FALLBACK: ("policy", "sensor-wise decided via its sensor-less fallback"),
+    PORT_GATE_CMD: ("port", "gate command issued on the Up_Down link"),
+    PORT_WAKE_CMD: ("port", "wake command issued on the Up_Down link"),
+    WATCHDOG_DEGRADE: ("watchdog", "Down_Up feed flagged stale/implausible; degraded mode on"),
+    WATCHDOG_HEAL: ("watchdog", "Down_Up feed healed; full policy re-engaged"),
+    FAULT_SAMPLE_DROPPED: ("fault", "sensor-dropout suppressed a due measurement"),
+    FAULT_STUCK_REPORT: ("fault", "stuck-sensor pinned the Down_Up report"),
+    FAULT_WAKE_BLOCKED: ("fault", "stuck-gated swallowed a wake command"),
+    FAULT_WAKE_DELAYED: ("fault", "stuck-gated delayed a wake command"),
+    FAULT_EMERGENCY_WAKE: ("fault", "wake-on-arrival relaxation fired"),
+    RUN_PHASE: ("run", "host-time span covering one runner phase"),
+}
+
+
+def category_of(name: str) -> str:
+    """Category for a probe name (prefix up to the first dot)."""
+    entry = CATALOG.get(name)
+    if entry is not None:
+        return entry[0]
+    return name.split(".", 1)[0]

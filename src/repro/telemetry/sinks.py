@@ -1,0 +1,151 @@
+"""Trace sinks: where :class:`~repro.telemetry.trace.Tracer` events go.
+
+Three on-disk formats plus an in-memory one:
+
+* :class:`JsonlSink` — one JSON object per line; trivially streamable
+  and the format the reconciliation tests replay.
+* :class:`ChromeTraceSink` — the Chrome trace-event JSON array format;
+  open the file in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  Every event carries the required
+  ``ph``/``ts``/``pid``/``tid`` keys.
+* :class:`CsvRollupSink` — per-probe aggregate rows (category, name,
+  event count, first/last timestamp); a cheap overview for spreadsheets.
+* :class:`ListSink` — accumulates event dicts in memory (tests).
+
+Sinks receive *event tuples* (see :data:`EVENT_FIELDS`) in timestamp
+order per flush and own their file handles; ``close`` finalizes the
+file (the Chrome array needs a closing bracket to be valid JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Positional layout of one event tuple.
+EVENT_FIELDS = ("ph", "name", "cat", "ts", "dur", "pid", "tid", "args")
+
+#: One trace event: (ph, name, cat, ts, dur, pid, tid, args).
+Event = Tuple[str, str, str, int, Optional[int], int, int, Optional[dict]]
+
+
+def event_to_dict(event: Event) -> Dict[str, object]:
+    """Chrome-trace JSON object for one event tuple."""
+    ph, name, cat, ts, dur, pid, tid, args = event
+    record: Dict[str, object] = {
+        "ph": ph,
+        "name": name,
+        "cat": cat,
+        "ts": ts,
+        "pid": pid,
+        "tid": tid,
+    }
+    if ph == "X":
+        record["dur"] = 0 if dur is None else dur
+    if ph == "i":
+        record["s"] = "t"  # thread-scoped instant marker
+    if args is not None:
+        record["args"] = args
+    return record
+
+
+class TraceSink:
+    """Interface: accepts event batches, then finalizes on close."""
+
+    def write_events(self, events: Sequence[Event]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Finalize the sink (default: nothing to do)."""
+
+
+class ListSink(TraceSink):
+    """In-memory sink collecting event dicts (test helper)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+        self.closed = False
+
+    def write_events(self, events: Sequence[Event]) -> None:
+        self.events.extend(event_to_dict(e) for e in events)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class JsonlSink(TraceSink):
+    """One JSON object per line (stable key order)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def write_events(self, events: Sequence[Event]) -> None:
+        fh = self._fh
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event), sort_keys=True))
+            fh.write("\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class ChromeTraceSink(TraceSink):
+    """Chrome trace-event format: a JSON array of event objects."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._fh.write("[")
+        self._first = True
+
+    def write_events(self, events: Sequence[Event]) -> None:
+        fh = self._fh
+        for event in events:
+            if self._first:
+                self._first = False
+                fh.write("\n")
+            else:
+                fh.write(",\n")
+            fh.write(json.dumps(event_to_dict(event), sort_keys=True))
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.write("\n]\n")
+            self._fh.close()
+
+
+class CsvRollupSink(TraceSink):
+    """Aggregates events into per-probe rows, written on close."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        # (cat, name) -> [count, first_ts, last_ts]
+        self._rows: Dict[Tuple[str, str], List[int]] = {}
+        self._closed = False
+
+    def write_events(self, events: Sequence[Event]) -> None:
+        rows = self._rows
+        for ph, name, cat, ts, _dur, _pid, _tid, _args in events:
+            if ph == "M":
+                continue  # metadata events are not probe activity
+            row = rows.get((cat, name))
+            if row is None:
+                rows[(cat, name)] = [1, ts, ts]
+            else:
+                row[0] += 1
+                if ts < row[1]:
+                    row[1] = ts
+                if ts > row[2]:
+                    row[2] = ts
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write("category,name,events,first_ts,last_ts\n")
+            for (cat, name) in sorted(self._rows):
+                count, first, last = self._rows[(cat, name)]
+                fh.write(f"{cat},{name},{count},{first},{last}\n")

@@ -44,6 +44,7 @@ class TestSubpackageExports:
             "repro.area",
             "repro.stats",
             "repro.experiments",
+            "repro.telemetry",
         ],
     )
     def test_all_names_resolve(self, module_name):

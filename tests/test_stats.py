@@ -7,9 +7,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.stats.summary import RunningStats, VectorStats, mean, std
+from repro.stats.summary import QuantileSketch, RunningStats, VectorStats, mean, std
 
 FLOATS = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def legacy_percentile(values, q):
+    """The exact order-statistic SimStats used before the sketch."""
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
 
 
 class TestRunningStats:
@@ -44,6 +50,35 @@ class TestRunningStats:
         rs.extend(values)
         assert rs.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-6)
         assert rs.std == pytest.approx(float(np.std(values)), rel=1e-6, abs=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        left=st.lists(FLOATS, min_size=0, max_size=50),
+        right=st.lists(FLOATS, min_size=0, max_size=50),
+    )
+    def test_merge_matches_single_stream(self, left, right):
+        a = RunningStats()
+        a.extend(left)
+        b = RunningStats()
+        b.extend(right)
+        a.merge(b)
+        combined = RunningStats()
+        combined.extend(left + right)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+        assert a.std == pytest.approx(combined.std, rel=1e-6, abs=1e-6)
+        if left or right:
+            assert a.min == combined.min
+            assert a.max == combined.max
+
+    def test_merge_into_empty(self):
+        a = RunningStats()
+        b = RunningStats()
+        b.extend([1.0, 2.0, 3.0])
+        a.merge(b)
+        assert a.count == 3
+        assert a.mean == pytest.approx(2.0)
+        assert a.min == 1.0 and a.max == 3.0
 
 
 class TestVectorStats:
@@ -89,3 +124,71 @@ class TestFunctions:
         rs = RunningStats()
         rs.add(7.5)
         assert std([7.5]) == rs.std == 0.0
+
+
+class TestQuantileSketch:
+    def test_empty(self):
+        qs = QuantileSketch()
+        assert qs.count == 0
+        assert qs.quantile(0.5) == 0.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(max_samples=1)
+        with pytest.raises(ValueError):
+            QuantileSketch().quantile(1.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(FLOATS, min_size=1, max_size=200),
+        q=st.sampled_from([0.0, 0.5, 0.9, 0.95, 0.99, 1.0]),
+    )
+    def test_exact_below_capacity(self, values, q):
+        # SimStats percentiles moved from sorted-list indexing to the
+        # sketch; byte-identical goldens require exact agreement while
+        # no compaction has happened.
+        qs = QuantileSketch(max_samples=256)
+        qs.extend(values)
+        assert qs.quantile(q) == legacy_percentile(values, q)
+
+    def test_compaction_keeps_quantiles_close(self):
+        values = list(range(10_000))
+        qs = QuantileSketch(max_samples=64)
+        qs.extend(float(v) for v in values)
+        assert qs.count == 10_000
+        for q in (0.5, 0.95, 0.99):
+            exact = legacy_percentile(values, q)
+            # Error bound: a few compaction resolutions of the range.
+            assert abs(qs.quantile(q) - exact) <= len(values) * 0.1
+
+    def test_deterministic_across_insertion_replay(self):
+        values = [float((i * 37) % 101) for i in range(5000)]
+        a = QuantileSketch(max_samples=32)
+        b = QuantileSketch(max_samples=32)
+        a.extend(values)
+        b.extend(values)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert a.quantile(q) == b.quantile(q)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        left=st.lists(FLOATS, min_size=0, max_size=100),
+        right=st.lists(FLOATS, min_size=0, max_size=100),
+    )
+    def test_merge_exact_below_capacity(self, left, right):
+        a = QuantileSketch(max_samples=512)
+        a.extend(left)
+        b = QuantileSketch(max_samples=512)
+        b.extend(right)
+        a.merge(b)
+        assert a.count == len(left) + len(right)
+        if left or right:
+            for q in (0.5, 0.95, 0.99):
+                assert a.quantile(q) == legacy_percentile(left + right, q)
+
+    def test_shorthand_properties(self):
+        qs = QuantileSketch()
+        qs.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert qs.p50 == 3.0
+        assert qs.p95 == 4.0
+        assert qs.p99 == 4.0
