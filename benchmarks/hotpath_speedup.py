@@ -1,0 +1,197 @@
+"""Hot-path speedup benchmark: interval NBTI accounting + quiescence
+fast-forward vs the seed's per-cycle engine.
+
+Two arms run the same low-injection Table-3-style scenario:
+
+* **fast** — ``Network.run`` as shipped: lazy interval NBTI accounting
+  and quiescence fast-forward.
+* **legacy** — ``Network.use_per_cycle_nbti()``: the reference engine
+  ages every device by one counter increment per cycle, probes every
+  sensor bank and reduces every vnet each and every cycle (the seed's
+  O(cycles x devices) schedule), with fast-forward disabled.  The two
+  engines are bit-equivalent by construction, so the legacy arm is
+  *also* a correctness oracle: both arms must produce identical
+  harvests.
+
+The benchmark additionally runs the full scenario runner twice (fast
+forward on/off) and asserts the resulting ``ScenarioResult`` payloads
+are identical JSON — the CI smoke uses ``--quick`` for exactly that
+check without the wall-clock threshold.
+
+Standalone on purpose (not pytest-collected): wall-clock thresholds
+are too machine-dependent for the tier-1 suite.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/hotpath_speedup.py
+        [--cycles 200000] [--warmup 2000] [--rate 0.01] [--repeats 3]
+        [--threshold 5.0] [--output BENCH_hotpath.json] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import time
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_network, run_scenario
+from repro.noc.network import Network
+
+
+def run_arm(scenario: ScenarioConfig, fast: bool) -> Network:
+    net = build_network(scenario)
+    if not fast:
+        net.use_per_cycle_nbti()
+    net.run(scenario.warmup)
+    net.reset_nbti()
+    net.reset_stats()
+    net.run(scenario.cycles)
+    return net
+
+
+def harvest(net: Network) -> dict:
+    """Everything a scenario harvest reads, JSON-comparable."""
+    return {
+        "cycle": net.cycle,
+        "duty": {
+            f"r{r.router_id}.p{port}": net.duty_cycles(r.router_id, port)
+            for r in net.routers
+            for port in r.input_ports
+        },
+        "counters": {
+            repr(key): device.counter.snapshot()
+            for key, device in sorted(net.devices.items())
+        },
+        "stats": dataclasses.asdict(net.stats()),
+    }
+
+
+def result_payload(result) -> dict:
+    """A ScenarioResult as comparable JSON (host timings excluded)."""
+    return {
+        "scenario": dataclasses.asdict(result.scenario),
+        "iteration": result.iteration,
+        "duty_cycles": result.duty_cycles,
+        "md_vc": result.md_vc,
+        "port_duty": {f"{r}.{p}": d for (r, p), d in sorted(result.port_duty.items())},
+        "initial_vths": result.initial_vths,
+        "port_initial_vths": {
+            f"{r}.{p}": v for (r, p), v in sorted(result.port_initial_vths.items())
+        },
+        "net_stats": dataclasses.asdict(result.net_stats),
+        "violations": result.violations,
+    }
+
+
+def time_arm(scenario: ScenarioConfig, fast: bool, repeats: int):
+    best = float("inf")
+    net = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        net = run_arm(scenario, fast)
+        best = min(best, time.perf_counter() - started)
+    return best, net
+
+
+def scenario_result_identity(scenario: ScenarioConfig) -> dict:
+    """Run the scenario runner with fast-forward on and (forced) off;
+    both ScenarioResult payloads must serialize identically."""
+    fast = result_payload(run_scenario(scenario))
+    original_init = Network.__init__
+
+    def stepped_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        self.allow_fast_forward = False
+
+    Network.__init__ = stepped_init
+    try:
+        stepped = result_payload(run_scenario(scenario))
+    finally:
+        Network.__init__ = original_init
+    fast_json = json.dumps(fast, sort_keys=True)
+    stepped_json = json.dumps(stepped, sort_keys=True)
+    if fast_json != stepped_json:
+        raise AssertionError(
+            "fast-forwarded and stepped runs produced different "
+            "ScenarioResult payloads"
+        )
+    return fast
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=200_000)
+    parser.add_argument("--warmup", type=int, default=2_000)
+    parser.add_argument("--rate", type=float, default=0.01,
+                        help="flit injection rate (Table 3 low point: 0.01)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="minimum acceptable speedup (x)")
+    parser.add_argument("--output", default="BENCH_hotpath.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: small scenario, identity checks only, no "
+             "wall-clock threshold",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        cycles, warmup, repeats = 4_000, 500, 1
+    else:
+        cycles, warmup, repeats = args.cycles, args.warmup, args.repeats
+
+    # Table-3-style scenario (4-node mesh, 2 VCs, uniform, sensor-wise)
+    # at the low-injection point where quiescence dominates.
+    scenario = ScenarioConfig(
+        num_nodes=4, num_vcs=2, injection_rate=args.rate,
+        policy="sensor-wise", traffic="uniform",
+        cycles=cycles, warmup=warmup, seed=1,
+    )
+
+    print(f"scenario {scenario.label} rate={args.rate} "
+          f"cycles={cycles} warmup={warmup}")
+
+    scenario_result_identity(scenario)
+    print("  ScenarioResult identity: fast-forwarded == stepped")
+
+    fast_s, fast_net = time_arm(scenario, fast=True, repeats=repeats)
+    legacy_s, legacy_net = time_arm(scenario, fast=False, repeats=repeats)
+    if json.dumps(harvest(fast_net), sort_keys=True) != \
+            json.dumps(harvest(legacy_net), sort_keys=True):
+        raise AssertionError("fast and legacy arms diverged")
+    print("  harvest identity       : fast engine == per-cycle engine")
+
+    speedup = legacy_s / fast_s if fast_s > 0 else float("inf")
+    print(f"  legacy per-cycle engine: {legacy_s:7.3f}s")
+    print(f"  interval + fast-forward: {fast_s:7.3f}s")
+    print(f"  speedup                : {speedup:5.2f}x")
+
+    payload = {
+        "scenario": dataclasses.asdict(scenario),
+        "injection_rate": args.rate,
+        "cycles": cycles,
+        "warmup": warmup,
+        "repeats": repeats,
+        "legacy_seconds": legacy_s,
+        "fast_seconds": fast_s,
+        "speedup": speedup,
+        "threshold": args.threshold,
+        "quick": args.quick,
+        "identical_results": True,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  wrote {args.output}")
+
+    if not args.quick and speedup < args.threshold:
+        print(f"FAIL: speedup {speedup:.2f}x < {args.threshold}x")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,7 @@ class BaselinePolicy(RecoveryPolicy):
     uses_sensor = False
     uses_traffic = False
     stable = True
+    cycle_free_decide = True
 
     def decide(self, ctx: PolicyContext) -> PolicyDecision:
         return PolicyDecision.all_awake(ctx.num_vcs)
@@ -83,6 +84,7 @@ class RoundRobinSensorlessPolicy(RecoveryPolicy):
         if rotation_period < 1:
             raise ValueError(f"rotation_period must be >= 1, got {rotation_period}")
         self.rotation_period = rotation_period
+        self.epoch_period = rotation_period
 
     def epoch(self, cycle: int) -> int:
         """Memoization epoch: re-evaluate whenever the candidate rotates."""
@@ -150,6 +152,7 @@ class StaticReservePolicy(RecoveryPolicy):
     uses_sensor = False
     uses_traffic = False
     stable = True
+    cycle_free_decide = True
 
     def __init__(self, reserved_vc: int = 0) -> None:
         if reserved_vc < 0:
@@ -206,6 +209,11 @@ class SensorWisePolicy(RecoveryPolicy):
     uses_sensor = True
     uses_traffic = True
     stable = True
+    # Algorithm 2 is a pure function of the VC states, the traffic bit
+    # and the Down_Up value; only the *degraded* fallback rotates, and
+    # fast-forward eligibility rules degradation out (healthy banks
+    # heartbeat well inside the watchdog thresholds).
+    cycle_free_decide = True
 
     def __init__(self, use_traffic: bool = True, fallback_rotation_period: int = 64) -> None:
         self.use_traffic = use_traffic
@@ -215,6 +223,7 @@ class SensorWisePolicy(RecoveryPolicy):
         self.fallback = RoundRobinSensorlessPolicy(
             rotation_period=fallback_rotation_period
         )
+        self.epoch_period = fallback_rotation_period
 
     def epoch(self, cycle: int) -> int:
         """Re-evaluate whenever the fallback's candidate rotates."""

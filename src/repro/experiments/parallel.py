@@ -61,7 +61,10 @@ WorkUnit = Tuple[ScenarioConfig, int]
 #: validate_every) and the Down_Up heartbeat changed engine state.
 #: v3: ScenarioConfig gained the telemetry field, ScenarioResult gained
 #: a telemetry summary, and SimStats percentiles moved to QuantileSketch.
-CACHE_SCHEMA_VERSION = 3
+#: v4: most-degraded tie-break unified to the lowest VC index and the
+#: runner routed through Network.run (interval NBTI accounting +
+#: quiescence fast-forward); results for tied-Vth scenarios changed.
+CACHE_SCHEMA_VERSION = 4
 
 #: Pool-infrastructure failures that trigger the serial fallback.  An
 #: exception raised by the scenario itself (bad config, simulator bug)

@@ -102,9 +102,14 @@ class ScenarioResult:
         return self.port_duty[(router, port)]
 
     def md_at(self, router: int, port: str) -> int:
-        """Ground-truth most-degraded VC at an arbitrary input port."""
+        """Ground-truth most-degraded VC at an arbitrary input port.
+
+        Ties break toward the lowest VC index — the same fixed
+        priority-encoder rule the sensor banks use, so harvested
+        ground truth and sensed verdicts can never diverge on ties.
+        """
         vths = self.port_initial_vths[(router, port)]
-        return max(range(len(vths)), key=lambda v: (vths[v], v))
+        return max(range(len(vths)), key=lambda v: (vths[v], -v))
 
 
 def build_traffic(scenario: ScenarioConfig, iteration: int = 0):
@@ -196,17 +201,12 @@ def run_scenario(
             network.run(scenario.warmup)
             network.reset_nbti()
             network.reset_stats()
-    violations = 0
     with _phase(telemetry, "measure"):
-        if scenario.validate_every > 0:
-            from repro.noc.validation import validate_network
-
-            for i in range(scenario.cycles):
-                network.step()
-                if (i + 1) % scenario.validate_every == 0:
-                    violations += len(validate_network(network))
-        else:
-            network.run(scenario.cycles)
+        violations = network.run(
+            scenario.cycles,
+            validate_every=scenario.validate_every,
+            raise_on_violation=False,
+        )
     simulated = time.perf_counter()
 
     with _phase(telemetry, "harvest"):
@@ -217,7 +217,8 @@ def run_scenario(
             network.device(scenario.measure_router, measured_port, vc).initial_vth
             for vc in range(total_vcs)
         ]
-        md_vc = max(range(total_vcs), key=lambda v: (initial[v], v))
+        # Lowest index on ties: the sensor banks' priority-encoder rule.
+        md_vc = max(range(total_vcs), key=lambda v: (initial[v], -v))
 
         port_duty: Dict[Tuple[int, str], List[float]] = {}
         port_initial: Dict[Tuple[int, str], List[float]] = {}

@@ -186,6 +186,10 @@ class FaultInjector:
         if self._applied:
             raise RuntimeError("FaultInjector.apply may only be called once")
         self._applied = True
+        # Fault hooks (onset windows, per-cycle drops, watchdog
+        # degradation accounting) act on arbitrary cycles, so faulted
+        # runs must step every cycle.
+        network.allow_fast_forward = False
         taken: Dict[Tuple[int, int, str], FaultSpec] = {}
         for spec in self.specs:
             node, pid = self._resolve_site(network, spec)

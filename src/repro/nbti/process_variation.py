@@ -100,7 +100,11 @@ class ProcessVariationModel:
         return dict(zip(vc_keys, values))
 
     def most_degraded(self, vths: Dict[VCKey, float]) -> VCKey:
-        """Key of the device with the highest initial |Vth| (worst PMOS)."""
+        """Key of the device with the highest initial |Vth| (worst PMOS).
+
+        Ties break toward the lowest key — the same rule as the sensor
+        banks' priority encoder and the runner harvest.
+        """
         if not vths:
             raise ValueError("cannot select the most degraded device of an empty chip")
-        return max(vths, key=lambda k: (vths[k], k))
+        return min(vths.items(), key=lambda kv: (-kv[1], kv[0]))[0]

@@ -12,6 +12,22 @@ states:
 Gating is only legal when the buffer is empty (the upstream router only
 gates VCs whose ``out_vc_state`` is IDLE, so this holds by construction;
 the buffer still enforces it defensively).
+
+NBTI accounting modes
+---------------------
+Two equivalent accounting modes are supported:
+
+* **Per-cycle** (legacy, unit tests): call :meth:`nbti_tick` once per
+  cycle; the device ages one cycle in the current power state.
+* **Interval** (the simulator's hot path): pass the current ``cycle`` to
+  every power transition (:meth:`gate`/:meth:`wake`/:meth:`push`) and
+  call :meth:`nbti_flush` before any counter read.  The buffer keeps an
+  *anchor* — the first cycle not yet accounted — and books whole
+  ``[anchor, cycle)`` intervals in bulk, turning O(cycles) work into
+  O(transitions).  Only GATED<->powered transitions flush (WAKING->ON
+  stays on the stress side of the boundary).
+
+The two modes must not be mixed on one buffer.
 """
 
 from __future__ import annotations
@@ -55,6 +71,7 @@ class VCBuffer:
     __slots__ = (
         "capacity", "device", "track_nbti", "wake_fault", "on_push_unpowered",
         "trace", "trace_id", "_flits", "_state", "_wake_remaining",
+        "_nbti_anchor", "per_cycle_nbti",
     )
 
     def __init__(
@@ -83,6 +100,15 @@ class VCBuffer:
         self._flits: Deque[Flit] = deque()
         self._state = PowerState.ON
         self._wake_remaining = 0
+        #: First cycle not yet booked into the duty-cycle counter
+        #: (interval accounting mode only).
+        self._nbti_anchor = 0
+        #: When True the buffer is aged by per-cycle :meth:`nbti_tick`
+        #: calls (the reference engine, see
+        #: :meth:`~repro.noc.network.Network.use_per_cycle_nbti`) and
+        #: every interval flush becomes a no-op so the two bookkeeping
+        #: schemes can never double-count.
+        self.per_cycle_nbti = False
 
     # ------------------------------------------------------------------
     # FIFO behaviour
@@ -111,12 +137,19 @@ class VCBuffer:
         """Read-only snapshot of the buffered flits, oldest first."""
         return tuple(self._flits)
 
-    def push(self, flit: Flit) -> None:
-        """Append a flit; the buffer must be powered and not full."""
+    def push(self, flit: Flit, cycle: Optional[int] = None) -> None:
+        """Append a flit; the buffer must be powered and not full.
+
+        ``cycle`` is required in interval accounting mode so an
+        emergency wake-on-arrival books the preceding recovery interval
+        before the state flips.
+        """
         if self._state is not PowerState.ON:
             if self.on_push_unpowered is not None and self.on_push_unpowered(self, flit):
                 # Emergency wake-on-arrival: the flit's own wordline
                 # energizes the rail (documented relaxation; faults only).
+                if cycle is not None and self._state is PowerState.GATED:
+                    self.nbti_flush(cycle)
                 self._state = PowerState.ON
                 self._wake_remaining = 0
                 if self.trace is not None:
@@ -152,20 +185,32 @@ class VCBuffer:
         """True when a flit may be pushed this cycle."""
         return self._state is PowerState.ON and not self.is_full
 
-    def gate(self) -> None:
-        """Cut the supply.  Only legal on an empty buffer; idempotent."""
+    def gate(self, cycle: Optional[int] = None) -> None:
+        """Cut the supply.  Only legal on an empty buffer; idempotent.
+
+        In interval accounting mode pass the current ``cycle``: the
+        stress interval up to (excluding) this cycle is booked before
+        the state flips, so cycle ``cycle`` itself counts as recovery —
+        exactly what per-cycle ticking after deliveries produced.
+        """
         if self._flits:
             raise BufferError("cannot gate a buffer that is storing flits")
-        if self.trace is not None and self._state is not PowerState.GATED:
+        if self._state is PowerState.GATED:
+            return
+        if cycle is not None:
+            self.nbti_flush(cycle)
+        if self.trace is not None:
             self.trace.instant(probes.BUFFER_GATE, "buffer", tid=self.trace_id)
         self._state = PowerState.GATED
         self._wake_remaining = 0
 
-    def wake(self, latency: int = 1) -> None:
+    def wake(self, latency: int = 1, cycle: Optional[int] = None) -> None:
         """Begin restoring the supply; ready after ``latency`` cycles.
 
         Waking an already-ON buffer is a no-op; re-waking a WAKING buffer
-        does not extend its countdown.
+        does not extend its countdown.  In interval accounting mode pass
+        the current ``cycle``: the recovery interval up to (excluding)
+        this cycle is booked before the rail re-energizes.
         """
         if latency < 0:
             raise ValueError(f"wake latency must be non-negative, got {latency}")
@@ -177,6 +222,8 @@ class VCBuffer:
             latency = self.wake_fault(latency)
             if latency is None:
                 return  # wake command lost in the sleep-transistor driver
+        if cycle is not None:
+            self.nbti_flush(cycle)
         if self.trace is not None:
             self.trace.instant(
                 probes.BUFFER_WAKE, "buffer", tid=self.trace_id,
@@ -206,6 +253,31 @@ class VCBuffer:
         """Age the guarding PMOS by one cycle of stress or recovery."""
         if self.device is not None and self.track_nbti:
             self.device.tick(stressed=self.powered)
+
+    def nbti_flush(self, cycle: int) -> None:
+        """Book the interval ``[anchor, cycle)`` in the current state.
+
+        Interval accounting mode: called before every GATED<->powered
+        transition and before any counter read (sensor sample, harvest).
+        """
+        if self.per_cycle_nbti:
+            return
+        delta = cycle - self._nbti_anchor
+        if delta <= 0:
+            return
+        self._nbti_anchor = cycle
+        device = self.device
+        if device is not None and self.track_nbti:
+            counter = device.counter
+            if self._state is PowerState.GATED:
+                counter.recovery_cycles += delta
+            else:
+                counter.stress_cycles += delta
+
+    def nbti_rebase(self, cycle: int) -> None:
+        """Restart interval accounting at ``cycle``, discarding the
+        unbooked interval (used with counter resets: warm-up discard)."""
+        self._nbti_anchor = cycle
 
     def __repr__(self) -> str:
         return (

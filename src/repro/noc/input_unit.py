@@ -125,7 +125,7 @@ class InputUnit:
             self.busy_count += 1
         elif not ivc.busy or ivc.packet_id != flit.packet_id:
             raise BufferError(f"body/tail flit without resident head on vc {vc}: {flit!r}")
-        ivc.buffer.push(flit)
+        ivc.buffer.push(flit, cycle)
         self.flits_received += 1
 
     def pop_flit(self, vc: int, cycle: int) -> Flit:
@@ -141,13 +141,17 @@ class InputUnit:
     # ------------------------------------------------------------------
     # Power commands (Up_Down link sink)
     # ------------------------------------------------------------------
-    def apply_command(self, command: str, vc: int) -> None:
-        """Execute a gate/wake command from the upstream port."""
+    def apply_command(self, command: str, vc: int, cycle: Optional[int] = None) -> None:
+        """Execute a gate/wake command from the upstream port.
+
+        ``cycle`` enables the buffers' interval NBTI accounting (see
+        :class:`VCBuffer`); omit it only in per-cycle-tick unit tests.
+        """
         buffer = self.vcs[vc].buffer
         if command == "gate":
-            buffer.gate()
+            buffer.gate(cycle=cycle)
         elif command == "wake":
-            buffer.wake(self.wake_latency)
+            buffer.wake(self.wake_latency, cycle=cycle)
             self._any_waking = True
         else:
             raise ValueError(f"unknown power command {command!r}")
@@ -168,11 +172,11 @@ class InputUnit:
         self._any_waking = still_waking
 
     def nbti_tick(self) -> None:
-        """Age every buffer's PMOS by one cycle.
+        """Age every buffer's PMOS by one cycle (per-cycle mode).
 
-        This is the simulator's hottest per-cycle loop, so the device
-        counters are updated directly instead of going through
-        :meth:`VCBuffer.nbti_tick` / :meth:`PMOSDevice.tick`.
+        The simulator itself now uses interval accounting
+        (:meth:`nbti_flush`); this per-cycle path remains for unit tests
+        and as the reference the intervals must reproduce.
         """
         gated = PowerState.GATED
         for ivc in self.vcs:
@@ -185,6 +189,11 @@ class InputUnit:
                 counter.recovery_cycles += 1
             else:
                 counter.stress_cycles += 1
+
+    def nbti_flush(self, cycle: int) -> None:
+        """Book every buffer's unaccounted interval up to ``cycle``."""
+        for ivc in self.vcs:
+            ivc.buffer.nbti_flush(cycle)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -123,11 +123,22 @@ class Network:
         #: reset_stats re-bases it so mid-run counter resets (warm-up
         #: discard) don't fake conservation violations.
         self.conservation_baseline = 0
+        #: Master switch for quiescence fast-forward in :meth:`run`.
+        #: Telemetry instrumentation and fault injection clear it so
+        #: traced/faulted runs take the dense per-cycle stepping loop.
+        self.allow_fast_forward = True
 
         self.routers: List[Router] = []
         self.interfaces: List[NetworkInterface] = []
         #: Devices keyed by (router, input port, vc) in canonical order.
         self.devices: Dict[VCKey, PMOSDevice] = {}
+        # Flat traversal lists for the hot path, filled by _build():
+        # units carrying NBTI devices, units with power/occupancy state,
+        # every delay line, and every sensor bank.
+        self._nbti_units: List[InputUnit] = []
+        self._power_units: List[InputUnit] = []
+        self._all_channels: List[Channel] = []
+        self._sensor_banks: List[SensorBank] = []
 
         self._build(policy_factory)
 
@@ -285,6 +296,20 @@ class Network:
             ni._eject_control_channel = eject_channels[node]["up_down"]
             self.interfaces.append(ni)
 
+        # Flat hot-path traversal lists (canonical build order).
+        for node in range(topo.num_nodes):
+            for port in in_ports[node]:
+                unit = input_units[(node, port)]
+                self._nbti_units.append(unit)
+                self._power_units.append(unit)
+                if unit.sensor_bank is not None:
+                    self._sensor_banks.append(unit.sensor_bank)
+            self._power_units.append(eject_units[node])
+        for chans in channels.values():
+            self._all_channels.extend(chans.values())
+        for chans in eject_channels.values():
+            self._all_channels.extend(chans.values())
+
         # Initial Down_Up latch: every upstream port learns each vnet's
         # most-degraded VC of its downstream before the first cycle.
         for node in range(topo.num_nodes):
@@ -336,36 +361,193 @@ class Network:
             router.phase_nbti(cycle)
         self.cycle = cycle + 1
 
-    def run(self, cycles: int, validate_every: int = 0) -> None:
-        """Advance the network ``cycles`` cycles.
+    def run(
+        self,
+        cycles: int,
+        validate_every: int = 0,
+        raise_on_violation: bool = True,
+    ) -> int:
+        """Advance the network ``cycles`` cycles; return the violation count.
+
+        The hot path fast-forwards *quiescent* windows: when nothing is
+        buffered, queued, waking or in flight on any link, and every
+        event source can report its next event cycle (traffic injection,
+        sensor samples, policy epoch boundaries), the clock jumps
+        directly to that event.  Results are byte-identical to stepping:
+        skipped cycles are provably no-ops, and the traffic RNG consumes
+        exactly the draws the skipped cycles would have made.  Runs with
+        ``validate_every > 0``, telemetry instrumentation, faults, or an
+        unsupported traffic generator use the dense stepping loop.
+
+        Device counters are flushed on return, so post-run duty-cycle
+        reads need no extra synchronization.
 
         Parameters
         ----------
         validate_every:
             When positive, run :func:`repro.noc.validation.validate_network`
-            every N cycles and raise ``RuntimeError`` on the first
-            violation — a debugging aid for new policies/topologies
-            (full sweeps are O(network), so keep N coarse).
+            every N cycles (full sweeps are O(network), so keep N coarse).
+        raise_on_violation:
+            With ``validate_every > 0``: raise ``RuntimeError`` on the
+            first violation (debugging aid, the default) or count every
+            violation and return the total (the campaigns' dependability
+            metric).  Both callers share this one code path.
         """
         if cycles < 0:
             raise ValueError(f"cycles must be non-negative, got {cycles}")
         if validate_every < 0:
             raise ValueError(f"validate_every must be >= 0, got {validate_every}")
+        end = self.cycle + cycles
+        violations = 0
         if validate_every == 0:
-            for _ in range(cycles):
-                self.step()
-            return
-        from repro.noc.validation import validate_network
+            plan = self._fast_forward_plan()
+            if plan is None:
+                while self.cycle < end:
+                    self.step()
+            else:
+                self._run_fast(end, plan)
+        else:
+            from repro.noc.validation import validate_network
 
-        for i in range(cycles):
+            stepped = 0
+            while self.cycle < end:
+                self.step()
+                stepped += 1
+                if stepped % validate_every == 0:
+                    found = validate_network(self)
+                    if found and raise_on_violation:
+                        raise RuntimeError(
+                            f"invariant violations at cycle {self.cycle}: "
+                            + "; ".join(found[:5])
+                        )
+                    violations += len(found)
+        self.flush_nbti()
+        return violations
+
+    # ------------------------------------------------------------------
+    # Quiescence fast-forward
+    # ------------------------------------------------------------------
+    def _fast_forward_plan(
+        self,
+    ) -> Optional[Tuple[List[int], List[SensorBank]]]:
+        """Check fast-forward eligibility; return the pinned-event plan.
+
+        ``None`` means "step every cycle".  Eligibility requires:
+
+        * :attr:`allow_fast_forward` (cleared by telemetry/faults),
+        * a traffic generator that implements ``next_injection_cycle``
+          (``None`` from the probe means unsupported), and
+        * every recovery policy *stable* with a declared
+          ``epoch_period`` (pinned) or a constant epoch, and no engine
+          currently degraded (watchdog accounting is per-cycle).
+          Policies declaring ``cycle_free_decide`` need no pin at all:
+          their healthy decision is a pure function of the context, so
+          skipped epoch boundaries provably change nothing.
+
+        The plan is the sorted set of distinct epoch periods plus every
+        sensor bank (whose next sample cycle pins jumps); faulted banks
+        force stepping since their hooks may act on any cycle.
+        """
+        if not self.allow_fast_forward:
+            return None
+        traffic = self.traffic
+        if traffic is not None:
+            probe = getattr(traffic, "next_injection_cycle", None)
+            if probe is None or probe(self.cycle) is None:
+                return None
+        periods = set()
+        for port in self.upstream_ports():
+            for engine in port.engines:
+                if engine.faulted:
+                    return None
+                policy = engine.policy
+                if not policy.stable:
+                    return None
+                if policy.cycle_free_decide:
+                    # The healthy-path decision never reads ctx.cycle, so
+                    # re-evaluating after a jump with an unchanged context
+                    # reproduces the applied decision verbatim (no
+                    # commands issued) — epoch boundaries need no pin.
+                    # Eligibility already guarantees the engine stays
+                    # healthy (fault-free banks heartbeat well inside the
+                    # watchdog thresholds), so the cycle-dependent
+                    # fallback can never engage mid-run.
+                    continue
+                period = getattr(policy, "epoch_period", None)
+                if period is not None:
+                    periods.add(period)
+                elif policy.epoch(0) != policy.epoch(1 << 30):
+                    return None  # time-varying epoch with undeclared period
+        if any(bank.fault is not None for bank in self._sensor_banks):
+            return None
+        return (sorted(periods), self._sensor_banks)
+
+    def _quiescent(self) -> bool:
+        """Nothing queued, resident, waking, or in flight anywhere.
+
+        Runs after every fast-mode step, so the checks are ordered by
+        likelihood of an early exit during an active burst (a resident
+        packet keeps some unit busy for the whole traversal) and read
+        the heap of each delay line directly instead of going through
+        its ``in_flight`` property.
+        """
+        for unit in self._power_units:
+            if unit.busy_count or unit._any_waking:
+                return False
+        for channel in self._all_channels:
+            if channel._heap:
+                return False
+        for ni in self.interfaces:
+            if not ni.is_idle():
+                return False
+        return True
+
+    def _run_fast(self, end: int, plan: Tuple[List[int], List[SensorBank]]) -> None:
+        """Stepping loop that jumps over quiescent windows.
+
+        After each simulated cycle, if the network is quiescent the
+        clock jumps to the earliest *pinned* cycle: the traffic
+        generator's next injection (its RNG is bulk-advanced over the
+        skip so the stream position matches stepping exactly), the next
+        actual sensor sample of any bank, a policy epoch boundary, or
+        the end of the run.  Every skipped cycle is a provable no-op:
+        deliveries, ejection, policy memos, VA/SA and the NBTI phase all
+        see no work, and interval accounting books the skipped cycles at
+        the next flush.
+        """
+        periods, banks = plan
+        traffic = self.traffic
+        while self.cycle < end:
             self.step()
-            if (i + 1) % validate_every == 0:
-                violations = validate_network(self)
-                if violations:
-                    raise RuntimeError(
-                        f"invariant violations at cycle {self.cycle}: "
-                        + "; ".join(violations[:5])
-                    )
+            cycle = self.cycle
+            if cycle >= end or not self._quiescent():
+                continue
+            if traffic is not None:
+                target = traffic.next_injection_cycle(cycle)
+                if target is None:
+                    # Support withdrawn mid-run: step the remainder.
+                    while self.cycle < end:
+                        self.step()
+                    return
+                target = min(end, target)
+            else:
+                target = end
+            for period in periods:
+                # Smallest epoch boundary >= cycle (cycle itself may be
+                # one: it must then be stepped, not skipped).
+                boundary = -(-cycle // period) * period
+                if boundary < target:
+                    target = boundary
+            for bank in banks:
+                last = bank.last_sample_cycle
+                due = 0 if last < 0 else last + bank.sample_period
+                if due < target:
+                    target = due
+            delta = target - cycle
+            if delta > 0:
+                if traffic is not None:
+                    traffic.advance(delta)
+                self.cycle = target
 
     @staticmethod
     def _ni_deliver(ni: NetworkInterface, cycle: int) -> None:
@@ -375,7 +557,7 @@ class Network:
             ni.injection_port.set_most_degraded(vc, cycle)
         unit = ni.ejection_unit
         for command, vc in ni._eject_control_channel.pop_ready(cycle):
-            unit.apply_command(command, vc)
+            unit.apply_command(command, vc, cycle)
         unit.tick_power()
         for vc, flit in ni._eject_data_channel.pop_ready(cycle):
             unit.receive_flit(vc, flit, cycle)
@@ -393,6 +575,32 @@ class Network:
     # ------------------------------------------------------------------
     # NBTI / statistics accessors
     # ------------------------------------------------------------------
+    def flush_nbti(self) -> None:
+        """Book every device's unaccounted interval up to the current
+        cycle (call before reading counters outside :meth:`run`)."""
+        cycle = self.cycle
+        for unit in self._nbti_units:
+            unit.nbti_flush(cycle)
+
+    def use_per_cycle_nbti(self) -> None:
+        """Switch to the per-cycle reference aging engine.
+
+        Every tracked device is aged by one counter increment per
+        simulated cycle (the seed engine's O(cycles x devices)
+        schedule) instead of by interval flushes, and fast-forward is
+        disabled since skipped cycles would skip ticks.  Results are
+        bit-identical to the default engine; only the cost model
+        changes.  This is the baseline arm of
+        ``benchmarks/hotpath_speedup.py`` and the oracle the
+        equivalence tests compare against.
+        """
+        self.allow_fast_forward = False
+        for router in self.routers:
+            router.per_cycle_nbti = True
+        for unit in self._nbti_units:
+            for ivc in unit.vcs:
+                ivc.buffer.per_cycle_nbti = True
+
     def duty_cycles(self, router: int, port) -> List[float]:
         """Per-VC NBTI-duty-cycles (%) at a router input port.
 
@@ -401,6 +609,7 @@ class Network:
         from repro.noc.topology import port_id
 
         pid = port if isinstance(port, int) else port_id(port)
+        self.flush_nbti()
         return self.routers[router].duty_cycles(pid)
 
     def device(self, router: int, port, vc: int) -> PMOSDevice:
@@ -408,12 +617,19 @@ class Network:
         from repro.noc.topology import port_id
 
         pid = port if isinstance(port, int) else port_id(port)
+        self.flush_nbti()
         return self.devices[(router, pid, vc)]
 
     def reset_nbti(self) -> None:
         """Zero every duty-cycle counter (discard warm-up stress)."""
         for device in self.devices.values():
             device.counter.reset()
+        # Interval accounting restarts here: the unbooked tail of the
+        # warm-up is discarded along with the counters.
+        cycle = self.cycle
+        for unit in self._nbti_units:
+            for ivc in unit.vcs:
+                ivc.buffer.nbti_rebase(cycle)
 
     def upstream_ports(self) -> List[UpstreamPort]:
         """Every upstream port in the NoC (router outputs + NI injectors)."""

@@ -155,6 +155,29 @@ class RecoveryPolicy:
     #: they are only re-run when an input actually changes.  Leave False
     #: for custom policies unless the property is known to hold.
     stable: bool = False
+    #: Period of :meth:`epoch` in cycles, when the epoch is
+    #: time-varying: ``epoch(c) == epoch(c')`` whenever
+    #: ``c // epoch_period == c' // epoch_period``.  The network's
+    #: quiescence fast-forward pins jumps at these boundaries so a
+    #: rotating policy re-evaluates exactly where stepping would.
+    #: ``None`` (the default) declares a time-invariant epoch; a policy
+    #: whose epoch varies without declaring its period disables
+    #: fast-forward (conservative).
+    epoch_period: Optional[int] = None
+    #: A stronger property than a declared period: the healthy-path
+    #: :meth:`decide` never reads ``ctx.cycle`` at all — the decision is
+    #: a pure function of VC states, traffic bit and sensor input.  The
+    #: fast-forward planner then skips the policy's epoch boundaries
+    #: entirely: re-evaluating after a jump with an unchanged context
+    #: reproduces the already-applied decision, so no commands are
+    #: issued and nothing observable differs from stepping.  Policies
+    #: whose candidate rotates with the cycle (round-robin) must leave
+    #: this False.  Only consulted while the engine is healthy; a policy
+    #: with a cycle-dependent *degraded* fallback may still declare it,
+    #: because fast-forward eligibility requires fault-free sensors,
+    #: whose heartbeats provably keep the watchdog below both the
+    #: staleness and plausibility thresholds.
+    cycle_free_decide: bool = False
     #: Telemetry handle + track id (see repro.telemetry.runtime);
     #: class-level ``None``/0 keeps untraced runs zero-cost.
     trace = None

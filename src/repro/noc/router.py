@@ -102,6 +102,10 @@ class Router:
         self.down_up_channels: Dict[int, Channel] = {}
         #: Last most-degraded id sent upstream per (input port, vnet).
         self._last_md_sent: Dict[Tuple[int, int], int] = {}
+        #: Reference engine switch: age buffers with per-cycle ticks
+        #: instead of interval accounting (see
+        #: :meth:`~repro.noc.network.Network.use_per_cycle_nbti`).
+        self.per_cycle_nbti = False
 
     # ------------------------------------------------------------------
     # Phase 0: deliveries (links, credits, control, Down_Up)
@@ -112,7 +116,7 @@ class Router:
             wiring = self.inputs[port]
             unit = wiring.unit
             for command, vc in wiring.control_channel.pop_ready(cycle):
-                unit.apply_command(command, vc)
+                unit.apply_command(command, vc, cycle)
             unit.tick_power()
             for vc, flit in wiring.data_channel.pop_ready(cycle):
                 unit.receive_flit(vc, flit, cycle)
@@ -233,7 +237,7 @@ class Router:
     # Phase 4: NBTI aging + sensor sampling
     # ------------------------------------------------------------------
     def phase_nbti(self, cycle: int) -> None:
-        """Age buffers and refresh the Down_Up most-degraded reports.
+        """Refresh sensor samples and the Down_Up most-degraded reports.
 
         One most-degraded id is maintained per (input port, vnet) —
         the comparator reduces each vnet's sensor slice independently.
@@ -242,14 +246,51 @@ class Router:
         heartbeat, plus the initial latch done at build time) is an
         exact equivalent that also lets the upstream watchdog observe a
         dead sensor bank as a missing heartbeat.
+
+        Aging uses interval accounting: device counters are only flushed
+        up to ``cycle + 1`` when a measurement is actually due (the old
+        per-cycle order ticked before sampling, so the sample cycle
+        itself counts in the post-delivery power state).  Between
+        samples a fault-free bank's readings — and hence the per-vnet
+        most-degraded reduction — cannot change, so the whole phase is
+        skipped.  A fault hook may distort the reduction on any cycle,
+        so faulted banks take the dense path every cycle.
+
+        With :attr:`per_cycle_nbti` set, the phase instead runs the
+        reference engine: every device aged by one cycle, every bank
+        probed and every vnet reduced, each and every cycle — the
+        O(cycles x devices) schedule the interval engine replaces and
+        the baseline arm of ``benchmarks/hotpath_speedup.py``.  The
+        protocol (heartbeat + change resends) is identical, only the
+        bookkeeping schedule differs.
         """
         n_vcs = self.num_vcs
+        if self.per_cycle_nbti:
+            for port in self.input_ports:
+                unit = self.inputs[port].unit
+                unit.nbti_tick()
+                bank = unit.sensor_bank
+                if bank is None:
+                    continue
+                bank.sample(cycle)
+                refreshed = bank.last_sample_cycle == cycle
+                for vnet in range(self.num_vnets):
+                    current = bank.most_degraded_in(vnet * n_vcs, n_vcs)
+                    key = (port, vnet)
+                    if refreshed or self._last_md_sent.get(key) != current:
+                        self._last_md_sent[key] = current
+                        self._down_up_send(port, current, cycle)
+            return
         for port in self.input_ports:
             unit = self.inputs[port].unit
-            unit.nbti_tick()
             bank = unit.sensor_bank
             if bank is None:
                 continue
+            if bank.fault is None:
+                last = bank.last_sample_cycle
+                if last >= 0 and cycle - last < bank.sample_period:
+                    continue  # no measurement due; Down_Up holds its value
+            unit.nbti_flush(cycle + 1)
             bank.sample(cycle)
             refreshed = bank.last_sample_cycle == cycle
             for vnet in range(self.num_vnets):

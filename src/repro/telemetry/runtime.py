@@ -211,6 +211,9 @@ def instrument_network(network, tracer: Tracer, config: TelemetryConfig) -> None
     from repro.noc.topology import port_name
 
     tracer.clock = lambda: network.cycle
+    # Traced runs must observe every cycle (per-cycle spans, replayable
+    # event ordering), so the quiescence fast-forward is disabled.
+    network.allow_fast_forward = False
 
     for router in network.routers:
         rid = router.router_id

@@ -34,6 +34,31 @@ class TrafficGenerator:
         """Packets created at ``cycle`` (possibly empty)."""
         raise NotImplementedError
 
+    def next_injection_cycle(self, cycle: int) -> Optional[float]:
+        """A cycle ``t >= cycle`` with no injection anywhere in
+        ``[cycle, t)``, *without* consuming the generator's RNG stream.
+
+        The contract is a lower bound: ``t`` need not itself inject (a
+        scan-horizon cap is fine) — the caller simply simulates ``t``
+        and asks again.  ``math.inf`` means the generator will never
+        inject again.  The base class returns ``None``: *unsupported* —
+        the network then steps every cycle (fast-forward disabled).
+        Generators that implement this must also implement
+        :meth:`advance`.
+        """
+        return None
+
+    def advance(self, cycles: int) -> None:
+        """Consume the RNG draws of ``cycles`` injection-free cycles.
+
+        Called by the fast-forward engine instead of ``cycles``
+        individual :meth:`inject` calls, so the stream position stays
+        byte-identical to per-cycle stepping.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support fast-forward"
+        )
+
     def describe(self) -> str:
         """One-line description for experiment reports."""
         return self.name
@@ -90,6 +115,17 @@ class CompositeTraffic(TrafficGenerator):
             out.extend(gen.inject(cycle))
         return out
 
+    def next_injection_cycle(self, cycle: int) -> Optional[float]:
+        """Earliest bound over the children (None if any is unsupported)."""
+        bounds = [g.next_injection_cycle(cycle) for g in self.generators]
+        if any(b is None for b in bounds):
+            return None
+        return min(bounds)
+
+    def advance(self, cycles: int) -> None:
+        for gen in self.generators:
+            gen.advance(cycles)
+
     def describe(self) -> str:
         return " + ".join(g.describe() for g in self.generators)
 
@@ -101,3 +137,9 @@ class NullTraffic(TrafficGenerator):
 
     def inject(self, cycle: int) -> List[Injection]:
         return []
+
+    def next_injection_cycle(self, cycle: int) -> float:
+        return math.inf
+
+    def advance(self, cycles: int) -> None:
+        pass  # no RNG stream to keep in sync

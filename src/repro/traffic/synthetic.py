@@ -10,6 +10,7 @@ topology/pattern extension studies.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -80,6 +81,10 @@ class SyntheticTraffic(TrafficGenerator):
         self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._dest_fn = _build_destination_fn(pattern, num_nodes)
+        # Reusable scout generator (see next_injection_cycle): seeding a
+        # fresh bit generator pulls OS entropy on every construction,
+        # which would dominate the scout's cost in fast-forwarded runs.
+        self._scout_rng: Optional[np.random.Generator] = None
 
     def inject(self, cycle: int) -> List[Injection]:
         rng = self._rng
@@ -92,6 +97,51 @@ class SyntheticTraffic(TrafficGenerator):
                 continue  # pattern maps the node onto itself: no packet
             out.append((src, dst, None))
         return out
+
+    def next_injection_cycle(self, cycle: int, horizon: int = 1 << 14):
+        """First upcoming cycle with a packet draw (scout, non-consuming).
+
+        A *shadow* copy of the bit generator replays the stream, so the
+        real RNG position is untouched — the fast-forward engine may
+        jump to an earlier pinned event (sensor sample, policy epoch)
+        and must then draw the scouted cycles itself, in order.  The
+        Bernoulli draws (``rng.random(num_nodes)`` per cycle) are
+        scanned in vectorized chunks; destination draws only happen on
+        hits, which by construction do not occur before the returned
+        cycle.  Beyond ``horizon`` scanned cycles the bound is returned
+        as-is (the contract only promises no injection in between).
+        """
+        if self.packet_rate <= 0.0:
+            return math.inf
+        real = self._rng.bit_generator
+        shadow = self._scout_rng
+        if shadow is None or type(shadow.bit_generator) is not type(real):
+            shadow = self._scout_rng = np.random.Generator(type(real)())
+        shadow.bit_generator.state = real.state
+        rate = self.packet_rate
+        nodes = self.num_nodes
+        scanned = 0
+        chunk = 256
+        while scanned < horizon:
+            n = min(chunk, horizon - scanned)
+            hits = np.nonzero((shadow.random((n, nodes)) < rate).any(axis=1))[0]
+            if hits.size:
+                return cycle + scanned + int(hits[0])
+            scanned += n
+            chunk = min(chunk * 4, 4096)
+        return cycle + scanned
+
+    def advance(self, cycles: int) -> None:
+        """Consume the Bernoulli draws of ``cycles`` injection-free
+        cycles (bulk generation follows the same stream order as
+        per-cycle :meth:`inject` calls)."""
+        rng = self._rng
+        nodes = self.num_nodes
+        remaining = cycles
+        while remaining > 0:
+            n = min(remaining, 1 << 16)
+            rng.random((n, nodes))
+            remaining -= n
 
     def describe(self) -> str:
         return f"{self.pattern}(rate={self.flit_rate} flits/cyc/node)"

@@ -1,0 +1,430 @@
+"""Hot-path engine tests: interval NBTI accounting, quiescence
+fast-forward, the unified most-degraded tie-break, and the reconciled
+``validate_every`` code path.
+
+The load-bearing property throughout is **byte-identity**: the interval
+accounting and the fast-forward must produce exactly the results of the
+legacy per-cycle stepping loop, not merely statistically similar ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.nbti.model import NBTIModel
+from repro.nbti.process_variation import ProcessVariationModel
+from repro.nbti.transistor import PMOSDevice
+from repro.noc.buffer import PowerState, VCBuffer
+from repro.noc.network import Network
+from repro.traffic.synthetic import SyntheticTraffic
+
+from tests.conftest import build_small_network
+
+
+def make_tracked_buffer() -> VCBuffer:
+    return VCBuffer(4, device=PMOSDevice(0.18, NBTIModel.calibrated()))
+
+
+def harvest(net: Network):
+    """Everything a scenario run reads back, as one comparable value."""
+    duty = {
+        (r.router_id, port): net.duty_cycles(r.router_id, port)
+        for r in net.routers
+        for port in r.input_ports
+    }
+    counters = {
+        key: device.counter.snapshot() for key, device in net.devices.items()
+    }
+    return net.cycle, duty, counters, net.stats().__dict__
+
+
+def run_pair(policy: str, flit_rate: float, cycles: int, warmup: int = 0,
+             **kwargs):
+    """Run identical networks with and without fast-forward."""
+    nets = []
+    for allow in (True, False):
+        net = build_small_network(policy=policy, flit_rate=flit_rate, **kwargs)
+        net.allow_fast_forward = allow
+        if warmup:
+            net.run(warmup)
+            net.reset_nbti()
+            net.reset_stats()
+        net.run(cycles)
+        nets.append(net)
+    return nets
+
+
+class TestIntervalAccounting:
+    """VCBuffer interval mode vs the per-cycle reference mode."""
+
+    def test_interval_matches_per_cycle_reference(self):
+        """Drive two buffers through one transition script: interval
+        accounting must book exactly what per-cycle ticking books."""
+        script = {2: "gate", 5: "wake", 7: "gate", 8: "wake0", 9: "gate"}
+        interval = make_tracked_buffer()
+        reference = make_tracked_buffer()
+        for cycle in range(12):
+            op = script.get(cycle)
+            if op == "gate":
+                interval.gate(cycle=cycle)
+                reference.gate()
+            elif op == "wake":
+                interval.wake(2, cycle=cycle)
+                reference.wake(2)
+            elif op == "wake0":
+                interval.wake(0, cycle=cycle)
+                reference.wake(0)
+            interval.tick_power()
+            reference.tick_power()
+            reference.nbti_tick()
+        interval.nbti_flush(12)
+        assert interval.device.counter.snapshot() == \
+            reference.device.counter.snapshot()
+
+    def test_wake_zero_latency_books_recovery_interval(self):
+        buf = make_tracked_buffer()
+        buf.gate(cycle=0)
+        buf.wake(0, cycle=5)
+        assert buf.state is PowerState.ON
+        buf.nbti_flush(10)
+        # Cycles 0-4 gated, 5-9 on.
+        assert buf.device.counter.snapshot() == (5, 5)
+
+    def test_rewake_while_waking_does_not_reflush(self):
+        buf = make_tracked_buffer()
+        buf.gate(cycle=0)
+        buf.wake(3, cycle=4)       # books 4 recovery cycles
+        buf.wake(1, cycle=6)       # ignored: no countdown reset, no flush
+        assert buf.state is PowerState.WAKING
+        for _ in range(3):
+            buf.tick_power()
+        assert buf.state is PowerState.ON
+        buf.nbti_flush(10)
+        # Cycles 0-3 gated, 4-9 powered (WAKING counts as stress).
+        assert buf.device.counter.snapshot() == (6, 4)
+
+    def test_gate_wake_gate_on_consecutive_cycles(self):
+        buf = make_tracked_buffer()
+        buf.gate(cycle=1)          # books cycle 0 as stress
+        buf.wake(1, cycle=2)       # books cycle 1 as recovery
+        buf.gate(cycle=3)          # books cycle 2 (WAKING) as stress
+        assert buf.state is PowerState.GATED
+        buf.nbti_flush(5)          # books cycles 3-4 as recovery
+        assert buf.device.counter.snapshot() == (2, 3)
+
+    def test_emergency_wake_books_recovery_before_flip(self):
+        from tests.test_noc_buffer import make_flit
+
+        buf = make_tracked_buffer()
+        buf.on_push_unpowered = lambda b, f: True
+        buf.gate(cycle=2)          # cycles 0-1 stress
+        buf.push(make_flit(), cycle=7)   # cycles 2-6 recovery, then ON
+        assert buf.state is PowerState.ON
+        buf.nbti_flush(9)          # cycles 7-8 stress
+        assert buf.device.counter.snapshot() == (4, 5)
+
+    def test_flush_is_idempotent_and_monotonic(self):
+        buf = make_tracked_buffer()
+        buf.nbti_flush(5)
+        buf.nbti_flush(5)
+        buf.nbti_flush(3)          # past cycle: no-op, never negative
+        assert buf.device.counter.snapshot() == (5, 0)
+
+    def test_rebase_discards_unbooked_interval(self):
+        buf = make_tracked_buffer()
+        buf.nbti_flush(4)
+        buf.device.counter.reset()
+        buf.nbti_rebase(10)
+        buf.nbti_flush(15)
+        assert buf.device.counter.snapshot() == (5, 0)
+
+
+class TestFastForwardEquivalence:
+    """Network.run with fast-forward vs the dense stepping loop."""
+
+    @pytest.mark.parametrize("policy", [
+        "sensor-wise", "rr-no-sensor", "rr-no-sensor-no-traffic",
+        "baseline", "static-reserve",
+    ])
+    def test_low_rate_runs_identical(self, policy):
+        fast, slow = run_pair(policy, flit_rate=0.02, cycles=3000)
+        assert harvest(fast) == harvest(slow)
+
+    def test_identical_after_warmup_and_reset(self):
+        fast, slow = run_pair("sensor-wise", flit_rate=0.02,
+                              cycles=2000, warmup=500)
+        assert harvest(fast) == harvest(slow)
+
+    def test_identical_with_null_traffic(self):
+        fast, slow = run_pair("sensor-wise", flit_rate=0.0, cycles=2000)
+        assert harvest(fast) == harvest(slow)
+
+    def test_identical_at_moderate_rate(self):
+        """Few quiescent windows, but any that occur must still be exact."""
+        fast, slow = run_pair("sensor-wise", flit_rate=0.2, cycles=1500)
+        assert harvest(fast) == harvest(slow)
+
+    def test_fast_forward_actually_skips_cycles(self):
+        net = build_small_network(policy="sensor-wise", flit_rate=0.01)
+        stepped = 0
+        original = net.step
+
+        def counting_step():
+            nonlocal stepped
+            stepped += 1
+            original()
+
+        net.step = counting_step
+        net.run(4000)
+        assert net.cycle == 4000
+        assert stepped < 4000, "no quiescent window was fast-forwarded"
+
+    def test_traffic_rng_position_matches_stepping(self):
+        """After a fast-forwarded run the traffic RNG must sit exactly
+        where per-cycle stepping would have left it."""
+        fast, slow = run_pair("sensor-wise", flit_rate=0.01, cycles=3000)
+        assert fast.traffic._rng.bit_generator.state == \
+            slow.traffic._rng.bit_generator.state
+
+    @pytest.mark.parametrize("policy,rate", [
+        ("sensor-wise", 0.02), ("rr-no-sensor", 0.02),
+        ("sensor-wise", 0.2),
+    ])
+    def test_per_cycle_reference_engine_identical(self, policy, rate):
+        """The in-engine reference mode (per-cycle ticks, dense loop)
+        must reproduce the interval engine bit for bit — it is the
+        baseline arm of benchmarks/hotpath_speedup.py."""
+        fast = build_small_network(policy=policy, flit_rate=rate)
+        reference = build_small_network(policy=policy, flit_rate=rate)
+        reference.use_per_cycle_nbti()
+        for net in (fast, reference):
+            net.run(400)
+            net.reset_nbti()
+            net.reset_stats()
+            net.run(2000)
+        assert harvest(fast) == harvest(reference)
+
+    def test_cycle_free_policy_needs_no_epoch_pin(self):
+        """Sensor-wise declares a cycle-free healthy decision, so the
+        planner pins no epoch periods for it (jumps may cross rotation
+        boundaries of the — never engaged — degraded fallback)."""
+        net = build_small_network(policy="sensor-wise", flit_rate=0.01)
+        plan = net._fast_forward_plan()
+        assert plan is not None
+        periods, _banks = plan
+        assert periods == []
+
+
+class TestFastForwardGates:
+    """Conditions that must force the dense stepping loop."""
+
+    def test_telemetry_instrumentation_disables_fast_forward(self):
+        from repro.telemetry.config import TelemetryConfig
+        from repro.telemetry.runtime import Telemetry
+
+        net = build_small_network()
+        assert net.allow_fast_forward
+        Telemetry(TelemetryConfig()).attach(net)
+        assert not net.allow_fast_forward
+
+    def test_fault_injection_disables_fast_forward(self):
+        from repro.faults import FaultInjector, FaultSpec
+
+        net = build_small_network()
+        spec = FaultSpec("sensor-dropout", router=0, port="east",
+                         onset=100, duration=300)
+        FaultInjector([spec], master_seed=3).apply(net)
+        assert not net.allow_fast_forward
+        assert net._fast_forward_plan() is None
+
+    def test_unsupported_traffic_disables_plan(self):
+        net = build_small_network()
+
+        class Opaque:
+            def inject(self, cycle):
+                return []
+
+        net.traffic = Opaque()
+        assert net._fast_forward_plan() is None
+        net.run(100)  # dense loop still works
+        assert net.cycle == 100
+
+    def test_undeclared_time_varying_epoch_disables_plan(self):
+        net = build_small_network(policy="rr-no-sensor")
+        policy = net.upstream_ports()[0].engines[0].policy
+        policy.epoch_period = None  # varying epoch, period withdrawn
+        assert net._fast_forward_plan() is None
+
+    def test_plan_collects_declared_epoch_periods(self):
+        net = build_small_network(policy="rr-no-sensor")
+        plan = net._fast_forward_plan()
+        assert plan is not None
+        periods, banks = plan
+        assert periods == [64]
+        assert len(banks) == len(net._sensor_banks)
+
+
+class TestTrafficScout:
+    """SyntheticTraffic.next_injection_cycle / advance contracts."""
+
+    def test_scout_does_not_consume_the_stream(self):
+        a = SyntheticTraffic("uniform", 4, flit_rate=0.05, seed=3)
+        b = SyntheticTraffic("uniform", 4, flit_rate=0.05, seed=3)
+        a.next_injection_cycle(0)
+        for cycle in range(300):
+            assert a.inject(cycle) == b.inject(cycle)
+
+    def test_scout_lower_bound_holds(self):
+        """Scouting is non-consuming, so the same generator can be
+        scouted and then stepped: no injection before the bound, one at
+        the bound (uniform pattern never maps a node onto itself)."""
+        gen = SyntheticTraffic("uniform", 4, flit_rate=0.02, seed=9)
+        cycle = 0
+        for _ in range(20):
+            target = gen.next_injection_cycle(cycle)
+            assert target >= cycle
+            for c in range(cycle, target):
+                assert gen.inject(c) == []
+            assert gen.inject(target), "scout overshot the first injection"
+            cycle = target + 1
+
+    def test_advance_matches_sequential_draws(self):
+        """Over an injection-free window (advance's contract), bulk
+        consumption leaves the stream exactly where inject() would."""
+        a = SyntheticTraffic("uniform", 4, flit_rate=0.02, seed=5)
+        b = SyntheticTraffic("uniform", 4, flit_rate=0.02, seed=5)
+        gap = a.next_injection_cycle(0)
+        assert gap > 0
+        for cycle in range(gap):
+            assert a.inject(cycle) == []
+        b.advance(gap)
+        assert a._rng.bit_generator.state == b._rng.bit_generator.state
+
+    def test_zero_rate_scouts_to_infinity(self):
+        gen = SyntheticTraffic("uniform", 4, flit_rate=0.0, seed=1)
+        assert gen.next_injection_cycle(123) == math.inf
+
+    def test_base_generator_reports_unsupported(self):
+        from repro.traffic.base import TrafficGenerator
+
+        class Plain(TrafficGenerator):
+            def inject(self, cycle):
+                return []
+
+        assert Plain(4).next_injection_cycle(0) is None
+
+    def test_null_traffic_never_injects(self):
+        from repro.traffic.base import NullTraffic
+
+        gen = NullTraffic(4)
+        assert gen.next_injection_cycle(7) == math.inf
+        gen.advance(1000)  # must be a no-op, not an error
+
+
+class TestTieBreak:
+    """Most-degraded selection on exactly tied readings: lowest index,
+    everywhere (the sensor banks' fixed priority-encoder rule)."""
+
+    def test_process_variation_most_degraded_prefers_lowest_key(self):
+        pv = ProcessVariationModel()
+        vths = {(0, 1, 1): 0.19, (0, 1, 0): 0.19, (0, 0, 1): 0.18}
+        assert pv.most_degraded(vths) == (0, 1, 0)
+
+    def test_runner_harvest_prefers_lowest_vc(self, monkeypatch):
+        """End-to-end regression: with every initial Vth identical, the
+        harvested md_vc (and every per-port md_at) must be VC 0 — the
+        old harvest picked the *highest* tied index and disagreed with
+        the network's Down_Up latch."""
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import run_scenario
+
+        monkeypatch.setattr(
+            ProcessVariationModel, "sample",
+            lambda self, count: [self.mean_vth] * count,
+        )
+        scenario = ScenarioConfig(cycles=60, warmup=0, validate_every=0)
+        result = run_scenario(scenario)
+        assert result.md_vc == 0
+        for router, port in result.port_initial_vths:
+            assert result.md_at(router, port) == 0
+
+    def test_sensor_bank_argmax_prefers_lowest_vc(self):
+        from repro.nbti.sensor import SensorBank
+
+        model = NBTIModel.calibrated()
+        devices = [PMOSDevice(0.18, model) for _ in range(4)]
+        bank = SensorBank(devices, sample_period=8)
+        assert bank.most_degraded == 0
+        assert bank.most_degraded_in(2, 2) == 2
+        bank.sample(0)
+        assert bank.most_degraded == 0
+
+
+class TestValidateEveryReconciled:
+    """Network.run is the single validation code path."""
+
+    def test_healthy_run_counts_zero(self):
+        net = build_small_network(flit_rate=0.1)
+        assert net.run(200, validate_every=16) == 0
+
+    def test_raises_on_first_violation_by_default(self, monkeypatch):
+        import repro.noc.validation as validation
+
+        net = build_small_network(flit_rate=0.1)
+        monkeypatch.setattr(
+            validation, "validate_network", lambda n: ["synthetic violation"]
+        )
+        with pytest.raises(RuntimeError, match="synthetic violation"):
+            net.run(64, validate_every=16)
+
+    def test_counts_all_violations_when_not_raising(self, monkeypatch):
+        import repro.noc.validation as validation
+
+        net = build_small_network(flit_rate=0.1)
+        monkeypatch.setattr(
+            validation, "validate_network", lambda n: ["synthetic violation"]
+        )
+        # 64 cycles / sweep every 16 = 4 sweeps, one finding each.
+        assert net.run(64, validate_every=16, raise_on_violation=False) == 4
+
+    def test_validation_path_never_fast_forwards(self):
+        net = build_small_network(flit_rate=0.01)
+        stepped = 0
+        original = net.step
+
+        def counting_step():
+            nonlocal stepped
+            stepped += 1
+            original()
+
+        net.step = counting_step
+        net.run(500, validate_every=100)
+        assert stepped == 500
+
+    def test_rejects_negative_arguments(self):
+        net = build_small_network()
+        with pytest.raises(ValueError):
+            net.run(-1)
+        with pytest.raises(ValueError):
+            net.run(10, validate_every=-1)
+
+
+class TestRunEndFlush:
+    """Counter reads after run()/accessors need no manual flush."""
+
+    def test_duty_cycles_consistent_after_manual_stepping(self):
+        net = build_small_network(policy="sensor-wise", flit_rate=0.1)
+        for _ in range(137):
+            net.step()
+        duty = net.duty_cycles(0, "east")
+        dev = net.device(0, "east", 0)
+        assert dev.counter.total_cycles == 137
+        assert len(duty) == net.config.total_vcs
+
+    def test_run_books_every_cycle_exactly_once(self):
+        net = build_small_network(policy="sensor-wise", flit_rate=0.02)
+        net.run(1000)
+        for device in net.devices.values():
+            assert device.counter.total_cycles == 1000
