@@ -16,6 +16,9 @@ Examples
     repro-noc fault-campaign --jobs 4 --timeout 300 --retries 1
     repro-noc trace --cycles 2000 --out-dir traces   # Chrome/Perfetto trace
     repro-noc metrics --cycles 2000 --json m.json    # metrics-only telemetry
+    repro-noc campaign --checkpoint-dir out/         # crash-safe campaign
+    repro-noc campaign --resume out/                 # pick up where it died
+    repro-noc cache verify --cache-dir .repro-cache  # scan cache for rot
 
 Pass ``-v``/``-q`` (before the subcommand, repeatable) to raise or
 lower stderr diagnostic verbosity; artifact output on stdout is
@@ -24,7 +27,13 @@ unaffected.
 The defaults use scaled-down cycle counts (see DESIGN.md §3); pass
 ``--cycles``/``--warmup`` for longer runs.  Table/campaign/sweep
 commands accept ``--jobs N`` (process-parallel scenarios, identical
-results) and ``--cache-dir`` (skip already-computed scenarios).
+results), ``--cache-dir`` (skip already-computed scenarios) and
+``--checkpoint-dir`` (write-ahead scenario journal: an interrupted or
+killed run resumes from where it stopped, with byte-identical output).
+
+Exit codes: 0 success, 75 (``EX_TEMPFAIL``) campaign drained after
+SIGINT/SIGTERM with the journal flushed (resumable), 130 hard cancel
+on a second signal, 2 unusable checkpoint directory.
 """
 
 from __future__ import annotations
@@ -63,12 +72,50 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         help="on-disk scenario result cache (reruns skip computed scenarios)",
     )
     parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write-ahead scenario journal + campaign.state.json: a killed "
+        "run re-pointed at the same directory resumes from the journal",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="collect per-scenario timing distributions into the summary",
     )
 
 
-def _make_executor(args: argparse.Namespace):
+def _add_resume_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume from this checkpoint directory; the original campaign "
+        "configuration is restored from the journal header (other "
+        "configuration flags are ignored)",
+    )
+
+
+def _make_checkpoint(args: argparse.Namespace, config_blob):
+    """CheckpointManager from --resume/--checkpoint-dir (or ``None``).
+
+    ``--resume`` restores the campaign description stored in the journal
+    header; ``--checkpoint-dir`` starts (or implicitly resumes) a journal
+    described by ``config_blob``.
+    """
+    from repro.experiments.checkpoint import CheckpointError, CheckpointManager
+
+    resume = getattr(args, "resume", None)
+    if resume is not None:
+        meta = CheckpointManager.load_meta(resume)
+        if meta.get("command") != args.command:
+            raise CheckpointError(
+                f"{resume} holds a {meta.get('command')!r} checkpoint, "
+                f"not {args.command!r}"
+            )
+        return CheckpointManager(resume, meta=meta)
+    if getattr(args, "checkpoint_dir", None) is not None:
+        meta = {"command": args.command, "config": config_blob}
+        return CheckpointManager(args.checkpoint_dir, meta=meta)
+    return None
+
+
+def _make_executor(args: argparse.Namespace, checkpoint=None):
     """Executor from --jobs/--cache-dir (None keeps the serial path)."""
     from repro.experiments.parallel import make_executor
 
@@ -77,6 +124,7 @@ def _make_executor(args: argparse.Namespace):
         cache_dir=args.cache_dir,
         progress=log.info,
         profile=getattr(args, "profile", False),
+        checkpoint=checkpoint,
     )
     return executor
 
@@ -149,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-real", action="store_true",
         help="skip the Table IV benchmark-mix runs (the slowest part)",
     )
+    _add_resume_arg(pcamp)
 
     psweep = sub.add_parser("sweep", help="injection-rate sweep with CSV export")
     _add_sim_args(psweep, cycles=10_000)
@@ -212,6 +261,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pfault.add_argument("--out", default=None, help="write the markdown report here")
     pfault.add_argument("--json", default=None, help="write the deterministic JSON report here")
+    _add_resume_arg(pfault)
+
+    pcache = sub.add_parser(
+        "cache", help="inspect the on-disk scenario result cache"
+    )
+    cache_sub = pcache.add_subparsers(dest="cache_command", required=True)
+    pverify = cache_sub.add_parser(
+        "verify",
+        help="scan every cache entry (and orphaned temp files) and report rot",
+    )
+    pverify.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="cache directory to scan",
+    )
 
     psim = sub.add_parser("simulate", help="run one scenario and print a summary")
     _add_sim_args(psim)
@@ -263,9 +326,39 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.experiments.checkpoint import (
+        EXIT_HARD_CANCEL,
+        EXIT_INTERRUPTED,
+        CampaignInterrupted,
+        CheckpointError,
+    )
+
     args = build_parser().parse_args(argv)
     setup_cli_logging(args.verbose - args.quiet)
+    try:
+        return _dispatch(args)
+    except CheckpointError as exc:
+        log.error("%s", exc)
+        return 2
+    except CampaignInterrupted as exc:
+        directory = getattr(args, "resume", None) or getattr(
+            args, "checkpoint_dir", None
+        )
+        if hasattr(args, "resume"):
+            hint = f"repro-noc {args.command} --resume {directory}"
+        else:
+            hint = f"rerun with --checkpoint-dir {directory}"
+        log.warning(
+            "interrupted: %d scenario(s) not run; journal flushed — "
+            "resume with '%s'", exc.pending, hint,
+        )
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        log.error("hard cancel: partial state kept, journal still resumable")
+        return EXIT_HARD_CANCEL
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "setup":
         from repro.experiments.config import format_experimental_setup
 
@@ -273,29 +366,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command in ("table2", "table3"):
+        from repro.experiments.checkpoint import graceful_shutdown
         from repro.experiments.tables import run_synthetic_table
 
-        executor = _make_executor(args)
         num_vcs = 4 if args.command == "table2" else 2
-        table = run_synthetic_table(
-            num_vcs=num_vcs, cycles=args.cycles, warmup=args.warmup, seed=args.seed,
-            executor=executor,
+        checkpoint = _make_checkpoint(
+            args,
+            {"num_vcs": num_vcs, "cycles": args.cycles,
+             "warmup": args.warmup, "seed": args.seed},
         )
+        executor = _make_executor(args, checkpoint=checkpoint)
+        try:
+            with graceful_shutdown(executor, notify=log.warning):
+                table = run_synthetic_table(
+                    num_vcs=num_vcs, cycles=args.cycles, warmup=args.warmup,
+                    seed=args.seed, executor=executor,
+                )
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
         emit(table.format())
         _print_exec_summary(executor)
         return 0
 
     if args.command == "table4":
+        from repro.experiments.checkpoint import graceful_shutdown
         from repro.experiments.tables import run_real_table
 
-        executor = _make_executor(args)
-        table = run_real_table(
-            iterations=args.iterations,
-            cycles=args.cycles,
-            warmup=args.warmup,
-            seed=args.seed,
-            executor=executor,
+        checkpoint = _make_checkpoint(
+            args,
+            {"iterations": args.iterations, "cycles": args.cycles,
+             "warmup": args.warmup, "seed": args.seed},
         )
+        executor = _make_executor(args, checkpoint=checkpoint)
+        try:
+            with graceful_shutdown(executor, notify=log.warning):
+                table = run_real_table(
+                    iterations=args.iterations,
+                    cycles=args.cycles,
+                    warmup=args.warmup,
+                    seed=args.seed,
+                    executor=executor,
+                )
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
         emit(table.format())
         _print_exec_summary(executor)
         return 0
@@ -332,7 +447,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "campaign":
+        import dataclasses
+
         from repro.experiments.campaign import CampaignConfig, run_campaign
+        from repro.experiments.checkpoint import graceful_shutdown
 
         config = CampaignConfig(
             cycles=args.cycles,
@@ -341,10 +459,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             include_real_traffic=not args.skip_real,
         )
-        executor = _make_executor(args)
-        result = run_campaign(
-            config, report_path=args.out, json_dir=args.json_dir, executor=executor
-        )
+        checkpoint = _make_checkpoint(args, dataclasses.asdict(config))
+        if args.resume is not None:
+            # The journal header is the source of truth on resume.
+            config = CampaignConfig(**checkpoint.meta["config"])
+        executor = _make_executor(args, checkpoint=checkpoint)
+        try:
+            with graceful_shutdown(executor, notify=log.warning):
+                result = run_campaign(
+                    config, report_path=args.out, json_dir=args.json_dir,
+                    executor=executor, checkpoint=checkpoint,
+                )
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
         emit(result.to_markdown())
         emit(f"report written to {args.out} ({result.wall_seconds:.0f}s)")
         _print_exec_summary(executor)
@@ -354,14 +482,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.config import ScenarioConfig
         from repro.experiments.sweeps import run_injection_sweep
 
+        from repro.experiments.checkpoint import graceful_shutdown
+
         rates = [float(r) for r in args.rates.split(",") if r]
         policies = [p for p in args.policies.split(",") if p]
         base = ScenarioConfig(
             num_nodes=args.nodes, num_vcs=args.vcs,
             cycles=args.cycles, warmup=args.warmup, seed=args.seed,
         )
-        executor = _make_executor(args)
-        sweep = run_injection_sweep(rates, policies=policies, base=base, executor=executor)
+        checkpoint = _make_checkpoint(
+            args,
+            {"nodes": args.nodes, "vcs": args.vcs, "rates": rates,
+             "policies": policies, "cycles": args.cycles,
+             "warmup": args.warmup, "seed": args.seed},
+        )
+        executor = _make_executor(args, checkpoint=checkpoint)
+        try:
+            with graceful_shutdown(executor, notify=log.warning):
+                sweep = run_injection_sweep(
+                    rates, policies=policies, base=base, executor=executor
+                )
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
         emit(sweep.format())
         if args.csv:
             sweep.to_csv(args.csv)
@@ -391,6 +534,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "fault-campaign":
+        import dataclasses
+
+        from repro.experiments.checkpoint import atomic_write_text, graceful_shutdown
         from repro.experiments.parallel import make_executor
         from repro.faults.campaign import FaultCampaignConfig, run_fault_campaign
 
@@ -410,6 +556,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             validate_every=args.validate_every,
             **kwargs,
         )
+        checkpoint = _make_checkpoint(args, dataclasses.asdict(config))
+        if args.resume is not None:
+            config = FaultCampaignConfig(**checkpoint.meta["config"])
         executor = make_executor(
             args.jobs,
             cache_dir=args.cache_dir,
@@ -417,20 +566,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             retries=args.retries,
             progress=log.info,
             profile=args.profile,
+            checkpoint=checkpoint,
         )
-        report = run_fault_campaign(config, executor=executor)
+        try:
+            with graceful_shutdown(executor, notify=log.warning):
+                report = run_fault_campaign(
+                    config, executor=executor, checkpoint=checkpoint
+                )
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
         emit(report.to_markdown())
         if args.out:
-            with open(args.out, "w") as fh:
-                fh.write(report.to_markdown())
+            atomic_write_text(args.out, report.to_markdown())
             log.info("report written to %s", args.out)
         if args.json:
-            with open(args.json, "w") as fh:
-                fh.write(report.to_json())
+            atomic_write_text(args.json, report.to_json())
             log.info("JSON written to %s", args.json)
         _print_exec_summary(executor)
         failed = sum(1 for row in report.rows if row.failure is not None)
         return 1 if failed == len(report.rows) else 0
+
+    if args.command == "cache":
+        from repro.experiments.parallel import ResultCache
+
+        if args.cache_command == "verify":
+            cache = ResultCache(args.cache_dir)
+            verdict = cache.verify()
+            emit(verdict.summary())
+            for name in verdict.corrupt:
+                log.warning("corrupt entry: %s", name)
+            for name in verdict.orphan_tmp:
+                log.warning("orphaned temp file: %s", name)
+            return 0 if verdict.clean else 1
+        raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
     if args.command == "simulate":
         from repro.experiments.config import ScenarioConfig
@@ -480,8 +649,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "metrics":
-        import json as _json
-
         from repro.experiments.config import ScenarioConfig
         from repro.experiments.runner import run_scenario
         from repro.telemetry.metrics import format_metrics_dict
@@ -496,9 +663,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         emit(f"scenario      : {scenario.label} policy={scenario.policy}")
         emit(format_metrics_dict(metrics))
         if args.json:
-            with open(args.json, "w") as fh:
-                _json.dump(metrics, fh, indent=2, sort_keys=True)
-                fh.write("\n")
+            from repro.experiments.checkpoint import atomic_write_json
+
+            atomic_write_json(args.json, metrics)
             log.info("metrics JSON written to %s", args.json)
         return 0
 

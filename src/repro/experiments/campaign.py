@@ -15,6 +15,11 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.area import compute_overhead_report
+from repro.experiments.checkpoint import (
+    CampaignInterrupted,
+    CheckpointManager,
+    atomic_write_text,
+)
 from repro.experiments.config import ScenarioConfig, format_experimental_setup
 from repro.experiments.parallel import Executor
 from repro.experiments.tables import (
@@ -123,6 +128,7 @@ def run_campaign(
     report_path: Optional[Union[str, Path]] = None,
     json_dir: Optional[Union[str, Path]] = None,
     executor: Optional[Executor] = None,
+    checkpoint: Optional[CheckpointManager] = None,
 ) -> CampaignResult:
     """Run the full reproduction and optionally persist its artifacts.
 
@@ -133,7 +139,7 @@ def run_campaign(
         regenerates in minutes; scale ``cycles`` up for
         closer-to-paper runs).
     report_path:
-        When given, the markdown report is written there.
+        When given, the markdown report is written there (atomically).
     json_dir:
         When given, the three tables are additionally saved as JSON via
         :mod:`repro.experiments.persistence`.
@@ -142,8 +148,43 @@ def run_campaign(
         the campaign's independent scenarios across worker processes
         (and/or serving them from its on-disk cache).  Table contents
         are identical to the serial run.
+    checkpoint:
+        Optional :class:`~repro.experiments.checkpoint.CheckpointManager`
+        journaling every completed scenario (crash-safe resume).  When
+        ``executor`` is ``None`` a serial executor is built around it so
+        journaling works even without ``--jobs``.  On a drain
+        (SIGINT/SIGTERM) the campaign writes ``campaign.state.json``
+        with status ``interrupted`` and re-raises
+        :class:`~repro.experiments.checkpoint.CampaignInterrupted`; on
+        success the status is ``complete``.
     """
     config = config if config is not None else CampaignConfig()
+    if checkpoint is not None:
+        if executor is None:
+            executor = Executor(max_workers=1, checkpoint=checkpoint)
+        elif executor.checkpoint is None:
+            executor.checkpoint = checkpoint
+    failures = executor.failure_records if executor is not None else ()
+    try:
+        result = _run_campaign_body(config, report_path, json_dir, executor)
+    except CampaignInterrupted as exc:
+        if checkpoint is not None:
+            checkpoint.write_state(
+                "interrupted", pending=exc.pending, failures=failures
+            )
+        raise
+    if checkpoint is not None:
+        # Artifacts are on disk: the journal's work is done.
+        checkpoint.write_state("complete", failures=failures)
+    return result
+
+
+def _run_campaign_body(
+    config: CampaignConfig,
+    report_path: Optional[Union[str, Path]],
+    json_dir: Optional[Union[str, Path]],
+    executor: Optional[Executor],
+) -> CampaignResult:
     started = time.perf_counter()
     table2 = run_synthetic_table(
         num_vcs=4, cycles=config.cycles, warmup=config.warmup, seed=config.seed,
@@ -200,5 +241,5 @@ def run_campaign(
             save_real_table(table4, json_dir / "table4.json")
         save_vth_report(vth_report, json_dir / "vth_saving.json")
     if report_path is not None:
-        Path(report_path).write_text(result.to_markdown(), encoding="utf-8")
+        atomic_write_text(report_path, result.to_markdown())
     return result

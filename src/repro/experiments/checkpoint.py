@@ -1,0 +1,543 @@
+"""Crash-safe campaign state: scenario journal, atomic writes, shutdown.
+
+Long campaigns die — OOM kills, Ctrl-C, batch-queue preemption — and
+before this module a crash lost every finished scenario not yet folded
+into the final JSON.  Three cooperating pieces make campaigns durable:
+
+* :func:`atomic_write_json` / :func:`atomic_write_text` — the only
+  sanctioned way to write an artifact: temp file in the destination
+  directory, flush + ``fsync``, then ``os.replace``.  A crash at any
+  instant leaves either the old file or the new file, never a
+  truncated hybrid.
+* :class:`ScenarioJournal` — a write-ahead, append-only JSONL log.
+  One fsync'd record per completed
+  :class:`~repro.experiments.runner.ScenarioResult`, keyed by the same
+  scenario hash the result cache uses, with a per-record CRC-32.  The
+  first line is a header carrying the cache schema version, the code
+  version and a digest of the campaign configuration, so a journal can
+  never silently feed a *different* campaign.  Replay skips and counts
+  torn or CRC-failed records (a ``SIGKILL`` mid-append tears at most
+  the tail line) instead of aborting.
+* :class:`CheckpointManager` — owns one journal plus the
+  ``campaign.state.json`` summary (done/pending/failed counts and
+  per-failure tracebacks), and is what
+  :class:`~repro.experiments.parallel.Executor` consults before
+  dispatching a unit and notifies after finishing one.
+
+Resume contract: replayed results are the pickled originals, so a
+campaign resumed with ``--resume <dir>`` produces output **byte
+identical** to an uninterrupted run — the same bar PR 1 set for
+serial vs parallel execution (``tests/test_kill_resume.py``).
+
+Graceful shutdown: :func:`graceful_shutdown` installs SIGINT/SIGTERM
+handlers that *drain* — stop dispatching new units, let in-flight
+workers finish (still bounded by the per-unit timeout), flush the
+journal, write the state summary — and exit with
+:data:`EXIT_INTERRUPTED`.  A second signal hard-cancels.
+"""
+
+from __future__ import annotations
+
+import base64
+import contextlib
+import hashlib
+import json
+import os
+import pickle
+import signal
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Union
+
+from repro.version import __version__
+from repro.telemetry.log import get_logger
+from repro.experiments.runner import ScenarioResult
+
+log = get_logger("checkpoint")
+
+PathLike = Union[str, Path]
+
+#: Journal file-format version (bump on incompatible layout changes).
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Exit code of a campaign that drained cleanly after SIGINT/SIGTERM:
+#: the journal is flushed and the run is resumable (EX_TEMPFAIL — "try
+#: again later").  Distinct from 130 (hard cancel on a second signal).
+EXIT_INTERRUPTED = 75
+
+#: Exit code after a second signal forced a hard cancel (128 + SIGINT).
+EXIT_HARD_CANCEL = 130
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory cannot serve the requested campaign."""
+
+
+class CampaignInterrupted(RuntimeError):
+    """Raised by a draining executor once in-flight units have finished.
+
+    ``pending`` counts the units that were *not* dispatched; everything
+    that completed before the drain is already journaled, so resuming
+    re-runs only the pending remainder.
+    """
+
+    def __init__(self, pending: int, message: str = "") -> None:
+        self.pending = pending
+        super().__init__(
+            message or f"drained with {pending} scenario(s) not dispatched"
+        )
+
+
+# ----------------------------------------------------------------------
+# Atomic artifact writes
+# ----------------------------------------------------------------------
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Durably replace ``path`` with ``text`` (tmp + fsync + rename).
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` never crosses a filesystem boundary; a crash at any
+    point leaves the previous file contents intact.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding, newline="") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def atomic_write_json(
+    path: PathLike, blob: Any, indent: Optional[int] = 2, sort_keys: bool = True
+) -> None:
+    """Durably replace ``path`` with ``blob`` rendered as JSON.
+
+    Byte-compatible with the historical ``json.dump(..., indent=2,
+    sort_keys=True)`` + trailing newline format, so adopting it does
+    not move any golden file.
+    """
+    atomic_write_text(path, json.dumps(blob, indent=indent, sort_keys=sort_keys) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Scenario journal
+# ----------------------------------------------------------------------
+def config_digest(meta: Dict[str, Any]) -> str:
+    """Stable digest of a campaign description + schema/code versions.
+
+    Two runs share a journal only when this digest matches: same
+    campaign parameters, same cache schema, same package version —
+    the exact conditions under which a scenario hash means the same
+    simulation.
+    """
+    from repro.experiments.parallel import CACHE_SCHEMA_VERSION
+
+    payload = {
+        "cache_schema": CACHE_SCHEMA_VERSION,
+        "code_version": __version__,
+        "journal_schema": JOURNAL_SCHEMA_VERSION,
+        "meta": meta,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ScenarioJournal:
+    """Append-only write-ahead log of completed scenario results.
+
+    Line 1 is a header record; every further line is one result record
+    ``{"type": "result", "key": <scenario-hash>, "crc": <crc32>,
+    "payload": <base64 pickle>}`` written with ``flush`` + ``fsync``
+    before the writer moves on — the *write-ahead* property: a result
+    is durable before the campaign acts on it.
+
+    :meth:`replay` tolerates torn tails: any line that fails JSON
+    parsing, base64 decoding, the CRC check or unpickling is counted
+    in :attr:`torn` and skipped, never fatal.  A mismatched *header*
+    is fatal (:class:`CheckpointError`) — silently mixing results from
+    a different campaign or code version would be corruption, not
+    robustness.
+    """
+
+    FILENAME = "scenario.journal.jsonl"
+
+    def __init__(self, path: PathLike, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.path = Path(path)
+        self.meta = dict(meta or {})
+        self.digest = config_digest(self.meta)
+        self.results: Dict[str, ScenarioResult] = {}
+        #: Valid records recovered by replay at open time.
+        self.replayed = 0
+        #: Torn/CRC-failed/undecodable records skipped by replay.
+        self.torn = 0
+        #: Records appended by this process.
+        self.appended = 0
+        self._fh = self._open()
+
+    # -- opening / replay ---------------------------------------------
+    def _header_record(self) -> Dict[str, Any]:
+        from repro.experiments.parallel import CACHE_SCHEMA_VERSION
+
+        return {
+            "type": "header",
+            "journal_schema": JOURNAL_SCHEMA_VERSION,
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "code_version": __version__,
+            "config_digest": self.digest,
+            "meta": self.meta,
+        }
+
+    def _open(self):
+        if self.path.exists() and self.path.stat().st_size > 0:
+            header_ok = self._replay()
+            if header_ok:
+                fh = open(self.path, "r+", encoding="utf-8")
+                fh.seek(0, os.SEEK_END)
+                # A SIGKILL mid-append can leave the tail line without
+                # its newline; terminate it so the next append starts a
+                # fresh record instead of garbling itself onto the tear.
+                if self._missing_trailing_newline():
+                    fh.write("\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                return fh
+            # Unreadable header: nothing recoverable, restart the log.
+            log.warning(
+                "journal %s has an unreadable header; starting it fresh", self.path
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fh = open(self.path, "w", encoding="utf-8")
+        fh.write(_dump_record(self._header_record()))
+        fh.flush()
+        os.fsync(fh.fileno())
+        _fsync_directory(self.path.parent)
+        return fh
+
+    def _missing_trailing_newline(self) -> bool:
+        with open(self.path, "rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            return fh.read(1) != b"\n"
+
+    def _check_header(self, record: Dict[str, Any]) -> None:
+        """Refuse to serve a journal written for a different campaign."""
+        if record.get("config_digest") == self.digest:
+            return
+        from repro.experiments.parallel import CACHE_SCHEMA_VERSION
+
+        details = []
+        if record.get("journal_schema") != JOURNAL_SCHEMA_VERSION:
+            details.append(
+                f"journal schema {record.get('journal_schema')!r} != "
+                f"{JOURNAL_SCHEMA_VERSION}"
+            )
+        if record.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            details.append(
+                f"cache schema {record.get('cache_schema')!r} != "
+                f"{CACHE_SCHEMA_VERSION}"
+            )
+        if record.get("code_version") != __version__:
+            details.append(
+                f"code version {record.get('code_version')!r} != {__version__!r}"
+            )
+        if record.get("meta") != self.meta:
+            details.append("campaign configuration differs")
+        raise CheckpointError(
+            f"journal {self.path} belongs to a different campaign "
+            f"({'; '.join(details) or 'config digest mismatch'}); "
+            "use a fresh --checkpoint-dir or resume with the original "
+            "configuration"
+        )
+
+    def _replay(self) -> bool:
+        """Load every valid record; return False on an unreadable header."""
+        with open(self.path, "r", encoding="utf-8") as fh:
+            first = True
+            for line in fh:
+                line = line.strip()
+                if first:
+                    first = False
+                    try:
+                        header = json.loads(line)
+                    except ValueError:
+                        return False
+                    if not isinstance(header, dict) or header.get("type") != "header":
+                        return False
+                    self._check_header(header)
+                    continue
+                if not line:
+                    continue
+                result = _decode_record(line)
+                if result is None:
+                    self.torn += 1
+                    continue
+                key, value = result
+                self.results[key] = value
+                self.replayed += 1
+        return True
+
+    # -- appending -----------------------------------------------------
+    def append(self, key: str, result: ScenarioResult) -> None:
+        """Durably journal one completed result (idempotent per key)."""
+        if key in self.results:
+            return
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        record = {
+            "type": "result",
+            "key": key,
+            "crc": zlib.crc32(blob) & 0xFFFFFFFF,
+            "payload": base64.b64encode(blob).decode("ascii"),
+        }
+        self._fh.write(_dump_record(record))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.results[key] = result
+        self.appended += 1
+
+    def get(self, key: str) -> Optional[ScenarioResult]:
+        return self.results.get(key)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def _dump_record(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _decode_record(line: str):
+    """``(key, result)`` for a valid result record, else ``None``."""
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict) or record.get("type") != "result":
+        return None
+    key = record.get("key")
+    crc = record.get("crc")
+    payload = record.get("payload")
+    if not isinstance(key, str) or not isinstance(crc, int) or not isinstance(payload, str):
+        return None
+    try:
+        blob = base64.b64decode(payload.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError):
+        return None
+    if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        result = pickle.loads(blob)
+    except Exception:  # noqa: BLE001 - any unpickling failure is a torn record
+        return None
+    if not isinstance(result, ScenarioResult):
+        return None
+    return key, result
+
+
+# ----------------------------------------------------------------------
+# Checkpoint manager
+# ----------------------------------------------------------------------
+class CheckpointManager:
+    """One campaign's durable state: journal + ``campaign.state.json``.
+
+    The manager is what gets threaded through the harness:
+    :class:`~repro.experiments.parallel.Executor` calls :meth:`lookup`
+    before dispatching a unit and :meth:`record` the moment one
+    completes; campaign drivers call :meth:`write_state` on completion
+    and on drain.  ``meta`` describes the campaign (command + config);
+    its digest gates resume compatibility (see :class:`ScenarioJournal`).
+    """
+
+    STATE_FILENAME = "campaign.state.json"
+
+    def __init__(self, directory: PathLike, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.directory = Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise CheckpointError(
+                f"checkpoint path exists and is not a directory: {self.directory}"
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.meta = dict(meta or {})
+        self.journal = ScenarioJournal(
+            self.directory / ScenarioJournal.FILENAME, meta=self.meta
+        )
+        if self.journal.replayed or self.journal.torn:
+            log.info(
+                "journal replay: %d result(s) recovered, %d torn record(s) skipped",
+                self.journal.replayed, self.journal.torn,
+            )
+
+    # -- passthrough hot path ------------------------------------------
+    @property
+    def digest(self) -> str:
+        return self.journal.digest
+
+    @property
+    def state_path(self) -> Path:
+        return self.directory / self.STATE_FILENAME
+
+    def lookup(self, key: str) -> Optional[ScenarioResult]:
+        """The journaled result for a scenario hash, or ``None``."""
+        return self.journal.get(key)
+
+    def record(self, key: str, result: ScenarioResult) -> None:
+        """Durably journal one completed result before it is consumed."""
+        self.journal.append(key, result)
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "replayed": self.journal.replayed,
+            "torn": self.journal.torn,
+            "appended": self.journal.appended,
+        }
+
+    def completed(self) -> int:
+        return len(self.journal)
+
+    # -- state summary -------------------------------------------------
+    def write_state(
+        self, status: str, pending: int = 0, failures: Iterable[object] = ()
+    ) -> None:
+        """Atomically publish the done/pending/failed summary.
+
+        ``failures`` accepts
+        :class:`~repro.experiments.parallel.ScenarioFailure` records
+        (duck-typed), whose full tracebacks survive into the file so a
+        dead campaign can be diagnosed without re-running it.
+        """
+        blob = {
+            "status": status,
+            "done": self.completed(),
+            "pending": int(pending),
+            "failed": [_failure_to_dict(failure) for failure in failures],
+            "journal": self.counters(),
+            "config_digest": self.digest,
+            "code_version": __version__,
+            "meta": self.meta,
+        }
+        atomic_write_json(self.state_path, blob)
+
+    def close(self) -> None:
+        self.journal.close()
+
+    # -- resume helpers ------------------------------------------------
+    @classmethod
+    def load_meta(cls, directory: PathLike) -> Dict[str, Any]:
+        """The campaign description stored in a checkpoint directory.
+
+        Lets ``--resume <dir>`` re-derive the original configuration
+        instead of trusting the user to retype every flag.
+        """
+        path = Path(directory) / ScenarioJournal.FILENAME
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                header = json.loads(fh.readline())
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"no scenario journal in {directory}; nothing to resume"
+            ) from None
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"cannot read journal header in {directory}: {exc}"
+            ) from exc
+        if not isinstance(header, dict) or header.get("type") != "header":
+            raise CheckpointError(
+                f"{path} is not a scenario journal (bad header)"
+            )
+        meta = header.get("meta")
+        if not isinstance(meta, dict):
+            raise CheckpointError(f"{path} header carries no campaign meta")
+        return meta
+
+
+def _failure_to_dict(failure: object) -> Dict[str, Any]:
+    scenario = getattr(failure, "scenario", None)
+    return {
+        "label": getattr(scenario, "label", str(scenario)),
+        "policy": getattr(scenario, "policy", None),
+        "iteration": getattr(failure, "iteration", None),
+        "error_type": getattr(failure, "error_type", None),
+        "message": getattr(failure, "message", str(failure)),
+        "attempts": getattr(failure, "attempts", None),
+        "timed_out": getattr(failure, "timed_out", None),
+        "traceback": getattr(failure, "traceback", None),
+    }
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def graceful_shutdown(
+    executor, notify: Optional[Callable[[str], None]] = None
+) -> Iterator[None]:
+    """Install drain-on-signal handlers around a campaign body.
+
+    First SIGINT/SIGTERM: ``executor.request_drain()`` — no new units
+    are dispatched, in-flight workers finish (bounded by the per-unit
+    timeout), the journal is flushed, and the campaign raises
+    :class:`CampaignInterrupted` for the caller to exit with
+    :data:`EXIT_INTERRUPTED`.  A second signal raises
+    ``KeyboardInterrupt`` immediately (hard cancel).
+
+    No-op when ``executor`` is ``None`` or when not running in the
+    main thread (signal handlers cannot be installed there).
+    """
+    if executor is None:
+        yield
+        return
+    seen = {"count": 0}
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal handler signature
+        seen["count"] += 1
+        name = signal.Signals(signum).name
+        if seen["count"] == 1:
+            executor.request_drain()
+            if notify is not None:
+                notify(
+                    f"received {name}: draining — in-flight scenarios finish "
+                    "and the journal is flushed; signal again to hard-cancel"
+                )
+        else:
+            raise KeyboardInterrupt(f"hard cancel ({name} x{seen['count']})")
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except (ValueError, OSError):  # non-main thread / unsupported platform
+            pass
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)

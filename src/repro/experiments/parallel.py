@@ -37,8 +37,11 @@ import json
 import multiprocessing
 import os
 import pickle
+import signal
 import tempfile
+import threading
 import time
+import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing.connection import wait as connection_wait
@@ -48,6 +51,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 from repro.version import __version__
 from repro.telemetry.log import current_log_level, setup_worker_logging
 from repro.telemetry.metrics import MetricsRegistry
+from repro.experiments.checkpoint import CampaignInterrupted, CheckpointManager
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import ScenarioResult, run_scenario
 
@@ -78,23 +82,37 @@ def _execute_unit(unit: WorkUnit) -> ScenarioResult:
     return run_scenario(scenario, iteration)
 
 
+def _ignore_sigint() -> None:
+    """Workers leave SIGINT to the parent: a Ctrl-C hits the whole
+    process group, and graceful drain needs in-flight units to finish
+    rather than die mid-scenario."""
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+
+
 def _pool_worker_init(log_level: Optional[int]) -> None:
     """Pool-worker initializer: mirror the parent's CLI verbosity.
 
     Module-level so the spawn start method can pickle it by name.
     """
+    _ignore_sigint()
     setup_worker_logging(log_level)
 
 
 def _robust_child(worker: Callable, unit: WorkUnit, conn, log_level: Optional[int] = None) -> None:
     """Entry point of one killable per-attempt worker process."""
+    _ignore_sigint()
     setup_worker_logging(log_level)
     try:
         result = worker(unit)
         conn.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
         try:
-            conn.send(("error", type(exc).__name__, str(exc)))
+            conn.send(
+                ("error", type(exc).__name__, str(exc), traceback_module.format_exc())
+            )
         except BaseException:
             pass
     finally:
@@ -117,6 +135,9 @@ class ScenarioFailure:
     attempts: int
     timed_out: bool
     wall_seconds: float
+    #: Full formatted traceback from the worker (``None`` for timeouts
+    #: and worker deaths, where no Python frame survives).
+    traceback: Optional[str] = None
 
     def __str__(self) -> str:
         kind = "timeout" if self.timed_out else self.error_type
@@ -186,12 +207,14 @@ class ResultCache:
         return result
 
     def put(self, scenario: ScenarioConfig, iteration: int, result: ScenarioResult) -> None:
-        """Store one computed result (atomic, last-writer-wins)."""
+        """Store one computed result (atomic + fsync, last-writer-wins)."""
         path = self._path(cache_key(scenario, iteration))
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -200,8 +223,58 @@ class ResultCache:
                 pass
             raise
 
+    def verify(self) -> "CacheVerifyReport":
+        """Scan every entry, loading each one, and report the rot.
+
+        Covers what :meth:`get` would hit lazily — truncated pickles
+        (partial writes that predate fsync), wrong payload types,
+        unreadable files — plus leftover ``*.tmp`` files from writers
+        that died before their rename.
+        """
+        total = ok = 0
+        corrupt: List[str] = []
+        for path in sorted(self.root.glob("*.pkl")):
+            total += 1
+            try:
+                with open(path, "rb") as fh:
+                    entry = pickle.load(fh)
+            except Exception:  # noqa: BLE001 - arbitrary bytes fail arbitrarily
+                corrupt.append(path.name)
+                continue
+            if isinstance(entry, ScenarioResult):
+                ok += 1
+            else:
+                corrupt.append(path.name)
+        orphans = sorted(path.name for path in self.root.glob("*.tmp"))
+        return CacheVerifyReport(
+            root=self.root, total=total, ok=ok, corrupt=corrupt, orphan_tmp=orphans
+        )
+
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.pkl"))
+
+
+@dataclasses.dataclass
+class CacheVerifyReport:
+    """Outcome of :meth:`ResultCache.verify` (the ``cache verify`` CLI)."""
+
+    root: Path
+    total: int
+    ok: int
+    corrupt: List[str]
+    orphan_tmp: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.orphan_tmp
+
+    def summary(self) -> str:
+        line = f"{self.root}: {self.ok}/{self.total} entries loadable"
+        if self.corrupt:
+            line += f", {len(self.corrupt)} corrupt"
+        if self.orphan_tmp:
+            line += f", {len(self.orphan_tmp)} orphaned tmp file(s)"
+        return line
 
 
 @dataclasses.dataclass
@@ -223,6 +296,8 @@ class ExecutorStats:
     #: Corrupt cache entries served as misses (mirrors the cache's own
     #: counter so one summary line covers everything).
     cache_corrupt: int = 0
+    #: Units served from the write-ahead scenario journal (resume hits).
+    journal_hits: int = 0
 
     @property
     def speedup_estimate(self) -> float:
@@ -238,6 +313,8 @@ class ExecutorStats:
             f"serial estimate {self.serial_seconds:.1f}s "
             f"(~{self.speedup_estimate:.1f}x)"
         )
+        if self.journal_hits:
+            line += f"; {self.journal_hits} resumed from journal"
         if self.failures or self.timeouts or self.retries:
             line += (
                 f"; {self.failures} failed"
@@ -283,10 +360,23 @@ class Executor:
         Logging level to install in worker processes (defaults to the
         effective level of the ``repro`` logger at construction, so
         ``-v``/``-q`` verbosity propagates through pools).
+    checkpoint:
+        Optional :class:`~repro.experiments.checkpoint.CheckpointManager`.
+        Every completed unit is journaled (write-ahead, fsync'd) the
+        moment it finishes, and units already in the journal are served
+        from it without re-running — the resume path.
 
     Results are returned in work-unit order regardless of completion
     order, and are bit-identical between backends: a unit's outcome is a
     pure function of ``(ScenarioConfig, iteration)``.
+
+    Graceful shutdown: :meth:`request_drain` (typically wired to
+    SIGINT/SIGTERM by
+    :func:`~repro.experiments.checkpoint.graceful_shutdown`) stops the
+    dispatch of *new* units; in-flight ones finish and are journaled,
+    then the map call raises
+    :class:`~repro.experiments.checkpoint.CampaignInterrupted` carrying
+    the pending count.
     """
 
     def __init__(
@@ -300,6 +390,7 @@ class Executor:
         worker: Callable[[WorkUnit], ScenarioResult] = _execute_unit,
         profile: bool = False,
         log_level: Optional[int] = None,
+        checkpoint: Optional[CheckpointManager] = None,
     ) -> None:
         if max_workers is None or max_workers == 0:
             max_workers = os.cpu_count() or 1
@@ -326,7 +417,24 @@ class Executor:
             MetricsRegistry() if profile else None
         )
         self.log_level = log_level if log_level is not None else current_log_level()
+        self.checkpoint = checkpoint
+        #: Every ScenarioFailure produced by map_robust, campaign-wide
+        #: (what campaign.state.json surfaces as the failed-unit list).
+        self.failure_records: List[ScenarioFailure] = []
+        self._drain = threading.Event()
         self._warned_corrupt = False
+        if checkpoint is not None and self.metrics is not None:
+            self.metrics.inc("checkpoint.journal_replayed", checkpoint.journal.replayed)
+            self.metrics.inc("checkpoint.journal_torn", checkpoint.journal.torn)
+
+    def request_drain(self) -> None:
+        """Stop dispatching new units; in-flight ones finish and are
+        journaled, then the running map raises ``CampaignInterrupted``."""
+        self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
 
     # -- public API ----------------------------------------------------
     def map(self, units: Sequence[WorkUnit]) -> List[ScenarioResult]:
@@ -337,12 +445,11 @@ class Executor:
         results: List[Optional[ScenarioResult]] = [None] * len(units)
 
         pending: List[int] = []
-        for index, (scenario, iteration) in enumerate(units):
-            cached = self.cache.get(scenario, iteration) if self.cache else None
-            if cached is not None:
-                results[index] = cached
-                self.stats.cache_hits += 1
-                self._report(index, units[index], cached, cached=True)
+        for index in range(len(units)):
+            known = self._lookup(units[index])
+            if known is not None:
+                results[index] = known
+                self._report(index, units[index], known, cached=True)
             else:
                 pending.append(index)
         self._sync_cache_corruption()
@@ -374,12 +481,11 @@ class Executor:
         results: List[Optional[Union[ScenarioResult, ScenarioFailure]]] = [None] * len(units)
 
         pending: List[int] = []
-        for index, (scenario, iteration) in enumerate(units):
-            cached = self.cache.get(scenario, iteration) if self.cache else None
-            if cached is not None:
-                results[index] = cached
-                self.stats.cache_hits += 1
-                self._report(index, units[index], cached, cached=True)
+        for index in range(len(units)):
+            known = self._lookup(units[index])
+            if known is not None:
+                results[index] = known
+                self._report(index, units[index], known, cached=True)
             else:
                 pending.append(index)
         self._sync_cache_corruption()
@@ -414,6 +520,30 @@ class Executor:
                 )
         return line
 
+    # -- lookups -------------------------------------------------------
+    def _lookup(self, unit: WorkUnit) -> Optional[ScenarioResult]:
+        """Serve a unit from the journal (resume) or the result cache."""
+        scenario, iteration = unit
+        if self.checkpoint is not None:
+            hit = self.checkpoint.lookup(cache_key(scenario, iteration))
+            if hit is not None:
+                self.stats.journal_hits += 1
+                return hit
+        if self.cache is not None:
+            hit = self.cache.get(scenario, iteration)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return hit
+        return None
+
+    def _check_drain(self, pending: Sequence[int], results: Sequence[object]) -> None:
+        """Raise ``CampaignInterrupted`` when draining with work left."""
+        if not self._drain.is_set():
+            return
+        remaining = sum(1 for index in pending if results[index] is None)
+        if remaining:
+            raise CampaignInterrupted(remaining)
+
     # -- backends ------------------------------------------------------
     def _map_serial(
         self,
@@ -424,6 +554,7 @@ class Executor:
         for index in pending:
             if results[index] is not None:
                 continue
+            self._check_drain(pending, results)
             result = _execute_unit(units[index])
             self._finish(index, units[index], result, results)
 
@@ -449,13 +580,28 @@ class Executor:
                 initializer=_pool_worker_init,
                 initargs=(self.log_level,),
             ) as pool:
-                futures = {pool.submit(_execute_unit, units[i]): i for i in pending}
-                not_done = set(futures)
-                while not_done:
-                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                # Sliding-window dispatch: at most ``workers`` units are
+                # outstanding, so a drain request only has to wait for
+                # genuinely in-flight scenarios, not a deep submit queue.
+                todo = [i for i in pending if results[i] is None]
+                cursor = 0
+                futures: dict = {}
+                while futures or cursor < len(todo):
+                    while (
+                        cursor < len(todo)
+                        and len(futures) < workers
+                        and not self._drain.is_set()
+                    ):
+                        index = todo[cursor]
+                        cursor += 1
+                        futures[pool.submit(_execute_unit, units[index])] = index
+                    if not futures:
+                        break  # draining with nothing in flight
+                    done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
                     for future in done:
-                        index = futures[future]
+                        index = futures.pop(future)
                         self._finish(index, units[index], future.result(), results)
+                self._check_drain(pending, results)
         except _POOL_FAILURES:
             # Pool infrastructure failed (sandboxed spawn, dead worker,
             # unpicklable payload): finish the remaining units in-process.
@@ -474,6 +620,7 @@ class Executor:
         for index in pending:
             if results[index] is not None:
                 continue
+            self._check_drain(pending, results)
             unit = units[index]
             unit_started = time.perf_counter()
             attempt = 0
@@ -498,6 +645,7 @@ class Executor:
                             attempts=attempt,
                             timed_out=False,
                             wall_seconds=time.perf_counter() - unit_started,
+                            traceback=traceback_module.format_exc(),
                         ),
                         results,
                     )
@@ -544,7 +692,8 @@ class Executor:
             }
 
         def retry_or_fail(index: int, attempt: int, error_type: str,
-                          message: str, timed_out: bool) -> None:
+                          message: str, timed_out: bool,
+                          traceback: Optional[str] = None) -> None:
             if attempt <= self.retries:
                 self.stats.retries += 1
                 backoff = self.retry_backoff * (2 ** (attempt - 1))
@@ -560,6 +709,7 @@ class Executor:
                     attempts=attempt,
                     timed_out=timed_out,
                     wall_seconds=time.perf_counter() - unit_started[index],
+                    traceback=traceback,
                 ),
                 results,
             )
@@ -587,7 +737,10 @@ class Executor:
             elif message is not None and message[0] == "ok":
                 self._finish(index, units[index], message[1], results)
             elif message is not None and message[0] == "error":
-                retry_or_fail(index, attempt, message[1], message[2], timed_out=False)
+                retry_or_fail(
+                    index, attempt, message[1], message[2], timed_out=False,
+                    traceback=message[3] if len(message) > 3 else None,
+                )
             else:
                 retry_or_fail(
                     index, attempt, "WorkerDied",
@@ -595,10 +748,13 @@ class Executor:
                 )
 
         try:
-            while queue or running:
+            # Draining stops new launches; the loop then only reaps what
+            # is already in flight (still bounded by per-attempt
+            # deadlines) and leaves the queue for the resume run.
+            while running or (queue and not self._drain.is_set()):
                 now = time.monotonic()
                 # Launch every due queued attempt while slots are free.
-                while len(running) < self.max_workers:
+                while len(running) < self.max_workers and not self._drain.is_set():
                     due = next(
                         (k for k, item in enumerate(queue) if item[2] <= now), None
                     )
@@ -628,6 +784,8 @@ class Executor:
                         reap(conn, running.pop(conn), timed_out=True)
                 elif wait_for:
                     time.sleep(wait_for)
+            if self._drain.is_set() and queue:
+                raise CampaignInterrupted(len(queue))
         finally:
             for conn, task in running.items():
                 task["proc"].terminate()
@@ -642,6 +800,7 @@ class Executor:
     ) -> None:
         results[index] = failure
         self.stats.failures += 1
+        self.failure_records.append(failure)
         self._report_line(f"[{index + 1}/{self.stats.units_total}] FAILED {failure}")
 
     def _sync_cache_corruption(self) -> None:
@@ -671,6 +830,12 @@ class Executor:
             self.metrics.observe("scenario.wall_seconds", result.wall_seconds)
         if self.cache is not None:
             self.cache.put(unit[0], unit[1], result)
+        if self.checkpoint is not None:
+            # Write-ahead: the result is durable (fsync'd journal
+            # record) before the campaign consumes it.
+            self.checkpoint.record(cache_key(unit[0], unit[1]), result)
+            if self.metrics is not None:
+                self.metrics.inc("checkpoint.journal_appends")
         self._report(index, unit, result, cached=False)
 
     def _report(self, index: int, unit: WorkUnit, result: ScenarioResult, cached: bool) -> None:
@@ -695,12 +860,13 @@ def make_executor(
     timeout: Optional[float] = None,
     retries: int = 0,
     profile: bool = False,
+    checkpoint: Optional[CheckpointManager] = None,
 ) -> Optional[Executor]:
     """CLI helper: build an :class:`Executor` only when one is wanted.
 
-    ``jobs=1`` with no cache and no robustness/profiling knobs keeps the
-    historical in-function serial path (returns ``None``); ``jobs=0``
-    auto-detects worker count.
+    ``jobs=1`` with no cache and no robustness/profiling/checkpoint
+    knobs keeps the historical in-function serial path (returns
+    ``None``); ``jobs=0`` auto-detects worker count.
     """
     if (
         (jobs == 1 or jobs is None)
@@ -708,11 +874,13 @@ def make_executor(
         and timeout is None
         and retries == 0
         and not profile
+        and checkpoint is None
     ):
         return None
     return Executor(
         max_workers=jobs, cache=cache_dir, progress=progress,
         timeout=timeout, retries=retries, profile=profile,
+        checkpoint=checkpoint,
     )
 
 

@@ -18,6 +18,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
+from repro.experiments.checkpoint import atomic_write_json
 from repro.experiments.tables import (
     RealRow,
     RealTable,
@@ -57,14 +58,29 @@ def _unwrap(data: Dict[str, Any], kind: str) -> Dict[str, Any]:
 
 
 def _dump(path: PathLike, blob: Dict[str, Any]) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(blob, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    # Atomic (tmp + fsync + rename): a crash mid-save leaves the old
+    # artifact intact instead of a truncated, unloadable file.
+    atomic_write_json(path, blob)
 
 
 def _load(path: PathLike) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as fh:
-        return json.load(fh)
+        text = fh.read()
+    try:
+        return json.loads(text)
+    except ValueError as exc:
+        detail = (
+            "file is empty or truncated (crash before atomic writes?)"
+            if not text.strip() or _looks_truncated(text)
+            else "file is not valid JSON"
+        )
+        raise PersistenceError(f"{path}: {detail}: {exc}") from exc
+
+
+def _looks_truncated(text: str) -> bool:
+    """Heuristic: valid JSON prefix that stops mid-document."""
+    stripped = text.rstrip()
+    return stripped.startswith(("{", "[")) and not stripped.endswith(("}", "]"))
 
 
 # ----------------------------------------------------------------------

@@ -13,6 +13,7 @@ import dataclasses
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.experiments.checkpoint import CheckpointManager, atomic_write_text
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.parallel import Executor, execute_units
 from repro.experiments.report import render_table
@@ -94,27 +95,27 @@ class InjectionSweep:
         return render_table(headers, rows, title=title)
 
     def to_csv(self, path: Union[str, Path]) -> None:
-        """Write the sweep as a CSV (one row per rate)."""
+        """Write the sweep as a CSV (one row per rate; atomic replace)."""
         columns = ["injection_rate", "md_vc"]
         for policy in self.policies:
             columns.extend(
                 [f"{policy}.md_duty", f"{policy}.latency", f"{policy}.throughput"]
             )
         columns.append("gap")
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(",".join(columns) + "\n")
-            for point in self.points:
-                cells = [f"{point.injection_rate}", f"{point.md_vc}"]
-                for policy in self.policies:
-                    cells.extend(
-                        [
-                            f"{point.md_duty(policy)}",
-                            f"{point.latency(policy)}",
-                            f"{point.throughput(policy)}",
-                        ]
-                    )
-                cells.append("" if point.gap is None else f"{point.gap}")
-                fh.write(",".join(cells) + "\n")
+        lines = [",".join(columns)]
+        for point in self.points:
+            cells = [f"{point.injection_rate}", f"{point.md_vc}"]
+            for policy in self.policies:
+                cells.extend(
+                    [
+                        f"{point.md_duty(policy)}",
+                        f"{point.latency(policy)}",
+                        f"{point.throughput(policy)}",
+                    ]
+                )
+            cells.append("" if point.gap is None else f"{point.gap}")
+            lines.append(",".join(cells))
+        atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def run_injection_sweep(
@@ -122,6 +123,7 @@ def run_injection_sweep(
     policies: Sequence[str] = (REFERENCE_POLICY, PROPOSED_POLICY),
     base: Optional[ScenarioConfig] = None,
     executor: Optional[Executor] = None,
+    checkpoint: Optional[CheckpointManager] = None,
     **scenario_kwargs,
 ) -> InjectionSweep:
     """Sweep offered load, running every policy at each point.
@@ -137,9 +139,18 @@ def run_injection_sweep(
     executor:
         Optional :class:`~repro.experiments.parallel.Executor`; all
         (rate, policy) points are independent and fan out at once.
+    checkpoint:
+        Optional :class:`~repro.experiments.checkpoint.CheckpointManager`
+        journaling each completed point (crash-safe resume); wraps the
+        executor (building a serial one when none was given).
     """
     if not rates:
         raise ValueError("sweep needs at least one rate")
+    if checkpoint is not None:
+        if executor is None:
+            executor = Executor(max_workers=1, checkpoint=checkpoint)
+        elif executor.checkpoint is None:
+            executor.checkpoint = checkpoint
     base = base if base is not None else ScenarioConfig()
     if scenario_kwargs:
         base = dataclasses.replace(base, **scenario_kwargs)

@@ -1,0 +1,377 @@
+"""Tests for the crash-safe checkpoint layer.
+
+The load-bearing properties:
+
+* atomic writes — an artifact file is either the old bytes or the new
+  bytes, byte-compatible with the historical ``json.dump`` format;
+* the write-ahead journal round-trips results exactly, tolerates a torn
+  tail (skip + count, never abort) and rejects corrupted payloads via
+  the per-record CRC;
+* resume — an executor pointed at a journal serves completed units
+  from it and the final artifacts are byte-identical to an
+  uninterrupted run;
+* drain — ``request_drain`` stops dispatch, in-flight units finish and
+  the map raises ``CampaignInterrupted`` with the pending count.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import zlib
+
+import pytest
+
+from repro.experiments.checkpoint import (
+    CampaignInterrupted,
+    CheckpointError,
+    CheckpointManager,
+    ScenarioJournal,
+    atomic_write_json,
+    atomic_write_text,
+)
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import (
+    Executor,
+    ResultCache,
+    ScenarioFailure,
+    cache_key,
+    make_executor,
+)
+from repro.experiments.runner import run_scenario
+
+FAST = dict(cycles=300, warmup=100)
+
+
+def tiny_units(n=3):
+    base = ScenarioConfig(num_nodes=4, num_vcs=2, injection_rate=0.1, **FAST)
+    policies = ("baseline", "rr-no-sensor", "sensor-wise")
+    return [(base.with_policy(policies[i % 3]), i // 3) for i in range(n)]
+
+
+def fingerprint(result):
+    return (result.duty_cycles, result.md_vc, result.net_stats, result.initial_vths)
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+class TestAtomicWrites:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_litter(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        atomic_write_text(path, "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.txt"]
+
+    def test_json_byte_compatible_with_json_dump(self, tmp_path):
+        """Adopting atomic_write_json must not move any golden file."""
+        blob = {"b": [1, 2], "a": {"z": None, "y": 0.5}}
+        path = tmp_path / "blob.json"
+        atomic_write_json(path, blob)
+        assert path.read_text() == json.dumps(blob, indent=2, sort_keys=True) + "\n"
+
+    def test_failure_leaves_old_file(self, tmp_path):
+        path = tmp_path / "blob.json"
+        atomic_write_json(path, {"ok": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.loads(path.read_text()) == {"ok": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["blob.json"]
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+class TestScenarioJournal:
+    def _result(self):
+        scenario, iteration = tiny_units(1)[0]
+        return cache_key(scenario, iteration), run_scenario(scenario, iteration)
+
+    def test_roundtrip_exact(self, tmp_path):
+        key, result = self._result()
+        journal = ScenarioJournal(tmp_path / "j.jsonl", meta={"m": 1})
+        journal.append(key, result)
+        journal.close()
+
+        replayed = ScenarioJournal(tmp_path / "j.jsonl", meta={"m": 1})
+        assert replayed.replayed == 1
+        assert replayed.torn == 0
+        assert fingerprint(replayed.get(key)) == fingerprint(result)
+        replayed.close()
+
+    def test_append_is_idempotent(self, tmp_path):
+        key, result = self._result()
+        journal = ScenarioJournal(tmp_path / "j.jsonl", meta={})
+        journal.append(key, result)
+        journal.append(key, result)
+        journal.close()
+        lines = (tmp_path / "j.jsonl").read_text().splitlines()
+        assert len(lines) == 2  # header + one record
+
+    def test_torn_tail_skipped_and_counted(self, tmp_path):
+        key, result = self._result()
+        path = tmp_path / "j.jsonl"
+        journal = ScenarioJournal(path, meta={})
+        journal.append(key, result)
+        journal.close()
+
+        # SIGKILL mid-append: truncate the last record partway through.
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 40])
+
+        replayed = ScenarioJournal(path, meta={})
+        assert replayed.replayed == 0
+        assert replayed.torn == 1
+        assert replayed.get(key) is None
+        # The journal stays appendable after terminating the torn line.
+        replayed.append(key, result)
+        replayed.close()
+        again = ScenarioJournal(path, meta={})
+        assert again.replayed == 1
+        assert fingerprint(again.get(key)) == fingerprint(result)
+        again.close()
+
+    def test_crc_mismatch_rejected(self, tmp_path):
+        key, result = self._result()
+        path = tmp_path / "j.jsonl"
+        journal = ScenarioJournal(path, meta={})
+        journal.append(key, result)
+        journal.close()
+
+        header, record_line = path.read_text().splitlines()
+        record = json.loads(record_line)
+        blob = base64.b64decode(record["payload"])
+        # Flip one payload byte: valid JSON, valid base64, stale CRC.
+        tampered = bytes([blob[0] ^ 0xFF]) + blob[1:]
+        assert zlib.crc32(tampered) & 0xFFFFFFFF != record["crc"]
+        record["payload"] = base64.b64encode(tampered).decode("ascii")
+        path.write_text(header + "\n" + json.dumps(record) + "\n")
+
+        replayed = ScenarioJournal(path, meta={})
+        assert replayed.torn == 1
+        assert replayed.get(key) is None
+        replayed.close()
+
+    def test_garbage_line_skipped(self, tmp_path):
+        key, result = self._result()
+        path = tmp_path / "j.jsonl"
+        journal = ScenarioJournal(path, meta={})
+        journal.append(key, result)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"type": "result", "key": 42}\n')
+        replayed = ScenarioJournal(path, meta={})
+        assert replayed.replayed == 1
+        assert replayed.torn == 2
+        replayed.close()
+
+    def test_different_meta_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        ScenarioJournal(path, meta={"config": {"cycles": 100}}).close()
+        with pytest.raises(CheckpointError, match="different campaign"):
+            ScenarioJournal(path, meta={"config": {"cycles": 200}})
+
+    def test_unreadable_header_starts_fresh(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("garbage header\n")
+        journal = ScenarioJournal(path, meta={"m": 1})
+        assert journal.replayed == 0
+        journal.close()
+        # Recreated with a valid header: reopens cleanly.
+        ScenarioJournal(path, meta={"m": 1}).close()
+
+
+class TestCheckpointManager:
+    def test_load_meta_roundtrip(self, tmp_path):
+        meta = {"command": "campaign", "config": {"cycles": 150, "seed": 1}}
+        CheckpointManager(tmp_path, meta=meta).close()
+        assert CheckpointManager.load_meta(tmp_path) == meta
+
+    def test_load_meta_missing_journal(self, tmp_path):
+        with pytest.raises(CheckpointError, match="nothing to resume"):
+            CheckpointManager.load_meta(tmp_path)
+
+    def test_write_state_contents(self, tmp_path):
+        manager = CheckpointManager(tmp_path, meta={"command": "x", "config": {}})
+        scenario, iteration = tiny_units(1)[0]
+        failure = ScenarioFailure(
+            scenario=scenario, iteration=iteration, error_type="ValueError",
+            message="boom", attempts=2, timed_out=False, wall_seconds=0.1,
+            traceback="Traceback (most recent call last):\n  boom\n",
+        )
+        manager.write_state("interrupted", pending=3, failures=[failure])
+        manager.close()
+
+        state = json.loads((tmp_path / "campaign.state.json").read_text())
+        assert state["status"] == "interrupted"
+        assert state["pending"] == 3
+        assert state["done"] == 0
+        assert state["meta"] == {"command": "x", "config": {}}
+        (entry,) = state["failed"]
+        assert entry["error_type"] == "ValueError"
+        assert "Traceback" in entry["traceback"]
+
+
+# ----------------------------------------------------------------------
+# Executor integration: journal hits, resume, drain
+# ----------------------------------------------------------------------
+class TestExecutorCheckpoint:
+    def test_results_journaled_and_resumed(self, tmp_path):
+        units = tiny_units(3)
+        first = Executor(
+            max_workers=1, checkpoint=CheckpointManager(tmp_path, meta={"m": 1})
+        )
+        baseline = first.map(units)
+        first.checkpoint.close()
+        assert first.stats.journal_hits == 0
+
+        second = Executor(
+            max_workers=1, checkpoint=CheckpointManager(tmp_path, meta={"m": 1})
+        )
+        resumed = second.map(units)
+        second.checkpoint.close()
+        assert second.stats.journal_hits == 3
+        assert [fingerprint(r) for r in resumed] == [
+            fingerprint(r) for r in baseline
+        ]
+
+    def test_partial_journal_runs_only_missing(self, tmp_path):
+        units = tiny_units(3)
+        seed = CheckpointManager(tmp_path, meta={"m": 1})
+        seed.record(cache_key(*units[0]), run_scenario(*units[0]))
+        seed.close()
+
+        executor = Executor(
+            max_workers=1, checkpoint=CheckpointManager(tmp_path, meta={"m": 1})
+        )
+        results = executor.map(units)
+        executor.checkpoint.close()
+        assert executor.stats.journal_hits == 1
+        assert [fingerprint(r) for r in results] == [
+            fingerprint(run_scenario(s, i)) for s, i in units
+        ]
+
+    def test_drain_raises_campaign_interrupted(self, tmp_path):
+        units = tiny_units(4)
+        executor = Executor(
+            max_workers=1, checkpoint=CheckpointManager(tmp_path, meta={"m": 1})
+        )
+        # Drain after the first completed unit reports progress.
+        executor.progress = lambda line: executor.request_drain()
+        with pytest.raises(CampaignInterrupted) as info:
+            executor.map(units)
+        executor.checkpoint.close()
+        assert info.value.pending == 3
+        assert executor.checkpoint.completed() == 1
+
+        # Resuming completes the remainder, identically.
+        resumed = Executor(
+            max_workers=1, checkpoint=CheckpointManager(tmp_path, meta={"m": 1})
+        )
+        results = resumed.map(units)
+        resumed.checkpoint.close()
+        assert resumed.stats.journal_hits == 1
+        assert [fingerprint(r) for r in results] == [
+            fingerprint(run_scenario(s, i)) for s, i in units
+        ]
+
+    def test_map_robust_journal_resume(self, tmp_path):
+        units = tiny_units(2)
+        first = Executor(
+            max_workers=1, checkpoint=CheckpointManager(tmp_path, meta={"m": 2})
+        )
+        baseline = first.map_robust(units)
+        first.checkpoint.close()
+
+        second = Executor(
+            max_workers=1, checkpoint=CheckpointManager(tmp_path, meta={"m": 2})
+        )
+        resumed = second.map_robust(units)
+        second.checkpoint.close()
+        assert second.stats.journal_hits == 2
+        assert [fingerprint(r) for r in resumed] == [
+            fingerprint(r) for r in baseline
+        ]
+
+    def test_make_executor_checkpoint_forces_executor(self, tmp_path):
+        assert make_executor(1) is None
+        manager = CheckpointManager(tmp_path, meta={})
+        executor = make_executor(1, checkpoint=manager)
+        assert isinstance(executor, Executor)
+        assert executor.checkpoint is manager
+        manager.close()
+
+
+# ----------------------------------------------------------------------
+# Failure records
+# ----------------------------------------------------------------------
+def _crashing_worker(unit):
+    raise ValueError("synthetic crash for checkpoint tests")
+
+
+class TestFailureRecords:
+    def test_traceback_survives_process_boundary(self):
+        units = tiny_units(1)
+        executor = Executor(max_workers=1, worker=_crashing_worker)
+        (outcome,) = executor.map_robust(units)
+        assert isinstance(outcome, ScenarioFailure)
+        assert outcome.error_type == "ValueError"
+        assert outcome.traceback is not None
+        assert "synthetic crash for checkpoint tests" in outcome.traceback
+        assert "Traceback" in outcome.traceback
+        assert executor.failure_records == [outcome]
+
+
+# ----------------------------------------------------------------------
+# Cache verify
+# ----------------------------------------------------------------------
+class TestCacheVerify:
+    def _populated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario, iteration = tiny_units(1)[0]
+        cache.put(scenario, iteration, run_scenario(scenario, iteration))
+        return cache
+
+    def test_clean_cache(self, tmp_path):
+        report = self._populated(tmp_path).verify()
+        assert report.total == report.ok == 1
+        assert report.clean
+        assert "1/1 entries loadable" in report.summary()
+
+    def test_truncated_entry_reported(self, tmp_path):
+        cache = self._populated(tmp_path)
+        victim = next(cache.root.glob("*.pkl"))
+        victim.write_bytes(victim.read_bytes()[:16])
+        report = cache.verify()
+        assert report.ok == 0
+        assert report.corrupt == [victim.name]
+        assert not report.clean
+
+    def test_wrong_type_and_orphan_tmp(self, tmp_path):
+        cache = self._populated(tmp_path)
+        (cache.root / "deadbeef.pkl").write_bytes(pickle.dumps({"not": "a result"}))
+        (cache.root / "leftover.tmp").write_bytes(b"partial")
+        report = cache.verify()
+        assert report.ok == 1
+        assert report.corrupt == ["deadbeef.pkl"]
+        assert report.orphan_tmp == ["leftover.tmp"]
+
+    def test_cli_exit_codes(self, tmp_path):
+        from repro.cli import main
+
+        cache = self._populated(tmp_path)
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+        next(cache.root.glob("*.pkl")).write_bytes(b"garbage")
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1

@@ -127,3 +127,28 @@ class TestErrorHandling:
         path.write_text("[1, 2, 3]")
         with pytest.raises(PersistenceError):
             load_real_table(path)
+
+    def test_truncated_file_distinguished_from_wrong_kind(self, tmp_path):
+        """A crash-torn file reports truncation, not a kind mismatch."""
+        path = tmp_path / "x.json"
+        save_vth_report(make_vth_report(), path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(PersistenceError, match="truncated"):
+            load_vth_report(path)
+
+    def test_empty_file_reported_as_truncated(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("")
+        with pytest.raises(PersistenceError, match="truncated"):
+            load_vth_report(path)
+
+    def test_not_json_reported_distinctly(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("this was never JSON\n")
+        with pytest.raises(PersistenceError, match="not valid JSON"):
+            load_vth_report(path)
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        save_vth_report(make_vth_report(), tmp_path / "vth.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["vth.json"]
