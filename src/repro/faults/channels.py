@@ -57,7 +57,7 @@ class FaultyChannel(Channel[T]):
         "onset", "duration", "drop_probability", "drop_filter",
         "extra_delay", "noise_probability", "noise_values",
         "dropped", "delayed", "corrupted",
-        "_rng", "_last_noise_cycle",
+        "_seq", "_rng", "_last_noise_cycle",
     )
 
     def __init__(
@@ -92,6 +92,12 @@ class FaultyChannel(Channel[T]):
         self.dropped = 0
         self.delayed = 0
         self.corrupted = 0
+        self._seq = 0
+        # Extra delay can put a later send in front of an earlier one,
+        # so this subclass swaps the base FIFO deque for a real heap of
+        # (due, seq, item): the monotone seq keeps same-due items in
+        # send order, exactly the pre-deque DelayLine behavior.
+        self._queue = []
         self._rng = random.Random(seed)
         self._last_noise_cycle = -1
 
@@ -102,11 +108,16 @@ class FaultyChannel(Channel[T]):
 
     def adopt(self, old: Channel[T]) -> "FaultyChannel[T]":
         """Take over an existing channel's in-flight items (swap helper)."""
-        self._heap = old._heap
-        self._seq = old._seq
+        # The donor's FIFO deque is already due-sorted, which is a valid
+        # heap; re-tag its items with this channel's sequence numbers.
+        self._queue = [
+            (due, seq, item) for seq, (due, item) in enumerate(old._queue)
+        ]
+        self._seq = len(self._queue)
         return self
 
     def send(self, item: T, cycle: int) -> None:
+        due = cycle + self.latency
         if self.active(cycle):
             if (
                 self.drop_probability > 0.0
@@ -117,16 +128,17 @@ class FaultyChannel(Channel[T]):
                 return
             if self.extra_delay:
                 self.delayed += 1
-                heapq.heappush(
-                    self._heap,
-                    (cycle + self.latency + self.extra_delay, self._seq, item),
-                )
-                self._seq += 1
-                return
-        super().send(item, cycle)
+                due += self.extra_delay
+        heapq.heappush(self._queue, (due, self._seq, item))
+        self._seq += 1
+        if self.on_send is not None:
+            self.on_send(due)
 
     def pop_ready(self, cycle: int) -> List[T]:
-        out = super().pop_ready(cycle)
+        queue = self._queue
+        out: List[T] = []
+        while queue and queue[0][0] <= cycle:
+            out.append(heapq.heappop(queue)[2])
         if (
             self.noise_probability > 0.0
             and cycle != self._last_noise_cycle
@@ -136,7 +148,5 @@ class FaultyChannel(Channel[T]):
             if self._rng.random() < self.noise_probability:
                 spurious = self._rng.choice(self.noise_values)
                 self.corrupted += 1
-                # `out` may be the shared empty list — never mutate it.
-                out = list(out)
                 out.append(spurious)
         return out

@@ -138,3 +138,22 @@ class WindowedDutyCycle:
 def duty_cycles_percent(counters: Iterable[DutyCycleCounter]) -> List[float]:
     """Duty cycles (percent) for an iterable of counters, in order."""
     return [c.duty_cycle for c in counters]
+
+
+def duty_cycles_percent_arrays(stress, recovery) -> List[float]:
+    """Vectorized :func:`duty_cycles_percent` over struct-of-arrays tallies.
+
+    ``stress`` and ``recovery`` are equal-length integer NumPy arrays
+    (the SoA engine's accounting store).  The result matches
+    :attr:`DutyCycleCounter.duty_cycle` element-wise — including the
+    100.0 convention for unobserved devices — and, because each percent
+    is computed as ``100.0 * stress / total`` in double precision just
+    like the scalar property, the floats are bit-identical.
+    """
+    import numpy as np
+
+    total = stress + recovery
+    out = np.full(len(total), 100.0)
+    observed = total > 0
+    out[observed] = 100.0 * stress[observed] / total[observed]
+    return [float(v) for v in out]

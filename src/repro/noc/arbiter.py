@@ -43,15 +43,23 @@ class RoundRobinArbiter:
 
         Returns the granted index, or ``None`` when nobody requests.
         """
-        if len(requests) != self.size:
+        size = self.size
+        if len(requests) != size:
             raise ValueError(
-                f"expected {self.size} request lines, got {len(requests)}"
+                f"expected {size} request lines, got {len(requests)}"
             )
-        for offset in range(self.size):
-            idx = (self._pointer + offset) % self.size
+        # Branchy wrap instead of modulo: grant sits on the SA/VA hot
+        # path and the pointer invariant (always < size) makes a single
+        # compare per probe sufficient.
+        idx = self._pointer
+        for _ in range(size):
+            if idx >= size:
+                idx -= size
             if requests[idx]:
-                self._pointer = (idx + 1) % self.size
+                nxt = idx + 1
+                self._pointer = nxt if nxt < size else 0
                 return idx
+            idx += 1
         return None
 
     def reset(self) -> None:

@@ -158,7 +158,7 @@ class VCBuffer:
                     )
             else:
                 raise BufferError(f"push into a {self._state.value} buffer: {flit!r}")
-        if self.is_full:
+        if len(self._flits) >= self.capacity:
             raise BufferError(f"buffer overflow (capacity {self.capacity}): {flit!r}")
         self._flits.append(flit)
 

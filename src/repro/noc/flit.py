@@ -62,7 +62,7 @@ class Flit:
 
     __slots__ = (
         "packet_id", "seq", "ftype", "src", "dst", "injected_cycle", "vnet",
-        "hops", "arrived_cycle",
+        "hops", "arrived_cycle", "is_head", "is_tail",
     )
 
     def __init__(
@@ -84,14 +84,10 @@ class Flit:
         self.vnet = vnet
         self.hops = 0
         self.arrived_cycle = -1
-
-    @property
-    def is_head(self) -> bool:
-        return self.ftype.is_head
-
-    @property
-    def is_tail(self) -> bool:
-        return self.ftype.is_tail
+        # Precomputed: ftype never changes after construction, and these
+        # flags sit on the per-flit hot path of every engine.
+        self.is_head = ftype is FlitType.HEAD or ftype is FlitType.HEAD_TAIL
+        self.is_tail = ftype is FlitType.TAIL or ftype is FlitType.HEAD_TAIL
 
     def __repr__(self) -> str:
         return (

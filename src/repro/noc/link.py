@@ -17,8 +17,8 @@ generic building block; :class:`Channel` simply names one instance.
 
 from __future__ import annotations
 
-import heapq
-from typing import Generic, List, Tuple, TypeVar
+from collections import deque
+from typing import Deque, Generic, List, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -30,23 +30,34 @@ class DelayLine(Generic[T]):
     """A FIFO with a fixed delivery latency in cycles.
 
     Items sent at cycle ``t`` become visible to :meth:`pop_ready` at cycle
-    ``t + latency``.  Items sent on the same cycle are delivered in send
-    order (a monotone sequence number breaks heap ties).
+    ``t + latency``.  Storage is a plain deque of ``(due, item)`` pairs:
+    the latency is a per-line constant and senders only move forward in
+    time, so delivery times are nondecreasing in send order and the
+    append order *is* the delivery order.  Subclasses that can reorder
+    deliveries (:class:`~repro.faults.channels.FaultyChannel` adds per-
+    item extra delay) replace the storage with a heap and override the
+    queue operations.
     """
 
-    __slots__ = ("latency", "_heap", "_seq")
+    __slots__ = ("latency", "_queue", "on_send")
 
     def __init__(self, latency: int = 1) -> None:
         if latency < 0:
             raise ValueError(f"link latency must be non-negative, got {latency}")
         self.latency = latency
-        self._heap: List[Tuple[int, int, T]] = []
-        self._seq = 0
+        self._queue: Deque[Tuple[int, T]] = deque()
+        #: Optional observer called with the delivery cycle of every
+        #: enqueued item.  The event-directed SoA engine installs one per
+        #: channel so it only visits delay lines that actually hold due
+        #: items; ``None`` (the default) outside SoA runs.
+        self.on_send = None
 
     def send(self, item: T, cycle: int) -> None:
         """Enqueue ``item`` for delivery at ``cycle + latency``."""
-        heapq.heappush(self._heap, (cycle + self.latency, self._seq, item))
-        self._seq += 1
+        due = cycle + self.latency
+        self._queue.append((due, item))
+        if self.on_send is not None:
+            self.on_send(due)
 
     def pop_ready(self, cycle: int) -> List[T]:
         """Dequeue every item whose delivery time is <= ``cycle``.
@@ -55,22 +66,23 @@ class DelayLine(Generic[T]):
         is ready (the overwhelmingly common case in a lightly loaded
         network) — callers only iterate the result.
         """
-        heap = self._heap
-        if not heap or heap[0][0] > cycle:
+        queue = self._queue
+        if not queue or queue[0][0] > cycle:
             return _EMPTY
         out: List[T] = []
-        while heap and heap[0][0] <= cycle:
-            out.append(heapq.heappop(heap)[2])
+        while queue and queue[0][0] <= cycle:
+            out.append(queue.popleft()[1])
         return out
 
     def peek_ready(self, cycle: int) -> bool:
         """Whether at least one item is deliverable at ``cycle``."""
-        return bool(self._heap) and self._heap[0][0] <= cycle
+        queue = self._queue
+        return bool(queue) and queue[0][0] <= cycle
 
     @property
     def in_flight(self) -> int:
         """Number of items currently travelling on the line."""
-        return len(self._heap)
+        return len(self._queue)
 
     def __repr__(self) -> str:
         return f"DelayLine(latency={self.latency}, in_flight={self.in_flight})"

@@ -94,6 +94,14 @@ class Network:
         Builds the measurement model of each sensor bank (ideal default).
     """
 
+    #: Engine override for :meth:`run` (class attribute so tests and
+    #: benchmarks can force an arm globally or per instance without
+    #: widening ``ScenarioConfig``):  ``None``/"auto" picks the SoA
+    #: engine when eligible, else fast-forward, else dense stepping;
+    #: "soa" requires eligibility (raises otherwise); "fast" skips the
+    #: SoA engine; "stepped" forces the dense per-cycle loop.
+    force_engine: Optional[str] = None
+
     def __init__(
         self,
         config: NoCConfig,
@@ -399,13 +407,29 @@ class Network:
             raise ValueError(f"validate_every must be >= 0, got {validate_every}")
         end = self.cycle + cycles
         violations = 0
+        force = self.force_engine
+        if force not in (None, "auto", "soa", "fast", "stepped"):
+            raise ValueError(f"unknown force_engine {force!r}")
         if validate_every == 0:
-            plan = self._fast_forward_plan()
-            if plan is None:
+            if force in (None, "auto", "soa") and self._soa_eligible():
+                from repro.noc.soa import SoAEngine
+
+                SoAEngine(self).run_span(end)
+            elif force == "soa":
+                raise RuntimeError(
+                    "force_engine='soa' but the network is not SoA-eligible "
+                    "(telemetry/faults/per-cycle NBTI or unstable policies)"
+                )
+            elif force == "stepped":
                 while self.cycle < end:
                     self.step()
             else:
-                self._run_fast(end, plan)
+                plan = self._fast_forward_plan()
+                if plan is None:
+                    while self.cycle < end:
+                        self.step()
+                else:
+                    self._run_fast(end, plan)
         else:
             from repro.noc.validation import validate_network
 
@@ -423,6 +447,44 @@ class Network:
                     violations += len(found)
         self.flush_nbti()
         return violations
+
+    def _soa_eligible(self) -> bool:
+        """Check struct-of-arrays engine eligibility (see ``noc/soa.py``).
+
+        The gates match :meth:`_fast_forward_plan` minus the traffic
+        probe (an unsupported generator is simply consulted per cycle),
+        plus the watchdog-safety bound made explicit: Down_Up
+        heartbeats arrive one per sensor sample, so as long as every
+        staleness threshold covers the longest sample period and no
+        plausibility interval exceeds the shortest one, ``faulted`` can
+        never flip mid-run and skipped watchdog ticks are no-ops.
+        """
+        if not self.allow_fast_forward:
+            return False
+        if any(router.per_cycle_nbti for router in self.routers):
+            return False
+        banks = self._sensor_banks
+        if any(bank.fault is not None for bank in banks):
+            return False
+        max_period = max((b.sample_period for b in banks), default=0)
+        min_period = min((b.sample_period for b in banks), default=0)
+        for port in self.upstream_ports():
+            if port.md_stale_after is not None and port.md_stale_after < max_period:
+                return False
+            if port.md_min_change_interval > min_period:
+                return False
+            for engine in port.engines:
+                if engine.faulted:
+                    return False
+                policy = engine.policy
+                if not policy.stable:
+                    return False
+                if policy.cycle_free_decide:
+                    continue
+                period = getattr(policy, "epoch_period", None)
+                if period is None and policy.epoch(0) != policy.epoch(1 << 30):
+                    return False
+        return True
 
     # ------------------------------------------------------------------
     # Quiescence fast-forward
@@ -495,7 +557,7 @@ class Network:
             if unit.busy_count or unit._any_waking:
                 return False
         for channel in self._all_channels:
-            if channel._heap:
+            if channel._queue:
                 return False
         for ni in self.interfaces:
             if not ni.is_idle():

@@ -91,7 +91,9 @@ class VnetEngine:
         "degraded_cycles",
         "_ctx_version",
         "_policy_key",
+        "_decision_cache",
         "_alloc_arbiter",
+        "on_invalidate",
     )
 
     def __init__(self, vnet: int, start: int, count: int, policy: RecoveryPolicy) -> None:
@@ -113,11 +115,28 @@ class VnetEngine:
         self.degraded_cycles = 0
         self._ctx_version = 0
         self._policy_key: Optional[Tuple[int, int]] = None
+        #: Value-level decision memo for *stable* policies: context
+        #: values -> the (frozen, shareable) decision they produced.  A
+        #: stable policy's decision is a deterministic function of the
+        #: observable context plus its epoch (that is what `stable` +
+        #: `epoch` promise; `cycle_free_decide` additionally drops the
+        #: epoch while healthy), so re-seeing the same values lets the
+        #: port skip context construction and `decide` entirely — only
+        #: the (idempotent, diff-based) application re-runs.  The key
+        #: space is tiny (a few dozen VC-state combinations), so the
+        #: dict stays small for the lifetime of the port.
+        self._decision_cache: Optional[dict] = {} if policy.stable else None
         self._alloc_arbiter = RoundRobinArbiter(count)
+        #: Optional observer fired on every memo bust.  The SoA engine
+        #: installs one so it re-runs a port's policy exactly when the
+        #: dense engine's memoization would miss; ``None`` otherwise.
+        self.on_invalidate = None
 
     def invalidate(self) -> None:
         """Mark a policy-visible input as changed (busts the memo)."""
         self._ctx_version += 1
+        if self.on_invalidate is not None:
+            self.on_invalidate()
 
 
 class UpstreamPort:
@@ -328,7 +347,13 @@ class UpstreamPort:
         Stable policies (see :class:`RecoveryPolicy.stable`) are memoized
         per vnet on (input version, policy epoch): when nothing they can
         observe changed, the previous — already applied — decision
-        stands.
+        stands.  On a memo miss, a second value-level cache keyed by the
+        *observable context values* skips :meth:`decide` when the same
+        situation was seen before (sound because a stable policy's
+        decision is a pure function of those values and its epoch); the
+        cached decision is still re-applied, since the port's power
+        state may have drifted.  Traced policies bypass the value cache
+        so per-decide telemetry stays complete.
         """
         decisions: List[PolicyDecision] = []
         for engine in self.engines:
@@ -340,6 +365,54 @@ class UpstreamPort:
                     decisions.append(engine.last_decision)
                     continue
                 engine._policy_key = key
+                cache = engine._decision_cache
+                if cache is not None and policy.trace is None:
+                    # Inlined vc_policy_state: this runs on every memo
+                    # miss and the method-call overhead is measurable.
+                    entries = self.entries
+                    active = OutVCState.ACTIVE
+                    recovery = OutVCState.RECOVERY
+                    idle = OutVCState.IDLE
+                    start = engine.start
+                    if engine.count == 2:
+                        # Unrolled for the dominant 2-VC-per-vnet shape:
+                        # a genexpr frame per memo miss is measurable.
+                        e = entries[start]
+                        s0 = (active if e.state is active
+                              else recovery if e.gated else idle)
+                        e = entries[start + 1]
+                        states = (s0, active if e.state is active
+                                  else recovery if e.gated else idle)
+                    else:
+                        states = tuple(
+                            active if (e := entries[i]).state is active
+                            else (recovery if e.gated else idle)
+                            for i in range(start, start + engine.count)
+                        )
+                    faulted = engine.faulted
+                    ckey = (
+                        states,
+                        engine.new_traffic,
+                        engine.most_degraded_vc,
+                        faulted,
+                        # key[1] is policy.epoch(cycle), already computed.
+                        0 if policy.cycle_free_decide and not faulted
+                        else key[1],
+                    )
+                    decision = cache.get(ckey)
+                    if decision is None:
+                        decision = policy.decide(PolicyContext(
+                            cycle=cycle,
+                            vc_states=states,
+                            new_traffic=engine.new_traffic,
+                            most_degraded_vc=engine.most_degraded_vc,
+                            sensor_faulted=faulted,
+                        ))
+                        decision.validate(engine.count)
+                        cache[ckey] = decision
+                    self.apply_decision(decision, cycle, engine.vnet)
+                    decisions.append(decision)
+                    continue
             decision = policy.decide(self.build_context(cycle, engine.vnet))
             decision.validate(engine.count)
             self.apply_decision(decision, cycle, engine.vnet)
@@ -355,28 +428,34 @@ class UpstreamPort:
         Decision VC indices are local to the vnet's slice.
         """
         engine = self.engines[vnet]
+        entries = self.entries
+        awake = decision.awake
+        start = engine.start
+        active = OutVCState.ACTIVE
+        control = self.control_channel
+        trace = self.trace
         for local in range(engine.count):
-            vc = engine.start + local
-            entry = self.entries[vc]
-            if entry.state is OutVCState.ACTIVE:
+            vc = start + local
+            entry = entries[vc]
+            if entry.state is active:
                 continue
-            want_awake = local in decision.awake
+            want_awake = local in awake
             if want_awake and entry.gated:
                 entry.gated = False
-                entry.available_at = cycle + self.control_channel.latency + self.wake_latency
-                self.control_channel.send(("wake", vc), cycle)
+                entry.available_at = cycle + control.latency + self.wake_latency
+                control.send(("wake", vc), cycle)
                 self.wake_commands += 1
-                if self.trace is not None:
-                    self.trace.instant(
+                if trace is not None:
+                    trace.instant(
                         probes.PORT_WAKE_CMD, "port", tid=self.trace_id,
                         args={"vc": vc}, ts=cycle,
                     )
             elif not want_awake and not entry.gated:
                 entry.gated = True
-                self.control_channel.send(("gate", vc), cycle)
+                control.send(("gate", vc), cycle)
                 self.gate_commands += 1
-                if self.trace is not None:
-                    self.trace.instant(
+                if trace is not None:
+                    trace.instant(
                         probes.PORT_GATE_CMD, "port", tid=self.trace_id,
                         args={"vc": vc}, ts=cycle,
                     )
@@ -404,9 +483,13 @@ class UpstreamPort:
     def has_allocatable(self, cycle: int, vnet: int = 0) -> bool:
         """Whether the vnet has any VC a new packet could take now."""
         engine = self.engines[vnet]
-        return any(
-            self.allocatable(engine.start + i, cycle) for i in range(engine.count)
-        )
+        entries = self.entries
+        idle = OutVCState.IDLE
+        for vc in range(engine.start, engine.start + engine.count):
+            entry = entries[vc]
+            if entry.state is idle and not entry.gated and cycle >= entry.available_at:
+                return True
+        return False
 
     def allocate_vc(
         self, cycle: int, packet_id: Optional[int] = None, vnet: int = 0
@@ -460,28 +543,31 @@ class UpstreamPort:
         if flit.is_tail:
             entry.tail_sent = True
         self.data_channel.send((vc, flit), cycle)
-        self._maybe_release(vc, entry)
+        if entry.tail_sent and entry.credits == entry.max_credits:
+            self._release(vc, entry)
 
     def on_credit(self, vc: int) -> None:
         """Handle a returning credit from the downstream input port."""
         entry = self.entries[vc]
-        entry.credits += 1
-        if entry.credits > entry.max_credits:
+        credits = entry.credits + 1
+        entry.credits = credits
+        if credits > entry.max_credits:
             raise RuntimeError(f"credit overflow on vc {vc}")
-        self._maybe_release(vc, entry)
+        if entry.tail_sent and credits == entry.max_credits:
+            self._release(vc, entry)
 
-    def _maybe_release(self, vc: int, entry: OutVCEntry) -> None:
-        """Return an entry to IDLE once its packet has fully drained.
+    def _release(self, vc: int, entry: OutVCEntry) -> None:
+        """Return a fully-drained entry to IDLE.
 
-        The VC is released when the tail has been sent *and* every credit
-        is back — at that point the downstream buffer is provably empty,
-        so the VC is safe to gate or to hand to a new packet.
+        Called when the tail has been sent *and* every credit is back —
+        at that point the downstream buffer is provably empty, so the VC
+        is safe to gate or to hand to a new packet.  (Callers inline the
+        drain check: it fails on all but the final credit/tail event.)
         """
-        if entry.tail_sent and entry.credits == entry.max_credits:
-            entry.state = OutVCState.IDLE
-            entry.tail_sent = False
-            entry.packet_id = None
-            self.engines[self.vnet_of(vc)].invalidate()
+        entry.state = OutVCState.IDLE
+        entry.tail_sent = False
+        entry.packet_id = None
+        self.engines[self.vnet_of(vc)].invalidate()
 
     # ------------------------------------------------------------------
     # Down_Up link sink

@@ -26,7 +26,11 @@ from repro.noc.arbiter import RoundRobinArbiter
 from repro.noc.input_unit import InputUnit
 from repro.noc.link import Channel
 from repro.noc.output_unit import UpstreamPort
+from repro.noc.policy_api import OutVCState
 from repro.noc.topology import port_name
+
+#: Hot-loop constant for the inlined credit check in phase_sa_st.
+_ACTIVE = OutVCState.ACTIVE
 
 
 @dataclasses.dataclass
@@ -79,6 +83,11 @@ class Router:
         self.total_vcs = num_vcs * num_vnets
         self.input_ports: List[int] = sorted(inputs)
         self.output_ports: List[int] = sorted(outputs)
+        #: Hot-path scan order: (port id, input unit) pairs, saving the
+        #: per-cycle wiring-dict lookups in the VA/SA phases.
+        self._unit_scan: List[Tuple[int, InputUnit]] = [
+            (p, inputs[p].unit) for p in self.input_ports
+        ]
         #: Per-(output port, vnet) count of resident packets still
         #: awaiting VA — the paper's ``is_new_traffic_outport_x()`` in
         #: O(1), kept per message class.
@@ -145,10 +154,16 @@ class Router:
     # ------------------------------------------------------------------
     # Phase 2: VC allocation
     # ------------------------------------------------------------------
-    def phase_va(self, cycle: int) -> None:
+    def phase_va(self, cycle: int) -> bool:
         """Grant at most one downstream VC per (output port, vnet) per
-        cycle, restricted to the requester's own virtual network."""
+        cycle, restricted to the requester's own virtual network.
+
+        Returns True when some request is still pending afterwards (the
+        event-directed engine uses this to keep or drop the router from
+        its VA work set; the dense engine ignores it)."""
         width = self.total_vcs
+        num_inputs = len(self.input_ports)
+        remaining = False
         for port in self.output_ports:
             pending = self.va_pending[port]
             upstream = self.outputs[port].upstream
@@ -156,11 +171,15 @@ class Router:
                 if pending[vnet] <= 0:
                     continue
                 if not upstream.has_allocatable(cycle, vnet):
+                    remaining = True
                     continue
-                requests = [False] * (len(self.input_ports) * width)
-                requesters: Dict[int, Tuple[int, int]] = {}
-                for in_idx, in_port in enumerate(self.input_ports):
-                    for vc, ivc in enumerate(self.inputs[in_port].unit.vcs):
+                requests = [False] * (num_inputs * width)
+                requesters: Dict[int, InputVC] = {}
+                for in_idx, (in_port, unit) in enumerate(self._unit_scan):
+                    if unit.busy_count == 0:
+                        # No resident packet => no VC can want VA here.
+                        continue
+                    for vc, ivc in enumerate(unit.vcs):
                         if (
                             ivc.wants_va
                             and ivc.outport == port
@@ -172,66 +191,93 @@ class Router:
                         ):
                             flat = in_idx * width + vc
                             requests[flat] = True
-                            requesters[flat] = (in_port, vc)
+                            requesters[flat] = ivc
                 granted = self._va_arbiters[(port, vnet)].grant(requests)
                 if granted is None:
+                    remaining = True
                     continue
-                in_port, vc = requesters[granted]
-                ivc = self.inputs[in_port].unit.vcs[vc]
+                ivc = requesters[granted]
                 out_vc = upstream.allocate_vc(cycle, packet_id=ivc.packet_id, vnet=vnet)
                 if out_vc is None:
+                    remaining = True
                     continue
                 ivc.out_vc = out_vc
                 ivc.sa_ready_at = cycle + 1
                 pending[vnet] -= 1
+                if pending[vnet] > 0:
+                    remaining = True
+        return remaining
 
     # ------------------------------------------------------------------
     # Phase 3: switch allocation + switch/link traversal
     # ------------------------------------------------------------------
-    def phase_sa_st(self, cycle: int) -> None:
-        """Move at most one flit per input port and per output port."""
+    def phase_sa_st(self, cycle: int) -> int:
+        """Move at most one flit per input port and per output port.
+
+        Returns the number of flits traversed (the event-directed engine
+        uses 0 as the trigger to re-check whether the router still holds
+        resident packets; the dense engine ignores it)."""
         # Stage 1: each input port nominates one eligible VC.  Ports with
         # no resident packet are skipped outright.
-        nominations: Dict[int, Tuple[int, int]] = {}  # in_port -> (vc, out_port)
+        # in_port -> (vc, out_port, unit)
+        nominations: Dict[int, Tuple[int, int, InputUnit]] = {}
         targeted = set()
-        for in_port in self.input_ports:
-            unit = self.inputs[in_port].unit
+        outputs = self.outputs
+        input_ports = self.input_ports
+        for in_port, unit in self._unit_scan:
             if unit.busy_count == 0:
                 continue
-            requests = [self._sa_eligible(ivc, cycle) for ivc in unit.vcs]
-            if True not in requests:
+            # A VC competes for the switch when it holds an allocated
+            # output VC, its SA hold-off has elapsed, its front flit
+            # arrived on an earlier cycle (BW+RC is stage 1), and the
+            # upstream has a credit.  Cheap disqualifiers run first so
+            # the credit check only fires for real contenders.
+            requests = []
+            any_eligible = False
+            for ivc in unit.vcs:
+                out_vc = ivc.out_vc
+                if out_vc is None or ivc.sa_ready_at > cycle:
+                    requests.append(False)
+                    continue
+                front = ivc.buffer.front()
+                if front is None or front.arrived_cycle >= cycle:
+                    requests.append(False)
+                    continue
+                # Inlined UpstreamPort.can_send (hot: every contender
+                # VC on every SA cycle).
+                entry = outputs[ivc.outport].upstream.entries[out_vc]
+                ok = entry.state is _ACTIVE and entry.credits > 0
+                requests.append(ok)
+                if ok:
+                    any_eligible = True
+            if not any_eligible:
                 continue
             vc = self._sa_input_arbiters[in_port].grant(requests)
             if vc is not None:
                 out_port = unit.vcs[vc].outport
-                nominations[in_port] = (vc, out_port)
+                nominations[in_port] = (vc, out_port, unit)
                 targeted.add(out_port)
+        if not targeted:
+            return 0
         # Stage 2: each targeted output port accepts one nomination.
-        for out_port in sorted(targeted):
+        moved = 0
+        for out_port in targeted if len(targeted) == 1 else sorted(targeted):
             candidates = [
                 p in nominations and nominations[p][1] == out_port
-                for p in self.input_ports
+                for p in input_ports
             ]
             winner_idx = self._sa_output_arbiters[out_port].grant(candidates)
             if winner_idx is None:
                 continue
-            in_port = self.input_ports[winner_idx]
-            vc, _ = nominations[in_port]
-            unit = self.inputs[in_port].unit
+            in_port = input_ports[winner_idx]
+            vc, _, unit = nominations[in_port]
             out_vc = unit.vcs[vc].out_vc
             flit = unit.pop_flit(vc, cycle)
             flit.hops += 1
-            self.outputs[out_port].upstream.send_flit(out_vc, flit, cycle)
+            outputs[out_port].upstream.send_flit(out_vc, flit, cycle)
             self.flits_routed += 1
-
-    def _sa_eligible(self, ivc, cycle: int) -> bool:
-        """Whether an input VC may compete for the switch this cycle."""
-        if ivc.out_vc is None or ivc.sa_ready_at > cycle:
-            return False
-        front = ivc.buffer.front()
-        if front is None or front.arrived_cycle >= cycle:
-            return False
-        return self.outputs[ivc.outport].upstream.can_send(ivc.out_vc)
+            moved += 1
+        return moved
 
     # ------------------------------------------------------------------
     # Phase 4: NBTI aging + sensor sampling

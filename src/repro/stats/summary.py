@@ -69,6 +69,12 @@ class RunningStats:
         total = self.count + other.count
         delta = other._mean - self._mean
         self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        if self._m2 < 0.0:
+            # Catastrophic cancellation on near-identical means can push
+            # the combined sum-of-squares a few ulp below zero, which
+            # would make ``variance`` negative and ``std`` raise on
+            # math.sqrt.  The exact value is non-negative by definition.
+            self._m2 = 0.0
         self._mean += delta * other.count / total
         self.count = total
         if other.min < self.min:

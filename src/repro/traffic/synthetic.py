@@ -121,7 +121,11 @@ class SyntheticTraffic(TrafficGenerator):
         rate = self.packet_rate
         nodes = self.num_nodes
         scanned = 0
-        chunk = 256
+        # Geometric chunks: the expected gap is 1/(1-(1-rate)^nodes)
+        # cycles, usually far below a flat 256, so start small and grow.
+        # Chunking never changes the answer — Generator.random consumes
+        # the stream identically regardless of call boundaries.
+        chunk = 128
         while scanned < horizon:
             n = min(chunk, horizon - scanned)
             hits = np.nonzero((shadow.random((n, nodes)) < rate).any(axis=1))[0]

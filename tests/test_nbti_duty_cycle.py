@@ -53,6 +53,39 @@ class TestDutyCycleCounter:
         c.record(False)
         assert c.snapshot() == (1, 1)
 
+    def test_zero_cycle_record_is_a_no_op(self):
+        # The interval-accounting flush emits zero-length spans at
+        # state-change boundaries; they must not move the tallies or
+        # flip an unobserved counter away from the 100% convention.
+        c = DutyCycleCounter()
+        c.record(True, cycles=0)
+        c.record(False, cycles=0)
+        assert c.snapshot() == (0, 0)
+        assert c.total_cycles == 0
+        assert c.duty_cycle == 100.0
+        c.record(False, cycles=10)
+        c.record(True, cycles=0)
+        assert c.snapshot() == (0, 10)
+        assert c.duty_cycle == 0.0
+
+    def test_reset_after_warmup_restarts_accounting(self):
+        # The scenario runner's warm-up discard: reset must return the
+        # counter to the pristine fully-stressed convention, and the
+        # measured run must then accumulate from zero.
+        c = DutyCycleCounter()
+        for _ in range(100):
+            c.record(True)
+        for _ in range(60):
+            c.record(False)
+        c.reset()
+        assert c.snapshot() == (0, 0)
+        assert c.total_cycles == 0
+        assert c.duty_cycle == 100.0
+        c.record(True, cycles=3)
+        c.record(False, cycles=9)
+        assert c.snapshot() == (3, 9)
+        assert c.duty_cycle == pytest.approx(25.0)
+
     @settings(max_examples=50, deadline=None)
     @given(bits=st.lists(st.booleans(), min_size=1, max_size=200))
     def test_duty_cycle_always_in_range(self, bits):
@@ -101,6 +134,19 @@ class TestWindowedDutyCycle:
         for _ in range(4):
             w.record(False)
         assert w.duty_cycle == 0.0
+
+    def test_window_exactly_full(self):
+        # The boundary where eviction starts: samples == window must
+        # report the exact duty of the window contents, and the very
+        # next push must evict the oldest bit.
+        w = WindowedDutyCycle(4)
+        for bit in (True, False, True, True):
+            w.record(bit)
+        assert w.samples == w.window == 4
+        assert w.duty_cycle == pytest.approx(75.0)
+        w.record(False)  # evicts the leading True
+        assert w.samples == 4
+        assert w.duty_cycle == pytest.approx(50.0)
 
     @settings(max_examples=40, deadline=None)
     @given(

@@ -1,0 +1,412 @@
+"""Differential tests: the struct-of-arrays engine vs the per-object oracle.
+
+The SoA engine (``repro.noc.soa``) promises *bit-identical* simulation:
+any observable difference from the seed's per-object stepped engine is a
+bug by definition.  These tests enforce that contract four ways:
+
+* **Directed cases** — one case per recovery policy, plus regression
+  pins for the configurations that diverged during engine bring-up
+  (same-cycle channel-event ordering with 4 VCs, the cycle-0
+  injection-scout sentinel at zero rate, non-unit wake/link latency,
+  multi-vnet scheduling, short sensor sample periods).
+* **Three-way engine equality** — stepped vs fast-forward vs SoA must
+  agree on the full state fingerprint.
+* **Scenario-level identity** — ``run_scenario`` must serialize to
+  byte-identical JSON under the SoA and stepped engines for every
+  policy.
+* **Randomized fuzz** (``-m slow``) — a seeded cross-engine sweep over
+  policies x traffic patterns x topologies x micro-architecture knobs.
+
+The fingerprint intentionally reaches into private state: it must
+capture *everything* that can influence future behavior (arbiter
+pointers, credit counts, NBTI anchors, sensor readings, RNG position),
+not just the public statistics, so a divergence is caught near the
+cycle it happens instead of thousands of cycles later.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.core import ALL_POLICIES
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+from repro.noc.network import Network
+from repro.traffic.synthetic import HotspotTraffic, SyntheticTraffic
+
+from tests.conftest import build_small_network
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def forced_engine(mode):
+    """Pin ``Network.force_engine`` for the duration of a run."""
+    Network.force_engine = mode
+    try:
+        yield
+    finally:
+        Network.force_engine = None
+
+
+def fingerprint(net: Network) -> dict:
+    """Every piece of state that can influence future behavior."""
+    fp = {"cycle": net.cycle}
+    for r in net.routers:
+        rid = r.router_id
+        fp[f"r{rid}.va_pending"] = {p: list(v) for p, v in r.va_pending.items()}
+        fp[f"r{rid}.flits_routed"] = r.flits_routed
+        for (p, vn), arb in r._va_arbiters.items():
+            fp[f"r{rid}.va_arb.{p}.{vn}"] = arb.pointer
+        for p, arb in r._sa_input_arbiters.items():
+            fp[f"r{rid}.sa_in.{p}"] = arb.pointer
+        for p, arb in r._sa_output_arbiters.items():
+            fp[f"r{rid}.sa_out.{p}"] = arb.pointer
+        for p in r.input_ports:
+            u = r.inputs[p].unit
+            fp[f"r{rid}.in{p}.busy"] = u.busy_count
+            fp[f"r{rid}.in{p}.rx"] = u.flits_received
+            for i, ivc in enumerate(u.vcs):
+                b = ivc.buffer
+                fp[f"r{rid}.in{p}.vc{i}"] = (
+                    ivc.busy, ivc.outport, ivc.out_vc, ivc.sa_ready_at,
+                    len(b), b.state.name, b._nbti_anchor,
+                    b.device.counter.snapshot() if b.device else None,
+                )
+            bank = u.sensor_bank
+            if bank is not None:
+                fp[f"r{rid}.in{p}.bank"] = (
+                    bank.last_sample_cycle, tuple(bank.readings)
+                )
+        for p in r.output_ports:
+            up = r.outputs[p].upstream
+            for vc, e in enumerate(up.entries):
+                fp[f"r{rid}.out{p}.vc{vc}"] = (
+                    e.state.name, e.credits, e.gated, e.available_at,
+                    e.packet_id,
+                )
+            for e in up.engines:
+                fp[f"r{rid}.out{p}.eng{e.vnet}"] = (
+                    e.new_traffic, e.most_degraded_vc, e.md_updated_cycle,
+                    e.faulted, e._ctx_version, e._alloc_arbiter.pointer,
+                )
+    for ni in net.interfaces:
+        fp[f"ni{ni.node_id}.src"] = [len(q) for q in ni.source_queues]
+        fp[f"ni{ni.node_id}.send"] = [len(q) for q in ni._send_queues]
+        fp[f"ni{ni.node_id}.stats"] = (
+            ni.packets_injected, ni.packets_ejected,
+            ni.flits_injected, ni.flits_ejected,
+        )
+        up = ni.injection_port
+        for vc, e in enumerate(up.entries):
+            fp[f"ni{ni.node_id}.vc{vc}"] = (
+                e.state.name, e.credits, e.gated, e.available_at, e.packet_id
+            )
+        for e in up.engines:
+            fp[f"ni{ni.node_id}.eng{e.vnet}"] = (
+                e.new_traffic, e.most_degraded_vc, e.md_updated_cycle,
+                e.faulted, e._ctx_version, e._alloc_arbiter.pointer,
+            )
+    # Flit has identity equality only, so in-flight items compare by repr.
+    for i, ch in enumerate(net._all_channels):
+        fp[f"chan{i}"] = [(due, repr(item)) for due, item in ch._queue]
+    if net.traffic is not None and hasattr(net.traffic, "_rng"):
+        fp["rng"] = str(net.traffic._rng.bit_generator.state)
+    return fp
+
+
+def diff(a: dict, b: dict) -> list:
+    """Keys on which two fingerprints disagree, with both values."""
+    out = []
+    for k in sorted(set(a) | set(b)):
+        if a.get(k) != b.get(k):
+            out.append((k, a.get(k), b.get(k)))
+    return out
+
+
+def run_with_engine(mode, policy, rate, cycles, seed,
+                    segments=4, traffic=None, **config_kwargs) -> Network:
+    """Build and run one network with the engine pinned.
+
+    The run is split into segments so the engines are also exercised
+    mid-stream: resuming from an arbitrary cycle must not change the
+    outcome (the SoA engine re-attaches its work sets from live object
+    state on every ``run`` call).
+    """
+    with forced_engine(mode):
+        net = build_small_network(
+            policy=policy, flit_rate=rate, seed=seed, traffic=traffic,
+            **config_kwargs,
+        )
+        seg = cycles // segments
+        for _ in range(segments):
+            net.run(seg)
+        net.run(cycles - seg * segments)
+        net.flush_nbti()
+    return net
+
+
+def assert_engines_agree(policy, rate, cycles, seed,
+                         engines=("stepped", "soa"), **kw):
+    prints = {
+        mode: fingerprint(
+            run_with_engine(mode, policy, rate, cycles, seed, **kw)
+        )
+        for mode in engines
+    }
+    reference = engines[0]
+    for mode in engines[1:]:
+        divergences = diff(prints[reference], prints[mode])
+        assert not divergences, (
+            f"{reference} and {mode} engines diverged on "
+            f"{len(divergences)} state keys; first few: "
+            + "; ".join(
+                f"{k}: {reference}={va!r} {mode}={vb!r}"
+                for k, va, vb in divergences[:5]
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Directed cases (default tier)
+# ----------------------------------------------------------------------
+#: (id, policy, rate, cycles, seed, config kwargs).  The first block is
+#: one case per recovery policy; the second block pins configurations
+#: that produced cross-engine divergences during bring-up.
+DIRECTED_CASES = [
+    ("sensor_wise_quiet", "sensor-wise", 0.02, 3000, 7, {}),
+    ("sensor_wise_loaded", "sensor-wise", 0.2, 1500, 7, {}),
+    ("baseline", "baseline", 0.05, 2000, 3, {}),
+    ("rr_no_sensor", "rr-no-sensor", 0.05, 2000, 3, {}),
+    ("rr_no_sensor_no_traffic", "rr-no-sensor-no-traffic", 0.05, 2000, 3, {}),
+    ("sensor_wise_no_traffic", "sensor-wise-no-traffic", 0.05, 2000, 3, {}),
+    ("static_reserve", "static-reserve", 0.05, 2000, 3, {}),
+    # Zero injection rate: pins the injection-scout sentinel (an
+    # uninitialized next-injection cycle of 0 falsely fired at cycle 0).
+    ("zero_rate_idle", "sensor-wise", 0.0, 2000, 1, {}),
+    # 3x3 mesh: pins multi-hop XY routes where same-cycle data and
+    # credit events interleave across routers.
+    ("nine_node_mesh", "sensor-wise", 0.02, 2500, 5, {"num_nodes": 9}),
+    # 4 VCs: pins the ordering of same-cycle channel events popped from
+    # the SoA heap (must replay in the stepped engine's phase order).
+    ("four_vcs", "rr-no-sensor", 0.1, 1500, 5, {"num_vcs": 4}),
+    # Non-unit wake and link latency: pins power-gating wake ticks that
+    # span quiescence-jump boundaries.
+    ("slow_wake_slow_links", "sensor-wise", 0.1, 1500, 9,
+     {"wake_latency": 3, "link_latency": 2}),
+    # Two vnets with single-flit packets: pins per-vnet policy engines
+    # and head==tail flits (allocate and release on the same cycle).
+    ("two_vnets_single_flit", "sensor-wise", 0.1, 1500, 11,
+     {"num_vnets": 2, "num_vcs": 4, "packet_length": 1}),
+    # Short sample period: pins the synchronized NBTI sample schedule
+    # (flush anchors must land exactly on sample cycles).
+    ("short_sample_period", "sensor-wise", 0.05, 1500, 13,
+     {"sensor_sample_period": 64}),
+]
+
+
+@pytest.mark.parametrize(
+    "policy, rate, cycles, seed, kw",
+    [case[1:] for case in DIRECTED_CASES],
+    ids=[case[0] for case in DIRECTED_CASES],
+)
+def test_soa_matches_stepped(policy, rate, cycles, seed, kw):
+    assert_engines_agree(policy, rate, cycles, seed, **kw)
+
+
+def test_hotspot_traffic_matches():
+    """Hotspot destinations draw extra RNG values per injection, so the
+    SoA traffic scout must replay the exact stream order."""
+    def mk_traffic():
+        return HotspotTraffic(9, flit_rate=0.1, hotspots=[4],
+                              packet_length=4, seed=23)
+
+    prints = {}
+    for mode in ("stepped", "soa"):
+        net = run_with_engine(mode, "sensor-wise", 0.1, 1800, 23,
+                              num_nodes=9, traffic=mk_traffic())
+        prints[mode] = fingerprint(net)
+    assert not diff(prints["stepped"], prints["soa"])
+
+
+def test_three_engines_agree():
+    """stepped, fast-forward and SoA all produce the same fingerprint."""
+    assert_engines_agree("sensor-wise", 0.02, 2400, 7,
+                         engines=("stepped", "fast", "soa"))
+
+
+def test_force_soa_rejects_ineligible_network():
+    """force_engine='soa' must fail loudly when the network cannot use
+    the SoA engine rather than silently falling back."""
+    with forced_engine("soa"):
+        net = build_small_network()
+        net.use_per_cycle_nbti()
+        with pytest.raises(RuntimeError, match="not SoA-eligible"):
+            net.run(10)
+
+
+def test_auto_selection_prefers_soa_when_eligible():
+    """The default engine choice (force_engine=None) must agree with an
+    explicit SoA run and with the stepped oracle."""
+    nets = {}
+    for mode in (None, "soa", "stepped"):
+        with forced_engine(mode):
+            net = build_small_network(flit_rate=0.05, seed=3)
+            net.run(1500)
+            net.flush_nbti()
+        nets[mode] = fingerprint(net)
+    assert not diff(nets[None], nets["soa"])
+    assert not diff(nets[None], nets["stepped"])
+
+
+# ----------------------------------------------------------------------
+# Scenario-level identity (default tier)
+# ----------------------------------------------------------------------
+def scenario_payload(result) -> str:
+    """A ScenarioResult as canonical JSON (host timings excluded)."""
+    return json.dumps({
+        "scenario": dataclasses.asdict(result.scenario),
+        "iteration": result.iteration,
+        "duty_cycles": result.duty_cycles,
+        "md_vc": result.md_vc,
+        "port_duty": {
+            f"{r}.{p}": d for (r, p), d in sorted(result.port_duty.items())
+        },
+        "initial_vths": result.initial_vths,
+        "port_initial_vths": {
+            f"{r}.{p}": v
+            for (r, p), v in sorted(result.port_initial_vths.items())
+        },
+        "net_stats": dataclasses.asdict(result.net_stats),
+        "violations": result.violations,
+    }, sort_keys=True)
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_scenario_result_identity(policy):
+    scenario = ScenarioConfig(
+        num_nodes=4, num_vcs=2, injection_rate=0.1, policy=policy,
+        traffic="uniform", cycles=1200, warmup=200, seed=1,
+    )
+    payloads = {}
+    for mode in ("soa", "stepped"):
+        with forced_engine(mode):
+            payloads[mode] = scenario_payload(run_scenario(scenario))
+    assert payloads["soa"] == payloads["stepped"]
+
+
+# ----------------------------------------------------------------------
+# Golden bytes under the SoA engine (default tier)
+# ----------------------------------------------------------------------
+GOLDEN = pathlib.Path(__file__).parent / "data"
+
+
+def test_table3_golden_bytes_under_soa(tmp_path):
+    """The seed's Table 3 golden was produced by the stepped engine; the
+    SoA engine must reproduce it byte for byte.  Because the bytes are
+    unchanged, the experiment cache schema stays at version 4 — bump it
+    only if an engine change ever alters results on purpose."""
+    from repro.experiments.parallel import CACHE_SCHEMA_VERSION
+    from repro.experiments.persistence import save_synthetic_table
+    from repro.experiments.tables import run_synthetic_table
+
+    assert CACHE_SCHEMA_VERSION == 4
+    with forced_engine("soa"):
+        table = run_synthetic_table(
+            num_vcs=2, arches=(4,), rates=(0.1, 0.2),
+            cycles=800, warmup=200, seed=1,
+        )
+    out = tmp_path / "table3.json"
+    save_synthetic_table(table, out)
+    golden = (GOLDEN / "table3_small_golden.json").read_bytes()
+    assert out.read_bytes() == golden
+
+
+def test_fault_campaign_golden_bytes_with_auto_selection():
+    """Fault campaigns inject sensor faults and validate invariants
+    mid-run, which makes their networks SoA-ineligible — the automatic
+    engine selection must fall back to dense stepping and leave the
+    campaign report byte-identical to the seed golden."""
+    from repro.faults.campaign import FaultCampaignConfig, run_fault_campaign
+
+    config = FaultCampaignConfig(
+        num_nodes=4, num_vcs=2, injection_rate=0.1,
+        cycles=300, warmup=100, seed=1, sensor_sample_period=32,
+        kinds=("sensor-dropout", "up-down-drop"),
+        fault_rates=(0.0, 1.0),
+        policies=("rr-no-sensor", "sensor-wise"),
+        validate_every=16,
+    )
+    with forced_engine("auto"):
+        report = run_fault_campaign(config)
+    golden = (GOLDEN / "fault_campaign_small_golden.json").read_text()
+    assert report.to_json() == golden
+
+
+# ----------------------------------------------------------------------
+# Randomized cross-engine fuzz (slow tier: pytest -m slow)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_fuzz_soa_vs_stepped():
+    """Seeded sweep over policies, patterns, topologies and
+    micro-architecture knobs.  Any divergence prints the drawn
+    configuration so it can be minimized into a directed pin above."""
+    rng = random.Random(20130318)  # the paper's conference date
+    patterns = ["uniform", "transpose", "neighbor", "bit_complement",
+                "hotspot"]
+    failures = []
+    for trial in range(25):
+        policy = rng.choice(ALL_POLICIES)
+        pattern = rng.choice(patterns)
+        nodes = rng.choice([4, 16]) if pattern == "bit_complement" \
+            else rng.choice([4, 9, 16])
+        rate = rng.choice([0.0, 0.005, 0.02, 0.1, 0.3])
+        cycles = rng.choice([800, 1500, 2600])
+        segments = rng.choice([1, 3, 5])
+        seed = rng.randint(0, 10_000)
+        cfg = dict(
+            num_vcs=rng.choice([2, 4]),
+            num_vnets=rng.choice([1, 1, 2]),
+            buffer_depth=rng.choice([2, 4]),
+            packet_length=rng.choice([1, 4]),
+            link_latency=rng.choice([1, 2]),
+            wake_latency=rng.choice([0, 1, 3]),
+            sensor_sample_period=rng.choice([64, 256, 1024]),
+        )
+
+        def mk_traffic():
+            if rate == 0.0:
+                return None
+            if pattern == "hotspot":
+                return HotspotTraffic(
+                    nodes, flit_rate=rate, hotspots=[nodes // 2],
+                    packet_length=cfg["packet_length"], seed=seed,
+                )
+            return SyntheticTraffic(
+                pattern, nodes, flit_rate=rate,
+                packet_length=cfg["packet_length"], seed=seed,
+            )
+
+        tag = (f"[{trial}] {policy}/{pattern} n={nodes} r={rate} "
+               f"c={cycles} seg={segments} seed={seed} {cfg}")
+        prints = {}
+        for mode in ("stepped", "soa"):
+            net = run_with_engine(
+                mode, policy, rate, cycles, seed, segments=segments,
+                num_nodes=nodes, traffic=mk_traffic(), **cfg,
+            )
+            prints[mode] = fingerprint(net)
+        divergences = diff(prints["stepped"], prints["soa"])
+        if divergences:
+            failures.append(
+                f"{tag}: {len(divergences)} keys, first "
+                f"{divergences[0]!r}"
+            )
+    assert not failures, "cross-engine divergences:\n" + "\n".join(failures)

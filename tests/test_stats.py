@@ -80,6 +80,47 @@ class TestRunningStats:
         assert a.mean == pytest.approx(2.0)
         assert a.min == 1.0 and a.max == 3.0
 
+    def test_merge_clamps_cancellation_to_zero_variance(self):
+        # Chan's combination can drive the sum-of-squares a few ulp
+        # below zero when the merged means are nearly identical.  The
+        # hazard is not reachable through add/extend alone (single
+        # streams keep _m2 exact), so inject the residue of a prior
+        # lossy merge directly and check the clamp holds.
+        a = RunningStats()
+        a.extend([0.1])
+        a._m2 = -4e-17
+        b = RunningStats()
+        b.extend([0.1])
+        a.merge(b)
+        assert a.variance >= 0.0
+        assert a.std == 0.0  # sqrt must not raise on a negative m2
+
+    @given(
+        chunks=st.lists(
+            st.lists(FLOATS, min_size=0, max_size=20),
+            min_size=2, max_size=5,
+        )
+    )
+    def test_merge_order_invariance(self, chunks):
+        def fold(order):
+            acc = RunningStats()
+            for chunk in order:
+                part = RunningStats()
+                part.extend(chunk)
+                acc.merge(part)
+            return acc
+
+        forward = fold(chunks)
+        backward = fold(reversed(chunks))
+        assert forward.count == backward.count
+        assert forward.variance >= 0.0
+        assert backward.variance >= 0.0
+        assert forward.mean == pytest.approx(backward.mean, rel=1e-9, abs=1e-6)
+        assert forward.std == pytest.approx(backward.std, rel=1e-6, abs=1e-6)
+        if forward.count:
+            assert forward.min == backward.min
+            assert forward.max == backward.max
+
 
 class TestVectorStats:
     def test_per_component_moments(self):
