@@ -18,7 +18,11 @@ Examples
     repro-noc metrics --cycles 2000 --json m.json    # metrics-only telemetry
     repro-noc campaign --checkpoint-dir out/         # crash-safe campaign
     repro-noc campaign --resume out/                 # pick up where it died
+    repro-noc campaign --workers 4                   # 4 loopback lease workers
+    repro-noc serve --checkpoint-dir out/            # coordinator on :8765
+    repro-noc worker --connect HOST:8765             # join from another host
     repro-noc cache verify --cache-dir .repro-cache  # scan cache for rot
+    repro-noc cache verify --checkpoint-dir out/     # scan journal for rot
 
 Pass ``-v``/``-q`` (before the subcommand, repeatable) to raise or
 lower stderr diagnostic verbosity; artifact output on stdout is
@@ -62,7 +66,9 @@ def _jobs_count(text: str) -> int:
     return value
 
 
-def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+def _add_exec_args(
+    parser: argparse.ArgumentParser, serve_port: Optional[int] = None
+) -> None:
     parser.add_argument(
         "--jobs", type=_jobs_count, default=1, metavar="N",
         help="parallel worker processes (0 = auto-detect, 1 = serial)",
@@ -80,6 +86,56 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="collect per-scenario timing distributions into the summary",
     )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="distributed execution: spawn N loopback 'repro-noc worker' "
+        "processes and shard scenarios to them over lease-based HTTP "
+        "(survives worker crashes; results byte-identical to serial)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=serve_port, metavar="PORT",
+        help="listen for external 'repro-noc worker --connect' processes "
+        "on this port (0 = ephemeral; implies distributed execution)"
+        + (" [default: %(default)s]" if serve_port is not None else ""),
+    )
+    parser.add_argument(
+        "--bind", default="127.0.0.1", metavar="HOST",
+        help="coordinator bind address (default loopback; bind 0.0.0.0 "
+        "to accept workers from other hosts)",
+    )
+    parser.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the coordinator's bound host:port here (for scripts "
+        "using --port 0)",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="seconds without a heartbeat before a worker's scenario "
+        "lease expires and is reassigned",
+    )
+
+
+def _make_distributed(args: argparse.Namespace):
+    """DistributedSpec from --workers/--port (None = run locally)."""
+    workers = getattr(args, "workers", 0)
+    port = getattr(args, "port", None)
+    if workers == 0 and port is None:
+        return None
+    from repro.experiments.distributed import DistributedSpec
+
+    return DistributedSpec(
+        bind=args.bind,
+        port=port if port is not None else 0,
+        local_workers=workers,
+        lease_timeout=args.lease_timeout,
+        port_file=args.port_file,
+    )
+
+
+def _close_executor(executor) -> None:
+    """Stop an executor's embedded coordinator/workers (idempotent)."""
+    if executor is not None:
+        executor.close()
 
 
 def _add_resume_arg(parser: argparse.ArgumentParser) -> None:
@@ -91,6 +147,15 @@ def _add_resume_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+# ``serve`` is ``campaign`` with a coordinator port: their checkpoints
+# are interchangeable, so journals record the canonical command name.
+_META_COMMAND = {"serve": "campaign"}
+
+
+def _meta_command(args: argparse.Namespace) -> str:
+    return _META_COMMAND.get(args.command, args.command)
+
+
 def _make_checkpoint(args: argparse.Namespace, config_blob):
     """CheckpointManager from --resume/--checkpoint-dir (or ``None``).
 
@@ -100,17 +165,18 @@ def _make_checkpoint(args: argparse.Namespace, config_blob):
     """
     from repro.experiments.checkpoint import CheckpointError, CheckpointManager
 
+    command = _meta_command(args)
     resume = getattr(args, "resume", None)
     if resume is not None:
         meta = CheckpointManager.load_meta(resume)
-        if meta.get("command") != args.command:
+        if _META_COMMAND.get(meta.get("command"), meta.get("command")) != command:
             raise CheckpointError(
                 f"{resume} holds a {meta.get('command')!r} checkpoint, "
-                f"not {args.command!r}"
+                f"not {command!r}"
             )
         return CheckpointManager(resume, meta=meta)
     if getattr(args, "checkpoint_dir", None) is not None:
-        meta = {"command": args.command, "config": config_blob}
+        meta = {"command": command, "config": config_blob}
         return CheckpointManager(args.checkpoint_dir, meta=meta)
     return None
 
@@ -125,6 +191,7 @@ def _make_executor(args: argparse.Namespace, checkpoint=None):
         progress=log.info,
         profile=getattr(args, "profile", False),
         checkpoint=checkpoint,
+        distributed=_make_distributed(args),
     )
     return executor
 
@@ -199,6 +266,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_resume_arg(pcamp)
 
+    pserve = sub.add_parser(
+        "serve",
+        help="distributed campaign coordinator: 'campaign' that listens "
+        "for repro-noc worker processes (port default 8765)",
+    )
+    _add_sim_args(pserve, cycles=12_000)
+    _add_exec_args(pserve, serve_port=8765)  # DEFAULT_PORT
+    pserve.add_argument("--iterations", type=int, default=10)
+    pserve.add_argument("--out", default="campaign_report.md", help="markdown report path")
+    pserve.add_argument("--json-dir", default=None, help="also persist tables as JSON here")
+    pserve.add_argument(
+        "--skip-real", action="store_true",
+        help="skip the Table IV benchmark-mix runs (the slowest part)",
+    )
+    _add_resume_arg(pserve)
+
+    pworker = sub.add_parser(
+        "worker",
+        help="lease scenarios from a coordinator ('serve' or --port/--workers "
+        "run) until it shuts down",
+    )
+    pworker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address, e.g. 127.0.0.1:8765",
+    )
+    pworker.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="stable identity for lease accounting (default: hostname-pid)",
+    )
+    pworker.add_argument(
+        "--poll", type=float, default=1.0, metavar="SECONDS",
+        help="idle poll interval while the coordinator has no work",
+    )
+    pworker.add_argument(
+        "--max-errors", type=int, default=30, metavar="N",
+        help="exit 1 after this many consecutive connection failures",
+    )
+
     psweep = sub.add_parser("sweep", help="injection-rate sweep with CSV export")
     _add_sim_args(psweep, cycles=10_000)
     _add_exec_args(psweep)
@@ -272,8 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="scan every cache entry (and orphaned temp files) and report rot",
     )
     pverify.add_argument(
-        "--cache-dir", required=True, metavar="DIR",
+        "--cache-dir", default=None, metavar="DIR",
         help="cache directory to scan",
+    )
+    pverify.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="also verify this checkpoint directory's scenario journal "
+        "(header digest, per-record CRC, torn tail)",
     )
 
     psim = sub.add_parser("simulate", help="run one scenario and print a summary")
@@ -359,6 +469,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "worker":
+        from repro.experiments.distributed import run_worker
+
+        return run_worker(
+            args.connect,
+            worker_id=args.worker_id,
+            poll=args.poll,
+            max_errors=args.max_errors,
+        )
+
     if args.command == "setup":
         from repro.experiments.config import format_experimental_setup
 
@@ -383,6 +503,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     seed=args.seed, executor=executor,
                 )
         finally:
+            _close_executor(executor)
             if checkpoint is not None:
                 checkpoint.close()
         emit(table.format())
@@ -409,6 +530,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     executor=executor,
                 )
         finally:
+            _close_executor(executor)
             if checkpoint is not None:
                 checkpoint.close()
         emit(table.format())
@@ -446,7 +568,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         emit(run_cooperation_gain(scenario).format())
         return 0
 
-    if args.command == "campaign":
+    if args.command in ("campaign", "serve"):
         import dataclasses
 
         from repro.experiments.campaign import CampaignConfig, run_campaign
@@ -471,6 +593,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     executor=executor, checkpoint=checkpoint,
                 )
         finally:
+            _close_executor(executor)
             if checkpoint is not None:
                 checkpoint.close()
         emit(result.to_markdown())
@@ -503,6 +626,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     rates, policies=policies, base=base, executor=executor
                 )
         finally:
+            _close_executor(executor)
             if checkpoint is not None:
                 checkpoint.close()
         emit(sweep.format())
@@ -567,6 +691,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             progress=log.info,
             profile=args.profile,
             checkpoint=checkpoint,
+            distributed=_make_distributed(args),
         )
         try:
             with graceful_shutdown(executor, notify=log.warning):
@@ -574,6 +699,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     config, executor=executor, checkpoint=checkpoint
                 )
         finally:
+            _close_executor(executor)
             if checkpoint is not None:
                 checkpoint.close()
         emit(report.to_markdown())
@@ -588,17 +714,30 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 1 if failed == len(report.rows) else 0
 
     if args.command == "cache":
-        from repro.experiments.parallel import ResultCache
-
         if args.cache_command == "verify":
-            cache = ResultCache(args.cache_dir)
-            verdict = cache.verify()
-            emit(verdict.summary())
-            for name in verdict.corrupt:
-                log.warning("corrupt entry: %s", name)
-            for name in verdict.orphan_tmp:
-                log.warning("orphaned temp file: %s", name)
-            return 0 if verdict.clean else 1
+            if args.cache_dir is None and args.checkpoint_dir is None:
+                log.error("cache verify needs --cache-dir and/or --checkpoint-dir")
+                return 2
+            clean = True
+            if args.cache_dir is not None:
+                from repro.experiments.parallel import ResultCache
+
+                verdict = ResultCache(args.cache_dir).verify()
+                emit(verdict.summary())
+                for name in verdict.corrupt:
+                    log.warning("corrupt entry: %s", name)
+                for name in verdict.orphan_tmp:
+                    log.warning("orphaned temp file: %s", name)
+                clean = clean and verdict.clean
+            if args.checkpoint_dir is not None:
+                from repro.experiments.checkpoint import verify_journal
+
+                report = verify_journal(args.checkpoint_dir)
+                emit(report.summary())
+                for line in report.torn:
+                    log.warning("journal damage: %s", line)
+                clean = clean and report.clean
+            return 0 if clean else 1
         raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
     if args.command == "simulate":

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import base64
 import contextlib
+import dataclasses
 import hashlib
 import json
 import os
@@ -48,7 +49,7 @@ import signal
 import tempfile
 import zlib
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.version import __version__
 from repro.telemetry.log import get_logger
@@ -331,6 +332,171 @@ class ScenarioJournal:
         return len(self.results)
 
 
+@dataclasses.dataclass
+class JournalVerifyReport:
+    """Outcome of :func:`verify_journal` (``cache verify --checkpoint-dir``).
+
+    ``torn`` carries one ``"line N: reason"`` entry per unreadable
+    record; ``torn_tail`` is true when the damage is confined to the
+    final line (the signature of a SIGKILL mid-append — recoverable,
+    but still rot worth knowing about before a week-long resume).
+    """
+
+    path: Path
+    header_ok: bool
+    header_error: Optional[str]
+    total: int
+    ok: int
+    torn: List[str]
+    missing_final_newline: bool
+
+    @property
+    def torn_tail(self) -> bool:
+        if not self.torn:
+            return self.missing_final_newline
+        last_line = 1 + self.total  # header + result lines
+        return len(self.torn) == 1 and self.torn[0].startswith(f"line {last_line}:")
+
+    @property
+    def clean(self) -> bool:
+        return self.header_ok and not self.torn and not self.missing_final_newline
+
+    def summary(self) -> str:
+        if not self.header_ok:
+            return f"{self.path}: unreadable header ({self.header_error})"
+        line = f"{self.path}: {self.ok}/{self.total} records valid"
+        if self.torn:
+            kind = "torn tail" if self.torn_tail else f"{len(self.torn)} torn record(s)"
+            line += f", {kind}"
+        if self.missing_final_newline:
+            line += ", missing final newline"
+        return line
+
+
+def _record_error(line: str) -> str:
+    """Why a journal line failed :func:`_decode_record` (verify detail)."""
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return "not valid JSON (torn write)"
+    if not isinstance(record, dict) or record.get("type") != "result":
+        return f"not a result record (type={record.get('type') if isinstance(record, dict) else None!r})"
+    key, crc, payload = record.get("key"), record.get("crc"), record.get("payload")
+    if not isinstance(key, str) or not isinstance(crc, int) or not isinstance(payload, str):
+        return "malformed record fields"
+    try:
+        blob = base64.b64decode(payload.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError):
+        return "payload is not valid base64"
+    if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+        return "CRC mismatch"
+    try:
+        result = pickle.loads(blob)
+    except Exception:  # noqa: BLE001 - arbitrary bytes fail arbitrarily
+        return "payload does not unpickle"
+    if not isinstance(result, ScenarioResult):
+        return f"payload is a {type(result).__name__}, not a ScenarioResult"
+    return "undiagnosed"
+
+
+def verify_journal(path: PathLike) -> JournalVerifyReport:
+    """Scan one scenario journal: header shape + per-record CRC.
+
+    Structural verification only — the header digest is checked for
+    *presence and shape*, not recomputed against the current code
+    version (an old journal is valid history, not rot; resume-time
+    compatibility gating is :class:`ScenarioJournal`'s job).  Exit-1
+    rot, by contrast, is anything replay would silently skip: torn
+    tails, CRC failures, undecodable records.
+
+    ``path`` may be the journal file itself or a checkpoint directory
+    (resolved via :attr:`ScenarioJournal.FILENAME`).
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / ScenarioJournal.FILENAME
+    if not path.exists():
+        raise CheckpointError(f"no scenario journal at {path}")
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    missing_newline = bool(raw) and not raw.endswith(b"\n")
+    lines = raw.decode("utf-8", errors="replace").splitlines()
+    if not lines:
+        return JournalVerifyReport(
+            path=path, header_ok=False, header_error="empty file",
+            total=0, ok=0, torn=[], missing_final_newline=False,
+        )
+    header_ok, header_error = True, None
+    try:
+        header = json.loads(lines[0])
+        if not isinstance(header, dict) or header.get("type") != "header":
+            header_ok, header_error = False, "first line is not a header record"
+        elif not isinstance(header.get("config_digest"), str) or len(
+            header["config_digest"]
+        ) != 64:
+            header_ok, header_error = False, "header carries no config digest"
+        elif not isinstance(header.get("journal_schema"), int):
+            header_ok, header_error = False, "header carries no journal schema"
+    except ValueError:
+        header_ok, header_error = False, "first line is not valid JSON"
+    total = ok = 0
+    torn: List[str] = []
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        total += 1
+        if _decode_record(line) is not None:
+            ok += 1
+        else:
+            torn.append(f"line {number}: {_record_error(line)}")
+    return JournalVerifyReport(
+        path=path, header_ok=header_ok, header_error=header_error,
+        total=total, ok=ok, torn=torn,
+        missing_final_newline=missing_newline,
+    )
+
+
+#: Bounds applied to worker tracebacks persisted in failure records, so
+#: a crash-looping worker cannot balloon ``campaign.state.json``.
+TRACEBACK_MAX_FRAMES = 30
+TRACEBACK_MAX_BYTES = 8192
+
+
+def bound_traceback(
+    text: Optional[str],
+    max_frames: int = TRACEBACK_MAX_FRAMES,
+    max_bytes: int = TRACEBACK_MAX_BYTES,
+) -> Optional[str]:
+    """Clamp a formatted traceback to its most recent frames and a
+    byte budget (the frames nearest the raise are the diagnostic ones).
+    """
+    if text is None:
+        return None
+    lines = text.splitlines()
+    frame_starts = [
+        index for index, line in enumerate(lines)
+        if line.lstrip().startswith("File ")
+    ]
+    if len(frame_starts) > max_frames:
+        keep_from = frame_starts[len(frame_starts) - max_frames]
+        head = lines[:1] if lines and not lines[0].lstrip().startswith("File ") else []
+        elided = len(frame_starts) - max_frames
+        lines = head + [f"... {elided} frame(s) elided ..."] + lines[keep_from:]
+    clamped = "\n".join(lines)
+    if text.endswith("\n"):
+        clamped += "\n"
+    encoded = clamped.encode("utf-8")
+    if len(encoded) > max_bytes:
+        marker = "... truncated ...\n"
+        budget = max_bytes - len(marker.encode("utf-8"))
+        tail = encoded[-budget:].decode("utf-8", errors="ignore")
+        newline = tail.find("\n")
+        if 0 <= newline < len(tail) - 1:
+            tail = tail[newline + 1:]
+        clamped = marker + tail
+    return clamped
+
+
 def _dump_record(record: Dict[str, Any]) -> str:
     return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
 
@@ -489,7 +655,8 @@ def _failure_to_dict(failure: object) -> Dict[str, Any]:
         "message": getattr(failure, "message", str(failure)),
         "attempts": getattr(failure, "attempts", None),
         "timed_out": getattr(failure, "timed_out", None),
-        "traceback": getattr(failure, "traceback", None),
+        # Bounded: a crash-looping worker must not balloon the state file.
+        "traceback": bound_traceback(getattr(failure, "traceback", None)),
     }
 
 

@@ -1,0 +1,56 @@
+"""Fault-tolerant distributed campaign execution.
+
+A coordinator/worker architecture sharding campaigns across hosts over
+a minimal HTTP/JSON protocol, engineered first for fault tolerance:
+lease-based work assignment with heartbeats and deadline expiry,
+idempotent result commits through the write-ahead scenario journal
+(journal-as-replication-log — ``--resume`` and crash-safety compose
+for free), seeded-jitter backoff on reassignment, and quarantine of
+poison scenarios that fail on several distinct workers.
+
+Modules
+-------
+``protocol``
+    Wire format: JSON endpoints, CRC-guarded pickle payloads,
+    :class:`~repro.experiments.distributed.protocol.DistributedSpec`.
+``lease``
+    The coordinator's authoritative lease table (grant / heartbeat /
+    complete / fail / expire state machine).
+``coordinator``
+    Embedded HTTP server + durable commit pipeline + loopback worker
+    spawning; feeds the executor's event loop.
+``worker``
+    The ``repro-noc worker`` loop: lease, heartbeat, execute, report.
+
+Entry points: ``Executor(distributed=DistributedSpec(...))`` (or
+``--workers N`` / ``repro-noc serve`` on the CLI) on the coordinator
+side, ``repro-noc worker --connect HOST:PORT`` on the worker side.
+"""
+
+from repro.experiments.distributed.protocol import (  # noqa: F401
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    DistributedSpec,
+    ProtocolError,
+)
+from repro.experiments.distributed.lease import LeaseTable  # noqa: F401
+from repro.experiments.distributed.coordinator import (  # noqa: F401
+    POISON_ERROR_TYPE,
+    CoordinatorServer,
+)
+from repro.experiments.distributed.worker import (  # noqa: F401
+    default_worker_id,
+    run_worker,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "DistributedSpec",
+    "ProtocolError",
+    "LeaseTable",
+    "POISON_ERROR_TYPE",
+    "CoordinatorServer",
+    "default_worker_id",
+    "run_worker",
+]

@@ -1,0 +1,206 @@
+"""Wire protocol of the distributed campaign engine.
+
+Everything on the wire is JSON over plain HTTP (stdlib only — no new
+dependencies), with simulation objects (``WorkUnit`` tuples going out,
+:class:`~repro.experiments.runner.ScenarioResult` objects coming back)
+carried as base64-encoded pickles guarded by a CRC-32 — the same
+record scheme the write-ahead :class:`ScenarioJournal` uses, so a
+completion that survives the network round-trip is byte-for-byte what
+gets journaled.
+
+Endpoints (all bodies are JSON objects):
+
+======================  ================================================
+``POST /lease``         ``{"worker": id}`` →
+                        ``{"status": "lease", "lease": id, "key": hash,
+                        "unit": b64, "crc": int, "lease_timeout": s,
+                        "heartbeat": s}`` | ``{"status": "wait",
+                        "retry_after": s}`` | ``{"status": "draining",
+                        ...}`` | ``{"status": "shutdown"}``
+``POST /heartbeat``     ``{"worker": id, "lease": id}`` →
+                        ``{"status": "ok" | "unknown"}`` (``unknown``
+                        means the lease expired and was reassigned)
+``POST /complete``      ``{"worker": id, "lease": id, "key": hash,
+                        "result": b64, "crc": int}`` → ``{"status":
+                        "committed" | "duplicate" | "rejected", ...}``
+``POST /fail``          ``{"worker": id, "lease": id, "key": hash,
+                        "error_type": str, "message": str,
+                        "traceback": str}`` → ``{"status": "requeued" |
+                        "poisoned" | "duplicate"}``
+``GET /status``         → coordinator state, lease-table snapshot,
+                        per-worker last-heartbeat ages
+======================  ================================================
+
+Robustness contract: a ``committed`` ack is sent only *after* the
+result is fsync'd into the scenario journal, so a worker (or the whole
+network) can die the instant after the ack without losing the work.
+Duplicate and late completions are deduplicated by scenario hash —
+re-executing a unit is always safe, re-committing it is a no-op.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import pickle
+import zlib
+from typing import Any, Optional, Tuple
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+#: Bump on incompatible wire-format changes; carried in /status and
+#: checked by workers so a mixed-version fleet fails loudly, not weirdly.
+PROTOCOL_VERSION = 1
+
+#: Default coordinator port of ``repro-noc serve`` (0 = ephemeral).
+DEFAULT_PORT = 8765
+
+
+class ProtocolError(RuntimeError):
+    """A payload failed its CRC/pickle validation or an HTTP exchange
+    returned something that is not valid protocol JSON."""
+
+
+@dataclasses.dataclass
+class DistributedSpec:
+    """Configuration of one embedded coordinator.
+
+    Attributes
+    ----------
+    bind, port:
+        Listen address.  Port ``0`` binds an ephemeral port (the bound
+        address is available via ``Executor.distributed_address()`` and
+        ``port_file``).
+    local_workers:
+        ``repro-noc worker`` subprocesses to spawn against the loopback
+        address (the ``--workers N`` story); external workers can attach
+        regardless.
+    lease_timeout:
+        Seconds a lease stays valid without a heartbeat before the
+        coordinator reassigns the scenario.
+    heartbeat_interval:
+        Seconds between worker heartbeats (``None`` = lease_timeout/4).
+    poll_interval:
+        Coordinator event-loop tick and the wait workers are told to
+        sleep when no work is available.
+    poison_threshold:
+        Distinct workers that must fail a scenario before it is
+        quarantined as poisoned instead of being requeued.
+    requeue_backoff, requeue_jitter, jitter_seed:
+        Backoff schedule for requeueing failed/expired leases
+        (:class:`~repro.experiments.parallel.RetryBackoff`): base
+        seconds, jitter fraction, and the seed making the jitter stream
+        deterministic.
+    port_file:
+        When set, ``host:port`` is written here (atomically) once the
+        coordinator is bound — how scripts find an ephemeral port.
+    shutdown_grace:
+        Seconds ``close()`` keeps the socket answering ``shutdown`` so
+        polling workers exit cleanly instead of spinning on a dead
+        address (the wait ends early once every recently-seen worker
+        has acknowledged).
+    """
+
+    bind: str = "127.0.0.1"
+    port: int = 0
+    local_workers: int = 0
+    lease_timeout: float = 60.0
+    heartbeat_interval: Optional[float] = None
+    poll_interval: float = 0.2
+    poison_threshold: int = 3
+    requeue_backoff: float = 0.5
+    requeue_jitter: float = 0.5
+    jitter_seed: Optional[int] = None
+    port_file: Optional[str] = None
+    shutdown_grace: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.shutdown_grace < 0:
+            raise ValueError(
+                f"shutdown_grace must be >= 0, got {self.shutdown_grace}"
+            )
+        if self.lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be > 0, got {self.lease_timeout}")
+        if self.poll_interval <= 0:
+            raise ValueError(f"poll_interval must be > 0, got {self.poll_interval}")
+        if self.poison_threshold < 1:
+            raise ValueError(
+                f"poison_threshold must be >= 1, got {self.poison_threshold}"
+            )
+        if self.local_workers < 0:
+            raise ValueError(f"local_workers must be >= 0, got {self.local_workers}")
+
+    @property
+    def heartbeat(self) -> float:
+        """Effective heartbeat interval in seconds."""
+        if self.heartbeat_interval is not None:
+            return self.heartbeat_interval
+        return max(self.lease_timeout / 4.0, 0.05)
+
+
+def encode_payload(obj: Any) -> Tuple[str, int]:
+    """``(base64 pickle, crc32)`` of a simulation object."""
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(blob).decode("ascii"), zlib.crc32(blob) & 0xFFFFFFFF
+
+
+def decode_payload(payload: str, crc: int) -> Any:
+    """Inverse of :func:`encode_payload`; :class:`ProtocolError` on rot."""
+    try:
+        blob = base64.b64decode(payload.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError, AttributeError) as exc:
+        raise ProtocolError(f"payload is not valid base64: {exc}") from exc
+    if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+        raise ProtocolError("payload CRC mismatch (corrupted in transit)")
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:  # noqa: BLE001 - arbitrary bytes fail arbitrarily
+        raise ProtocolError(f"payload does not unpickle: {exc}") from exc
+
+
+def post_json(url: str, blob: Any, timeout: float = 30.0) -> Any:
+    """One JSON-in/JSON-out POST; network errors propagate as
+    :class:`urllib.error.URLError` for the caller's retry loop."""
+    request = Request(
+        url,
+        data=json.dumps(blob).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    return _exchange(request, timeout)
+
+
+def get_json(url: str, timeout: float = 30.0) -> Any:
+    """One JSON GET (the ``/status`` endpoint)."""
+    return _exchange(Request(url), timeout)
+
+
+def _exchange(request: Request, timeout: float) -> Any:
+    try:
+        with urlopen(request, timeout=timeout) as response:
+            raw = response.read()
+    except HTTPError as exc:
+        # The coordinator answers protocol-level problems with JSON
+        # bodies on 4xx/5xx; surface those instead of the bare status.
+        raw = exc.read()
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ProtocolError(f"{request.full_url}: HTTP {exc.code}") from exc
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"{request.full_url}: response is not JSON") from exc
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_PORT",
+    "DistributedSpec",
+    "ProtocolError",
+    "encode_payload",
+    "decode_payload",
+    "post_json",
+    "get_json",
+    "URLError",
+]

@@ -37,6 +37,8 @@ import json
 import multiprocessing
 import os
 import pickle
+import queue as queue_module
+import random
 import signal
 import tempfile
 import threading
@@ -46,7 +48,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.version import __version__
 from repro.telemetry.log import current_log_level, setup_worker_logging
@@ -80,6 +82,36 @@ def _execute_unit(unit: WorkUnit) -> ScenarioResult:
     """Top-level worker entry point (must be picklable by name)."""
     scenario, iteration = unit
     return run_scenario(scenario, iteration)
+
+
+class RetryBackoff:
+    """Exponential backoff with deterministic seeded jitter.
+
+    ``delay(k)`` for retry ``k`` (1-based) is
+    ``base * 2**(k-1) * (1 + jitter * u)`` with ``u`` drawn from a
+    private ``random.Random(seed)`` stream — so retries desynchronize
+    (no thundering herd against a recovering worker pool) while the
+    whole delay sequence stays reproducible under a fixed seed.
+    ``jitter=0`` recovers the pure exponential schedule.
+    """
+
+    def __init__(
+        self, base: float, jitter: float = 0.5, seed: Optional[int] = None
+    ) -> None:
+        if base < 0:
+            raise ValueError(f"backoff base must be >= 0, got {base}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.base = base
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based), in seconds."""
+        value = self.base * (2 ** (max(attempt, 1) - 1))
+        if self.jitter > 0 and value > 0:
+            value *= 1.0 + self.jitter * self._rng.random()
+        return value
 
 
 def _ignore_sigint() -> None:
@@ -347,8 +379,16 @@ class Executor:
         ``map_robust`` only: extra attempts after a crash or timeout
         (total attempts = ``retries + 1``).
     retry_backoff:
-        ``map_robust`` only: delay before retry ``k`` is
-        ``retry_backoff * 2**(k-1)`` seconds (exponential backoff).
+        ``map_robust`` only: base delay before retry ``k`` is
+        ``retry_backoff * 2**(k-1)`` seconds (exponential backoff),
+        stretched by up to ``retry_jitter`` (see :class:`RetryBackoff`).
+    retry_jitter:
+        Jitter fraction applied to every retry delay (``0`` disables;
+        default ``0.5`` — delays spread over [d, 1.5d]) so simultaneous
+        retries don't thundering-herd a recovering worker pool.
+    retry_seed:
+        Seed of the jitter stream.  ``None`` (default) randomizes per
+        executor; a fixed seed makes the delay sequence reproducible.
     worker:
         ``map_robust`` only: the unit-executing callable (picklable by
         name); tests substitute hanging/crashing workers.
@@ -365,6 +405,17 @@ class Executor:
         Every completed unit is journaled (write-ahead, fsync'd) the
         moment it finishes, and units already in the journal are served
         from it without re-running — the resume path.
+    distributed:
+        Optional
+        :class:`~repro.experiments.distributed.protocol.DistributedSpec`.
+        When set, pending units are served to ``repro-noc worker``
+        processes over HTTP leases by an embedded coordinator instead
+        of running locally (see :mod:`repro.experiments.distributed`);
+        results are committed idempotently through ``checkpoint`` the
+        moment they arrive, so worker crashes, partitions and
+        coordinator kills compose with ``--resume``.  Call
+        :meth:`close` when done (stops the coordinator and any local
+        workers it spawned).
 
     Results are returned in work-unit order regardless of completion
     order, and are bit-identical between backends: a unit's outcome is a
@@ -391,6 +442,9 @@ class Executor:
         profile: bool = False,
         log_level: Optional[int] = None,
         checkpoint: Optional[CheckpointManager] = None,
+        retry_jitter: float = 0.5,
+        retry_seed: Optional[int] = None,
+        distributed=None,
     ) -> None:
         if max_workers is None or max_workers == 0:
             max_workers = os.cpu_count() or 1
@@ -418,6 +472,11 @@ class Executor:
         )
         self.log_level = log_level if log_level is not None else current_log_level()
         self.checkpoint = checkpoint
+        self._backoff = RetryBackoff(retry_backoff, retry_jitter, retry_seed)
+        self.distributed = distributed
+        self._server = None
+        self._distributed_summary: Optional[str] = None
+        self._commit_lock = threading.Lock()
         #: Every ScenarioFailure produced by map_robust, campaign-wide
         #: (what campaign.state.json surfaces as the failed-unit list).
         self.failure_records: List[ScenarioFailure] = []
@@ -455,7 +514,9 @@ class Executor:
         self._sync_cache_corruption()
 
         if pending:
-            if self.max_workers > 1 and len(pending) > 1:
+            if self.distributed is not None:
+                self._map_distributed(units, pending, results, robust=False)
+            elif self.max_workers > 1 and len(pending) > 1:
                 self._map_pool(units, pending, results)
             else:
                 self._map_serial(units, pending, results)
@@ -491,6 +552,11 @@ class Executor:
         self._sync_cache_corruption()
 
         if pending:
+            if self.distributed is not None:
+                self._map_distributed(units, pending, results, robust=True)
+                self.stats.units_completed += len(units)
+                self.stats.wall_seconds += time.perf_counter() - started
+                return results  # type: ignore[return-value]
             try:
                 self._map_robust_processes(units, pending, results)
             except _POOL_FAILURES:
@@ -511,6 +577,12 @@ class Executor:
     def summary(self) -> str:
         """One-line accounting over everything this executor ran."""
         line = self.stats.summary()
+        distributed = (
+            self._server.summary() if self._server is not None
+            else self._distributed_summary
+        )
+        if distributed is not None:
+            line += f"; {distributed}"
         if self.metrics is not None:
             sim = self.metrics.histograms.get("scenario.sim_seconds")
             if sim is not None and sim.count:
@@ -631,7 +703,7 @@ class Executor:
                 except Exception as exc:  # noqa: BLE001 - becomes a record
                     if attempt <= self.retries:
                         self.stats.retries += 1
-                        backoff = self.retry_backoff * (2 ** (attempt - 1))
+                        backoff = self._backoff.delay(attempt)
                         if backoff > 0:
                             time.sleep(backoff)
                         continue
@@ -696,7 +768,7 @@ class Executor:
                           traceback: Optional[str] = None) -> None:
             if attempt <= self.retries:
                 self.stats.retries += 1
-                backoff = self.retry_backoff * (2 ** (attempt - 1))
+                backoff = self._backoff.delay(attempt)
                 queue.append((index, attempt + 1, time.monotonic() + backoff))
                 return
             self._fail(
@@ -792,6 +864,124 @@ class Executor:
                 task["proc"].join()
                 conn.close()
 
+    # -- distributed backend -------------------------------------------
+    def _ensure_server(self):
+        """Start (once) the embedded coordinator for this executor."""
+        if self._server is None:
+            # Imported lazily: distributed/ depends on this module.
+            from repro.experiments.distributed.coordinator import CoordinatorServer
+
+            self._server = CoordinatorServer(
+                self.distributed, commit=self._commit_remote
+            )
+            self._server.start()
+            host, port = self._server.address
+            self._report_line(
+                f"distributed coordinator serving on {host}:{port} "
+                f"({self.distributed.local_workers} local worker(s))"
+            )
+        return self._server
+
+    def distributed_address(self) -> Tuple[str, int]:
+        """``(host, port)`` of the embedded coordinator (starting it)."""
+        if self.distributed is None:
+            raise RuntimeError("executor has no distributed backend configured")
+        return self._ensure_server().address
+
+    def _commit_remote(self, key: str, result: ScenarioResult) -> None:
+        """Durably journal a remote completion before it is acked.
+
+        Runs on coordinator handler threads; the lock serializes journal
+        appends (the write-ahead property then extends across hosts: a
+        worker's completion is acked only once it is fsync'd here).
+        """
+        with self._commit_lock:
+            if self.checkpoint is not None:
+                self.checkpoint.record(key, result)
+                if self.metrics is not None:
+                    self.metrics.inc("checkpoint.journal_appends")
+
+    def _map_distributed(
+        self,
+        units: Sequence[WorkUnit],
+        pending: Sequence[int],
+        results: List[Optional[Union[ScenarioResult, ScenarioFailure]]],
+        robust: bool,
+    ) -> None:
+        """Serve pending units to remote workers via the lease coordinator.
+
+        Completions and poison verdicts arrive on the server's event
+        queue (producer: HTTP handler threads / expiry scans) and are
+        folded into ``results`` here on the calling thread, so journal,
+        cache and stats bookkeeping stay single-threaded.  A drain
+        request stops new lease grants; in-flight leases either complete
+        (and are committed) or expire, bounded by the lease timeout.
+        """
+        from repro.experiments.distributed.coordinator import POISON_ERROR_TYPE
+
+        server = self._ensure_server()
+        key_indices: Dict[str, List[int]] = {}
+        batch = []
+        submitted = time.perf_counter()
+        for index in pending:
+            key = cache_key(*units[index])
+            slots = key_indices.setdefault(key, [])
+            if not slots:
+                batch.append((key, units[index]))
+            slots.append(index)
+        server.submit(batch)
+        outstanding = set(key_indices)
+
+        while outstanding:
+            if self._drain.is_set():
+                server.drain()
+            server.expire_leases()
+            try:
+                kind, key, payload = server.events.get(
+                    timeout=self.distributed.poll_interval
+                )
+            except queue_module.Empty:
+                if (
+                    self._drain.is_set()
+                    and server.table.active_leases() == 0
+                    and server.events.empty()
+                ):
+                    break
+                continue
+            if key not in outstanding:
+                continue  # stale event for an already-settled key
+            outstanding.discard(key)
+            for index in key_indices[key]:
+                if kind == "result":
+                    self._finish(index, units[index], payload, results)
+                else:
+                    failure = ScenarioFailure(
+                        scenario=units[index][0],
+                        iteration=units[index][1],
+                        error_type=payload.get("error_type") or POISON_ERROR_TYPE,
+                        message=payload.get("message", "poisoned scenario"),
+                        attempts=int(payload.get("attempts") or 0),
+                        timed_out=False,
+                        wall_seconds=time.perf_counter() - submitted,
+                        traceback=payload.get("traceback"),
+                    )
+                    if robust:
+                        self._fail(index, failure, results)
+                    else:
+                        raise RuntimeError(
+                            f"scenario quarantined by the coordinator: {failure}"
+                        )
+        if outstanding:
+            raise CampaignInterrupted(len(outstanding))
+
+    def close(self) -> None:
+        """Stop the embedded coordinator and its local workers (no-op
+        for non-distributed executors; safe to call repeatedly)."""
+        if self._server is not None:
+            self._distributed_summary = self._server.summary()
+            self._server.close()
+            self._server = None
+
     def _fail(
         self,
         index: int,
@@ -861,12 +1051,13 @@ def make_executor(
     retries: int = 0,
     profile: bool = False,
     checkpoint: Optional[CheckpointManager] = None,
+    distributed=None,
 ) -> Optional[Executor]:
     """CLI helper: build an :class:`Executor` only when one is wanted.
 
-    ``jobs=1`` with no cache and no robustness/profiling/checkpoint
-    knobs keeps the historical in-function serial path (returns
-    ``None``); ``jobs=0`` auto-detects worker count.
+    ``jobs=1`` with no cache and no robustness/profiling/checkpoint/
+    distributed knobs keeps the historical in-function serial path
+    (returns ``None``); ``jobs=0`` auto-detects worker count.
     """
     if (
         (jobs == 1 or jobs is None)
@@ -875,12 +1066,13 @@ def make_executor(
         and retries == 0
         and not profile
         and checkpoint is None
+        and distributed is None
     ):
         return None
     return Executor(
         max_workers=jobs, cache=cache_dir, progress=progress,
         timeout=timeout, retries=retries, profile=profile,
-        checkpoint=checkpoint,
+        checkpoint=checkpoint, distributed=distributed,
     )
 
 

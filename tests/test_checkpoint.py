@@ -24,12 +24,15 @@ import zlib
 import pytest
 
 from repro.experiments.checkpoint import (
+    TRACEBACK_MAX_BYTES,
     CampaignInterrupted,
     CheckpointError,
     CheckpointManager,
     ScenarioJournal,
     atomic_write_json,
     atomic_write_text,
+    bound_traceback,
+    verify_journal,
 )
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.parallel import (
@@ -375,3 +378,163 @@ class TestCacheVerify:
         assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
         next(cache.root.glob("*.pkl")).write_bytes(b"garbage")
         assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1
+
+
+# ----------------------------------------------------------------------
+# Journal verify (cache verify --checkpoint-dir)
+# ----------------------------------------------------------------------
+class TestVerifyJournal:
+    def _journal(self, tmp_path, records=2):
+        journal = ScenarioJournal(tmp_path / "scenario.journal.jsonl", meta={"m": 1})
+        for unit in tiny_units(records):
+            journal.append(cache_key(*unit), run_scenario(*unit))
+        journal.close()
+        return journal.path
+
+    def test_clean_journal(self, tmp_path):
+        path = self._journal(tmp_path)
+        report = verify_journal(path)
+        assert report.header_ok
+        assert (report.total, report.ok) == (2, 2)
+        assert report.torn == []
+        assert report.clean
+        assert "2/2 records valid" in report.summary()
+
+    def test_directory_resolves_to_journal(self, tmp_path):
+        self._journal(tmp_path)
+        assert verify_journal(tmp_path).clean
+
+    def test_missing_journal_is_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no scenario journal"):
+            verify_journal(tmp_path)
+
+    def test_torn_tail_diagnosed(self, tmp_path):
+        path = self._journal(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 40])
+        report = verify_journal(path)
+        assert report.ok == 1
+        assert len(report.torn) == 1
+        assert report.torn_tail
+        assert not report.clean
+        assert "torn tail" in report.summary()
+
+    def test_crc_mismatch_diagnosed(self, tmp_path):
+        path = self._journal(tmp_path, records=1)
+        header, record_line = path.read_text().splitlines()
+        record = json.loads(record_line)
+        blob = base64.b64decode(record["payload"])
+        record["payload"] = base64.b64encode(
+            bytes([blob[0] ^ 0xFF]) + blob[1:]
+        ).decode("ascii")
+        path.write_text(header + "\n" + json.dumps(record) + "\n")
+        report = verify_journal(path)
+        assert report.ok == 0
+        assert "CRC mismatch" in report.torn[0]
+        assert not report.torn_tail or len(report.torn) == 1
+
+    def test_mid_file_damage_is_not_a_torn_tail(self, tmp_path):
+        path = self._journal(tmp_path, records=3)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:-30]  # damage a middle record
+        path.write_text("\n".join(lines) + "\n")
+        report = verify_journal(path)
+        assert len(report.torn) == 1
+        assert not report.torn_tail
+
+    def test_bad_header_reported(self, tmp_path):
+        path = tmp_path / "scenario.journal.jsonl"
+        path.write_text("not json\n")
+        report = verify_journal(path)
+        assert not report.header_ok
+        assert not report.clean
+        assert "unreadable header" in report.summary()
+
+    def test_cli_checkpoint_dir_exit_codes(self, tmp_path):
+        from repro.cli import main
+
+        self._journal(tmp_path)
+        assert main(["cache", "verify", "--checkpoint-dir", str(tmp_path)]) == 0
+        journal = tmp_path / "scenario.journal.jsonl"
+        journal.write_bytes(journal.read_bytes()[:-40])
+        assert main(["cache", "verify", "--checkpoint-dir", str(tmp_path)]) == 1
+
+    def test_cli_requires_some_directory(self):
+        from repro.cli import main
+
+        assert main(["cache", "verify"]) == 2
+
+    def test_cli_both_directories_combined(self, tmp_path):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        ckpt_dir = tmp_path / "ckpt"
+        ckpt_dir.mkdir()
+        cache = ResultCache(cache_dir)
+        unit = tiny_units(1)[0]
+        cache.put(unit[0], unit[1], run_scenario(*unit))
+        journal = ScenarioJournal(
+            ckpt_dir / "scenario.journal.jsonl", meta={"m": 1}
+        )
+        journal.append(cache_key(*unit), run_scenario(*unit))
+        journal.close()
+        args = ["cache", "verify", "--cache-dir", str(cache_dir),
+                "--checkpoint-dir", str(ckpt_dir)]
+        assert main(args) == 0
+        # Rot in either store fails the combined scan.
+        next(cache_dir.glob("*.pkl")).write_bytes(b"garbage")
+        assert main(args) == 1
+
+
+# ----------------------------------------------------------------------
+# Bounded tracebacks
+# ----------------------------------------------------------------------
+def _fake_traceback(frames):
+    lines = ["Traceback (most recent call last):"]
+    for n in range(frames):
+        lines.append(f'  File "mod{n}.py", line {n}, in fn{n}')
+        lines.append(f"    call_{n}()")
+    lines.append("ValueError: boom")
+    return "\n".join(lines) + "\n"
+
+
+class TestBoundTraceback:
+    def test_short_traceback_untouched(self):
+        text = _fake_traceback(5)
+        assert bound_traceback(text) == text
+
+    def test_none_passthrough(self):
+        assert bound_traceback(None) is None
+
+    def test_deep_traceback_keeps_most_recent_frames(self):
+        text = _fake_traceback(100)
+        bounded = bound_traceback(text, max_frames=30)
+        assert "70 frame(s) elided" in bounded
+        assert bounded.startswith("Traceback (most recent call last):")
+        assert bounded.rstrip().endswith("ValueError: boom")
+        # The frames nearest the raise survive; the oldest do not.
+        assert "mod99.py" in bounded
+        assert "mod0.py" not in bounded
+
+    def test_byte_budget_enforced(self):
+        huge = "Traceback (most recent call last):\n" + (
+            '  File "a.py", line 1, in f\n    ' + "x" * 4000 + "\n"
+        ) * 10
+        bounded = bound_traceback(huge, max_frames=30, max_bytes=8192)
+        assert len(bounded.encode("utf-8")) <= 8192 + 64  # + marker slack
+        assert "truncated" in bounded
+
+    def test_failure_records_bounded_in_state_file(self, tmp_path):
+        manager = CheckpointManager(tmp_path, meta={"command": "x", "config": {}})
+        scenario, iteration = tiny_units(1)[0]
+        failure = ScenarioFailure(
+            scenario=scenario, iteration=iteration, error_type="ValueError",
+            message="boom", attempts=1, timed_out=False, wall_seconds=0.1,
+            traceback=_fake_traceback(500),
+        )
+        manager.write_state("interrupted", pending=0, failures=[failure])
+        manager.close()
+        state = json.loads((tmp_path / "campaign.state.json").read_text())
+        (entry,) = state["failed"]
+        assert len(entry["traceback"].encode("utf-8")) <= TRACEBACK_MAX_BYTES + 64
+        assert "elided" in entry["traceback"]

@@ -1,0 +1,772 @@
+"""Tests for the distributed campaign engine (coordinator/worker).
+
+Layered like the implementation:
+
+* ``LeaseTable`` unit tests with an injected fake clock — grant /
+  heartbeat / complete / fail / expire transitions, dedup by key, late
+  acceptance, poison quarantine, backoff windows;
+* wire-protocol tests — CRC-guarded payloads, spec validation;
+* HTTP-level tests against a live ``CoordinatorServer`` — the
+  durability ordering on ``/complete`` (commit before ack, reopen on
+  commit failure), corrupt-upload rejection, lease expiry and
+  reassignment over the wire, late duplicates dropped idempotently;
+* in-process integration — a real ``Executor`` with worker threads
+  running the real ``run_worker`` loop, asserting distributed results
+  are identical to serial and poison scenarios surface as
+  ``ScenarioFailure`` records;
+* chaos tests — subprocess coordinator + workers, one SIGKILL'd
+  mid-campaign, requiring byte-identical campaign JSON vs an
+  uninterrupted single-process run; coordinator SIGKILL + ``--resume``
+  completing without re-running journaled scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.distributed import (
+    CoordinatorServer,
+    DistributedSpec,
+    LeaseTable,
+    ProtocolError,
+    run_worker,
+)
+from repro.experiments.distributed.lease import (
+    COMMITTED,
+    DUPLICATE,
+    QUARANTINED,
+    REQUEUED,
+    UNKNOWN,
+)
+from repro.experiments.distributed.protocol import (
+    decode_payload,
+    encode_payload,
+    get_json,
+    post_json,
+)
+from repro.experiments.parallel import (
+    Executor,
+    RetryBackoff,
+    ScenarioFailure,
+    _execute_unit,
+    cache_key,
+)
+from repro.experiments.runner import run_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+FAST = dict(cycles=300, warmup=100)
+
+
+def tiny_units(n=4):
+    base = ScenarioConfig(num_nodes=4, num_vcs=2, injection_rate=0.1, **FAST)
+    policies = ("baseline", "rr-no-sensor", "sensor-wise")
+    return [(base.with_policy(policies[i % 3]), i // 3) for i in range(n)]
+
+
+def fingerprint(result):
+    return (result.duty_cycles, result.md_vc, result.net_stats, result.initial_vths)
+
+
+# ----------------------------------------------------------------------
+# LeaseTable state machine (fake clock: no sleeping)
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_table(clock, lease_timeout=10.0, poison_threshold=3, backoff_base=1.0):
+    return LeaseTable(
+        lease_timeout=lease_timeout,
+        backoff=RetryBackoff(backoff_base, jitter=0.0),
+        poison_threshold=poison_threshold,
+        clock=clock,
+    )
+
+
+class TestLeaseTable:
+    def test_grant_complete_lifecycle(self):
+        clock = FakeClock()
+        table = make_table(clock)
+        table.load([("k1", "payload", 7)])
+        grant, payload, crc = table.grant("w1")
+        assert grant.key == "k1"
+        assert grant.worker == "w1"
+        assert grant.deadline == clock.now + 10.0
+        assert (payload, crc) == ("payload", 7)
+        assert table.active_leases() == 1
+
+        assert table.complete(grant.lease_id, "k1", "w1") == COMMITTED
+        assert table.remaining() == 0
+        assert table.counters["committed"] == 1
+        # Nothing left to grant.
+        assert table.grant("w1") is None
+
+    def test_duplicate_completion_dropped(self):
+        clock = FakeClock()
+        table = make_table(clock)
+        table.load([("k1", "p", 0)])
+        grant, _, _ = table.grant("w1")
+        assert table.complete(grant.lease_id, "k1", "w1") == COMMITTED
+        assert table.complete(grant.lease_id, "k1", "w2") == DUPLICATE
+        assert table.counters["duplicates_dropped"] == 1
+        assert table.counters["committed"] == 1
+
+    def test_unknown_key_rejected(self):
+        table = make_table(FakeClock())
+        assert table.complete("lease", "nope", "w1") == UNKNOWN
+        assert table.fail("lease", "nope", "w1") == UNKNOWN
+
+    def test_load_is_idempotent(self):
+        table = make_table(FakeClock())
+        table.load([("k1", "p", 0)])
+        table.load([("k1", "other", 1), ("k2", "p2", 2)])
+        snap = table.snapshot()
+        assert snap["total"] == 2
+        grant, payload, _ = table.grant("w1")
+        assert payload == "p"  # the first load wins
+
+    def test_heartbeat_extends_deadline(self):
+        clock = FakeClock()
+        table = make_table(clock, lease_timeout=10.0)
+        table.load([("k1", "p", 0)])
+        grant, _, _ = table.grant("w1")
+        clock.now += 8.0
+        assert table.heartbeat(grant.lease_id)
+        clock.now += 8.0  # 16s since grant, 8s since heartbeat: alive
+        assert table.expire() == []
+        assert table.active_leases() == 1
+        assert not table.heartbeat("no-such-lease")
+
+    def test_expiry_requeues_with_backoff_window(self):
+        clock = FakeClock()
+        table = make_table(clock, lease_timeout=10.0, backoff_base=2.0)
+        table.load([("k1", "p", 0)])
+        table.grant("w1")
+        clock.now += 11.0
+        (expired,) = table.expire()
+        assert expired.key == "k1"
+        assert expired.worker == "w1"
+        assert not expired.poisoned
+        assert expired.error["error_type"] == "LeaseExpired"
+        assert table.counters["expiries"] == 1
+        assert table.counters["requeued"] == 1
+        # Inside the backoff window nothing is granted...
+        assert table.grant("w2") is None
+        # ...after it the scenario is reassigned.
+        clock.now += 2.0
+        grant, _, _ = table.grant("w2")
+        assert grant.key == "k1"
+
+    def test_late_completion_accepted_when_undone(self):
+        clock = FakeClock()
+        table = make_table(clock, lease_timeout=10.0, backoff_base=0.0)
+        table.load([("k1", "p", 0)])
+        stale, _, _ = table.grant("w1")
+        clock.now += 11.0
+        table.expire()
+        live, _, _ = table.grant("w2")
+        # The partitioned worker's upload lands first: kept.
+        assert table.complete(stale.lease_id, "k1", "w1") == COMMITTED
+        assert table.counters["late_accepted"] == 1
+        # The live worker's upload is now a duplicate.
+        assert table.complete(live.lease_id, "k1", "w2") == DUPLICATE
+
+    def test_reopen_undoes_a_failed_commit(self):
+        clock = FakeClock()
+        table = make_table(clock)
+        table.load([("k1", "p", 0)])
+        grant, _, _ = table.grant("w1")
+        assert table.complete(grant.lease_id, "k1", "w1") == COMMITTED
+        table.reopen("k1")
+        assert table.counters["committed"] == 0
+        assert table.remaining() == 1
+        regrant, _, _ = table.grant("w2")
+        assert regrant.key == "k1"
+
+    def test_poison_needs_distinct_workers(self):
+        clock = FakeClock()
+        table = make_table(clock, poison_threshold=2, backoff_base=0.0)
+        table.load([("k1", "p", 0)])
+        # The same worker failing twice is not poison evidence.
+        for _ in range(2):
+            grant, _, _ = table.grant("w1")
+            assert table.fail(grant.lease_id, "k1", "w1", {"error_type": "E", "message": "m"}) == REQUEUED
+        assert table.counters["poisoned"] == 0
+        # A second distinct worker is.
+        grant, _, _ = table.grant("w2")
+        assert (
+            table.fail(grant.lease_id, "k1", "w2", {"error_type": "E", "message": "m"})
+            == QUARANTINED
+        )
+        assert table.counters["poisoned"] == 1
+        assert table.remaining() == 0
+        error = table.error_of("k1")
+        assert error["workers"] == ["w1", "w2"]
+        assert error["attempts"] == 3
+
+    def test_grant_prefers_unfailed_scenarios(self):
+        clock = FakeClock()
+        table = make_table(clock, backoff_base=0.0)
+        table.load([("kA", "a", 0), ("kB", "b", 0)])
+        grant, _, _ = table.grant("w1")
+        assert grant.key == "kA"
+        table.fail(grant.lease_id, "kA", "w1", None)
+        # w1 already failed kA, so it gets kB first; kA waits for w2.
+        grant_b, _, _ = table.grant("w1")
+        assert grant_b.key == "kB"
+        grant_a, _, _ = table.grant("w2")
+        assert grant_a.key == "kA"
+
+    def test_grant_falls_back_to_failed_scenario_when_alone(self):
+        clock = FakeClock()
+        table = make_table(clock, backoff_base=0.0, poison_threshold=3)
+        table.load([("kA", "a", 0)])
+        grant, _, _ = table.grant("w1")
+        table.fail(grant.lease_id, "kA", "w1", None)
+        # Nothing else to hand out: w1 may retry its own failure.
+        regrant, _, _ = table.grant("w1")
+        assert regrant.key == "kA"
+
+    def test_stale_failure_does_not_steal_live_lease(self):
+        clock = FakeClock()
+        table = make_table(clock, lease_timeout=10.0, backoff_base=0.0)
+        table.load([("k1", "p", 0)])
+        stale, _, _ = table.grant("w1")
+        clock.now += 11.0
+        table.expire()
+        live, _, _ = table.grant("w2")
+        assert table.fail(stale.lease_id, "k1", "w1", None) == DUPLICATE
+        # The live lease still stands and can complete.
+        assert table.complete(live.lease_id, "k1", "w2") == COMMITTED
+
+    def test_pause_stops_grants(self):
+        table = make_table(FakeClock())
+        table.load([("k1", "p", 0)])
+        table.pause()
+        assert table.grant("w1") is None
+        table.resume_granting()
+        assert table.grant("w1") is not None
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_payload_roundtrip(self):
+        obj = {"scenario": tiny_units(1)[0][0], "n": 3}
+        payload, crc = encode_payload(obj)
+        back = decode_payload(payload, crc)
+        assert back["n"] == 3
+        assert back["scenario"] == obj["scenario"]
+
+    def test_crc_mismatch_rejected(self):
+        payload, crc = encode_payload([1, 2, 3])
+        with pytest.raises(ProtocolError, match="CRC"):
+            decode_payload(payload, crc ^ 1)
+
+    def test_bad_base64_rejected(self):
+        with pytest.raises(ProtocolError, match="base64"):
+            decode_payload("!!! not base64 !!!", 0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DistributedSpec(lease_timeout=0)
+        with pytest.raises(ValueError):
+            DistributedSpec(poll_interval=0)
+        with pytest.raises(ValueError):
+            DistributedSpec(poison_threshold=0)
+        with pytest.raises(ValueError):
+            DistributedSpec(local_workers=-1)
+
+    def test_heartbeat_interval_defaults_to_quarter_lease(self):
+        assert DistributedSpec(lease_timeout=60.0).heartbeat == 15.0
+        assert DistributedSpec(lease_timeout=60.0, heartbeat_interval=2.0).heartbeat == 2.0
+
+
+# ----------------------------------------------------------------------
+# Coordinator over live HTTP
+# ----------------------------------------------------------------------
+def _spec(**overrides):
+    base = dict(
+        bind="127.0.0.1", port=0, lease_timeout=30.0, poll_interval=0.05,
+        requeue_backoff=0.0, requeue_jitter=0.0, poison_threshold=2,
+        shutdown_grace=0.0,  # HTTP tests drive fake workers by hand
+    )
+    base.update(overrides)
+    return DistributedSpec(**base)
+
+
+class _LiveCoordinator:
+    """Context manager: a started CoordinatorServer + its base URL."""
+
+    def __init__(self, spec, commit=None):
+        self.server = CoordinatorServer(spec, commit=commit)
+
+    def __enter__(self):
+        self.server.start()
+        host, port = self.server.address
+        self.url = f"http://{host}:{port}"
+        return self
+
+    def __exit__(self, *exc):
+        self.server.close()
+
+
+class TestCoordinatorHTTP:
+    def test_lease_complete_commit_ordering(self):
+        committed = []
+        with _LiveCoordinator(_spec(), commit=lambda k, r: committed.append((k, r))) as live:
+            live.server.submit([("k1", ("unit", 0))])
+            reply = post_json(live.url + "/lease", {"worker": "w1"})
+            assert reply["status"] == "lease"
+            assert reply["key"] == "k1"
+            assert decode_payload(reply["unit"], reply["crc"]) == ("unit", 0)
+
+            payload, crc = encode_payload({"outcome": 42})
+            ack = post_json(
+                live.url + "/complete",
+                {"worker": "w1", "lease": reply["lease"], "key": "k1",
+                 "result": payload, "crc": crc},
+            )
+            assert ack["status"] == "committed"
+            # The durable commit ran before the ack was sent.
+            assert committed == [("k1", {"outcome": 42})]
+            kind, key, result = live.server.events.get_nowait()
+            assert (kind, key, result) == ("result", "k1", {"outcome": 42})
+
+    def test_late_duplicate_dropped_idempotently(self):
+        committed = []
+        spec = _spec(lease_timeout=0.15)
+        with _LiveCoordinator(spec, commit=lambda k, r: committed.append(k)) as live:
+            live.server.submit([("k1", ("unit", 0))])
+            stale = post_json(live.url + "/lease", {"worker": "w1"})
+            time.sleep(0.3)  # w1 partitioned: no heartbeats
+            fresh = post_json(live.url + "/lease", {"worker": "w2"})
+            assert fresh["status"] == "lease"
+            assert fresh["key"] == "k1"
+
+            payload, crc = encode_payload("result-from-w1")
+            ack1 = post_json(
+                live.url + "/complete",
+                {"worker": "w1", "lease": stale["lease"], "key": "k1",
+                 "result": payload, "crc": crc},
+            )
+            assert ack1["status"] == "committed"  # undone: work kept
+            ack2 = post_json(
+                live.url + "/complete",
+                {"worker": "w2", "lease": fresh["lease"], "key": "k1",
+                 "result": payload, "crc": crc},
+            )
+            assert ack2["status"] == "duplicate"
+            assert committed == ["k1"]  # exactly one durable commit
+            counters = live.server.table.snapshot()["counters"]
+            assert counters["late_accepted"] == 1
+            assert counters["duplicates_dropped"] == 1
+
+    def test_corrupt_upload_rejected_and_requeued(self):
+        committed = []
+        with _LiveCoordinator(_spec(), commit=lambda k, r: committed.append(k)) as live:
+            live.server.submit([("k1", ("unit", 0))])
+            lease = post_json(live.url + "/lease", {"worker": "w1"})
+            payload, crc = encode_payload("result")
+            ack = post_json(
+                live.url + "/complete",
+                {"worker": "w1", "lease": lease["lease"], "key": "k1",
+                 "result": payload, "crc": crc ^ 1},
+            )
+            assert ack["status"] == "rejected"
+            assert committed == []
+            # The scenario went back in the queue for a clean run.
+            retry = post_json(live.url + "/lease", {"worker": "w2"})
+            assert retry["status"] == "lease" and retry["key"] == "k1"
+            ack = post_json(
+                live.url + "/complete",
+                {"worker": "w2", "lease": retry["lease"], "key": "k1",
+                 "result": payload, "crc": crc},
+            )
+            assert ack["status"] == "committed"
+            assert committed == ["k1"]
+
+    def test_commit_failure_never_acked(self):
+        calls = []
+
+        def flaky_commit(key, result):
+            calls.append(key)
+            if len(calls) == 1:
+                raise OSError("disk full")
+
+        with _LiveCoordinator(_spec(), commit=flaky_commit) as live:
+            live.server.submit([("k1", ("unit", 0))])
+            lease = post_json(live.url + "/lease", {"worker": "w1"})
+            payload, crc = encode_payload("result")
+            body = {"worker": "w1", "lease": lease["lease"], "key": "k1",
+                    "result": payload, "crc": crc}
+            assert post_json(live.url + "/complete", body)["status"] == "rejected"
+            # Reopened: a retry (same upload) commits durably this time.
+            release = post_json(live.url + "/lease", {"worker": "w1"})
+            body["lease"] = release["lease"]
+            assert post_json(live.url + "/complete", body)["status"] == "committed"
+            assert calls == ["k1", "k1"]
+
+    def test_fail_reports_poison_after_distinct_workers(self):
+        with _LiveCoordinator(_spec(poison_threshold=2)) as live:
+            live.server.submit([("k1", ("unit", 0))])
+            for worker, expected in (("w1", "requeued"), ("w2", "poisoned")):
+                lease = post_json(live.url + "/lease", {"worker": worker})
+                reply = post_json(
+                    live.url + "/fail",
+                    {"worker": worker, "lease": lease["lease"], "key": "k1",
+                     "error_type": "ValueError", "message": "cursed",
+                     "traceback": "tb"},
+                )
+                assert reply["status"] == expected
+            kind, key, error = live.server.events.get_nowait()
+            assert kind == "poisoned"
+            assert key == "k1"
+            assert error["error_type"] == "ValueError"
+            assert "2 distinct worker(s)" in error["message"]
+
+    def test_status_endpoint_and_unknown_routes(self):
+        with _LiveCoordinator(_spec()) as live:
+            post_json(live.url + "/lease", {"worker": "w1"})
+            status = get_json(live.url + "/status")
+            assert status["protocol"] == 1
+            assert status["state"] == "serving"
+            assert "w1" in status["workers"]
+            assert status["table"]["total"] == 0
+            assert post_json(live.url + "/nope", {})["status"] == "error"
+            assert get_json(live.url + "/nope")["status"] == "error"
+
+    def test_draining_and_shutdown_replies(self):
+        with _LiveCoordinator(_spec()) as live:
+            live.server.drain()
+            assert post_json(live.url + "/lease", {"worker": "w"})["status"] == "draining"
+            url = live.url
+            live.server.state = "shutdown"
+            assert post_json(url + "/lease", {"worker": "w"})["status"] == "shutdown"
+
+    def test_port_file_written(self, tmp_path):
+        port_file = tmp_path / "coordinator.addr"
+        with _LiveCoordinator(_spec(port_file=str(port_file))) as live:
+            host, port = live.server.address
+            assert port_file.read_text() == f"{host}:{port}\n"
+
+
+# ----------------------------------------------------------------------
+# In-process integration: Executor + real run_worker loops in threads
+# ----------------------------------------------------------------------
+class _FakeResult:
+    """Picklable stand-in for ScenarioResult (what _finish touches)."""
+
+    def __init__(self, payload):
+        self.payload = payload
+        self.wall_seconds = 0.0
+        self.sim_seconds = 0.0
+        self.build_seconds = 0.0
+
+
+def _echo_execute(unit):
+    scenario, iteration = unit
+    return _FakeResult(f"{scenario.policy}/{iteration}")
+
+
+def _cursed_execute(unit):
+    scenario, iteration = unit
+    if scenario.policy == "rr-no-sensor":
+        raise ValueError("cursed policy")
+    return _FakeResult(f"{scenario.policy}/{iteration}")
+
+
+def _worker_threads(executor, count, execute):
+    host, port = executor.distributed_address()
+    threads = []
+    for index in range(count):
+        thread = threading.Thread(
+            target=run_worker,
+            args=(f"{host}:{port}",),
+            kwargs=dict(
+                worker_id=f"test-worker-{index}", poll=0.05, execute=execute
+            ),
+            daemon=True,
+        )
+        thread.start()
+        threads.append(thread)
+    return threads
+
+
+def _reap(executor, threads):
+    executor.close()  # workers see "shutdown" and exit their loops
+    for thread in threads:
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+
+class TestExecutorDistributed:
+    def test_map_results_identical_to_serial(self):
+        units = tiny_units(4)
+        executor = Executor(
+            max_workers=1,
+            distributed=_spec(lease_timeout=30.0, shutdown_grace=2.0),
+        )
+        threads = _worker_threads(executor, 2, _execute_unit)
+        try:
+            results = executor.map(units)
+        finally:
+            _reap(executor, threads)
+        assert [fingerprint(r) for r in results] == [
+            fingerprint(run_scenario(s, i)) for s, i in units
+        ]
+        assert "distributed: 4 committed" in executor.summary()
+
+    def test_poison_becomes_failure_record_in_map_robust(self):
+        units = tiny_units(3)  # policies baseline, rr-no-sensor, sensor-wise
+        executor = Executor(
+            max_workers=1,
+            distributed=_spec(
+                poison_threshold=2, requeue_backoff=0.01, shutdown_grace=2.0
+            ),
+        )
+        threads = _worker_threads(executor, 2, _cursed_execute)
+        try:
+            results = executor.map_robust(units)
+        finally:
+            _reap(executor, threads)
+        assert results[0].payload == "baseline/0"
+        assert results[2].payload == "sensor-wise/0"
+        failure = results[1]
+        assert isinstance(failure, ScenarioFailure)
+        assert failure.error_type == "ValueError"
+        assert "cursed policy" in failure.message
+        # Quarantine needed two distinct workers; a worker with no other
+        # work may retry its own failure first, so attempts can exceed 2.
+        assert failure.attempts >= 2
+        assert executor.failure_records == [failure]
+        assert executor.stats.failures == 1
+
+    def test_plain_map_raises_on_poison(self):
+        units = tiny_units(2)[1:2]  # just the cursed rr-no-sensor unit
+        executor = Executor(
+            max_workers=1,
+            distributed=_spec(
+                poison_threshold=1, requeue_backoff=0.01, shutdown_grace=2.0
+            ),
+        )
+        threads = _worker_threads(executor, 1, _cursed_execute)
+        try:
+            with pytest.raises(RuntimeError, match="quarantined"):
+                executor.map(units)
+        finally:
+            _reap(executor, threads)
+
+    def test_remote_commits_flow_through_journal(self, tmp_path):
+        from repro.experiments.checkpoint import CheckpointManager
+
+        units = tiny_units(3)
+        checkpoint = CheckpointManager(tmp_path, meta={"m": 1})
+        executor = Executor(
+            max_workers=1, checkpoint=checkpoint,
+            distributed=_spec(shutdown_grace=2.0),
+        )
+        threads = _worker_threads(executor, 2, _execute_unit)
+        try:
+            baseline = executor.map(units)
+        finally:
+            _reap(executor, threads)
+        checkpoint.close()
+        # Every remote completion was committed write-ahead: a serial
+        # resume serves all units from the journal, byte-identically.
+        resumed_exec = Executor(
+            max_workers=1, checkpoint=CheckpointManager(tmp_path, meta={"m": 1})
+        )
+        resumed = resumed_exec.map(units)
+        resumed_exec.checkpoint.close()
+        assert resumed_exec.stats.journal_hits == 3
+        assert [fingerprint(r) for r in resumed] == [
+            fingerprint(r) for r in baseline
+        ]
+
+    def test_drain_interrupts_distributed_map(self):
+        units = tiny_units(6)
+        executor = Executor(
+            max_workers=1, distributed=_spec(shutdown_grace=2.0)
+        )
+        from repro.experiments.checkpoint import CampaignInterrupted
+
+        def drain_after_first_completion(line):
+            if line.startswith("["):  # unit progress, not server banner
+                executor.request_drain()
+
+        executor.progress = drain_after_first_completion
+        threads = _worker_threads(executor, 1, _execute_unit)
+        try:
+            with pytest.raises(CampaignInterrupted) as info:
+                executor.map(units)
+            assert 1 <= info.value.pending <= 5
+        finally:
+            _reap(executor, threads)
+
+
+# ----------------------------------------------------------------------
+# Chaos: subprocess coordinator + workers, SIGKILL mid-campaign
+# ----------------------------------------------------------------------
+FAULT_ARGS = [
+    "fault-campaign",
+    "--cycles", "1200", "--warmup", "200", "--sample-period", "32",
+    "--kinds", "sensor-dropout,up-down-drop",
+    "--fault-rates", "0.0,0.5,1.0",
+]
+
+
+def _spawn(args, extra=()):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args, *extra],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+
+
+def _run(args, extra=()):
+    proc = _spawn(args, extra)
+    _, stderr = proc.communicate(timeout=600)
+    return proc.returncode, stderr.decode()
+
+
+def _read_port_file(path, deadline=120.0):
+    start = time.monotonic()
+    while time.monotonic() - start < deadline:
+        if path.exists() and path.read_text().strip():
+            return path.read_text().strip()
+        time.sleep(0.05)
+    raise AssertionError("coordinator never wrote its port file")
+
+
+def _wait_for_status(url, predicate, deadline=120.0):
+    start = time.monotonic()
+    status = None
+    while time.monotonic() - start < deadline:
+        try:
+            status = get_json(url + "/status", timeout=5.0)
+        except Exception:
+            time.sleep(0.05)
+            continue
+        if predicate(status):
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"coordinator status never satisfied predicate: {status}")
+
+
+def _worker_pids(status):
+    # Worker ids are "<hostname>-<pid>"; hostnames may contain dashes.
+    return [int(worker.rsplit("-", 1)[1]) for worker in status["workers"]]
+
+
+def _alive(pid):
+    try:
+        os.kill(pid, 0)
+    except (ProcessLookupError, PermissionError):
+        return False
+    return True
+
+
+def _kill_quietly(pid):
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError):
+        pass
+
+
+class TestChaos:
+    def test_worker_sigkill_byte_identical_json(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        code, stderr = _run(FAULT_ARGS, ["--json", str(golden)])
+        assert code == 0, stderr
+
+        port_file = tmp_path / "coordinator.addr"
+        dist_json = tmp_path / "distributed.json"
+        proc = _spawn(
+            FAULT_ARGS,
+            ["--workers", "2", "--port-file", str(port_file),
+             "--lease-timeout", "2", "--json", str(dist_json)],
+        )
+        victim = None
+        try:
+            url = "http://" + _read_port_file(port_file)
+            status = _wait_for_status(
+                url,
+                lambda s: len(s["workers"]) >= 2
+                and s["table"]["states"]["leased"] >= 1,
+            )
+            victim = _worker_pids(status)[0]
+            os.kill(victim, signal.SIGKILL)
+            _, stderr_bytes = proc.communicate(timeout=600)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        stderr = stderr_bytes.decode()
+        assert proc.returncode == 0, stderr
+        assert not _alive(victim)
+        assert dist_json.read_bytes() == golden.read_bytes()
+
+    def test_coordinator_sigkill_then_resume_completes(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        code, stderr = _run(FAULT_ARGS, ["--json", str(golden)])
+        assert code == 0, stderr
+
+        ckpt = tmp_path / "ckpt"
+        port_file = tmp_path / "coordinator.addr"
+        proc = _spawn(
+            FAULT_ARGS,
+            ["--workers", "2", "--port-file", str(port_file),
+             "--checkpoint-dir", str(ckpt), "--json", str(tmp_path / "never.json")],
+        )
+        orphans = []
+        try:
+            url = "http://" + _read_port_file(port_file)
+            status = _wait_for_status(
+                url,
+                lambda s: s["table"]["states"]["done"] >= 2,
+            )
+            orphans = _worker_pids(status)
+            proc.kill()  # SIGKILL: no drain, no cleanup — journal only
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            # The coordinator never got to reap its workers; the crash
+            # takes the whole host with it in this scenario.
+            for pid in orphans:
+                _kill_quietly(pid)
+        assert proc.returncode == -signal.SIGKILL
+        journal = ckpt / "scenario.journal.jsonl"
+        committed_lines = journal.read_bytes().count(b"\n") - 1  # - header
+        assert committed_lines >= 2
+
+        resumed_json = tmp_path / "resumed.json"
+        code, stderr = _run(
+            ["fault-campaign", "--resume", str(ckpt), "--json", str(resumed_json)]
+        )
+        assert code == 0, stderr
+        # Remote workers' commits were durable: the serial resume served
+        # them from the journal instead of re-running.
+        assert "resumed from journal" in stderr
+        assert resumed_json.read_bytes() == golden.read_bytes()

@@ -15,6 +15,7 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.parallel import (
     Executor,
     ResultCache,
+    RetryBackoff,
     ScenarioFailure,
     cache_key,
     make_executor,
@@ -79,6 +80,56 @@ def _hang_once_worker(unit):
             fh.write("tried")
         time.sleep(30)
     return _FakeResult(payload="recovered-after-timeout")
+
+
+class TestRetryBackoff:
+    def test_jitter_stream_deterministic_under_fixed_seed(self):
+        first = [RetryBackoff(0.1, jitter=0.5, seed=42).delay(k) for k in range(1, 6)]
+        second = [RetryBackoff(0.1, jitter=0.5, seed=42).delay(k) for k in range(1, 6)]
+        assert first == second
+        other = [RetryBackoff(0.1, jitter=0.5, seed=43).delay(k) for k in range(1, 6)]
+        assert first != other
+
+    def test_delays_bounded_by_jitter_envelope(self):
+        backoff = RetryBackoff(0.1, jitter=0.5, seed=7)
+        for attempt in range(1, 8):
+            base = 0.1 * 2 ** (attempt - 1)
+            delay = backoff.delay(attempt)
+            assert base <= delay <= base * 1.5
+
+    def test_zero_jitter_recovers_pure_exponential(self):
+        backoff = RetryBackoff(0.25, jitter=0.0)
+        assert [backoff.delay(k) for k in (1, 2, 3)] == [0.25, 0.5, 1.0]
+
+    def test_jitter_desynchronizes_consecutive_delays(self):
+        # The point of jitter: two retries at the same attempt number
+        # must not collide (anti-thundering-herd).
+        backoff = RetryBackoff(1.0, jitter=0.5, seed=1)
+        assert backoff.delay(1) != backoff.delay(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBackoff(-1.0)
+        with pytest.raises(ValueError):
+            RetryBackoff(1.0, jitter=-0.1)
+
+    def test_executor_wires_retry_seed_into_backoff(self):
+        """Same retry_seed => the same retry delay schedule."""
+        schedules = [
+            [
+                Executor(
+                    max_workers=1, retries=2, retry_backoff=0.05,
+                    retry_jitter=0.5, retry_seed=123,
+                )._backoff.delay(k)
+                for k in (1, 2, 3)
+            ]
+            for _ in range(2)
+        ]
+        assert schedules[0] == schedules[1]
+        unseeded = Executor(
+            max_workers=1, retry_backoff=0.05, retry_jitter=0.0
+        )._backoff
+        assert unseeded.delay(2) == 0.1  # jitter off: pure exponential
 
 
 class TestTimeouts:
