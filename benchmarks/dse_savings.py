@@ -1,0 +1,154 @@
+"""DSE evaluation-savings benchmark: cache dedup + surrogate pre-screen
+vs evaluating every proposed genome.
+
+Runs a seeded ``repro-noc dse search`` in-process and records how many
+of the NSGA-II loop's proposed candidate evaluations never reached the
+simulator, split by mechanism:
+
+* **archive/cache dedup** — a genome re-proposed in a later generation
+  (or replayed across ``--resume``) is served from the in-memory
+  archive backed by the result cache and WAL journal;
+* **surrogate pre-screen** — once the cross-validated ridge surrogates
+  clear the reliability gate, only the predicted-Pareto slice of each
+  offspring pool is simulated.
+
+The search is deterministic (labeled ``scenario_seed`` streams), so the
+savings fraction is machine-independent and the ≥ 30% acceptance
+threshold is enforced in CI as well (``--quick``).  Wall-clock numbers
+are recorded for context only and never gated.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/dse_savings.py
+        [--population 8] [--generations 8] [--seed 13]
+        [--threshold 0.30] [--output BENCH_dse.json] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.dse import DSEEngine, DSEResult, GAConfig, resolve_objectives
+from repro.dse.space import DesignSpace, Parameter
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import Executor
+
+OBJECTIVES = ("md_duty", "p95_latency")
+
+
+def search_space(cycles: int, warmup: int) -> DesignSpace:
+    """A 2-node slice of the stock space: large enough (72 genomes)
+    that the GA cannot enumerate it, small enough to finish quickly."""
+    base = ScenarioConfig(num_nodes=2, cycles=cycles, warmup=warmup)
+    return DesignSpace(
+        parameters=(
+            Parameter.categorical("policy", ("rr-no-sensor", "sensor-wise")),
+            Parameter("rotation_period", (16, 64, 256)),
+            Parameter("sensor_sample_period", (256, 1024)),
+            Parameter("wake_latency", (1, 2)),
+            Parameter("buffer_depth", (2, 4, 8)),
+        ),
+        base=base,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=2_000)
+    parser.add_argument("--warmup", type=int, default=300)
+    parser.add_argument("--population", type=int, default=8)
+    parser.add_argument("--generations", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="minimum acceptable saved fraction")
+    parser.add_argument("--output", default="BENCH_dse.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: shorter scenarios and fewer generations; the "
+             "savings threshold still applies (the search is "
+             "deterministic, so the fraction is machine-independent)",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        cycles, warmup = 400, 100
+        population, generations = 6, 4
+    else:
+        cycles, warmup = args.cycles, args.warmup
+        population, generations = args.population, args.generations
+
+    space = search_space(cycles, warmup)
+    objectives = resolve_objectives(OBJECTIVES)
+    config = GAConfig(
+        population=population,
+        generations=generations,
+        seed=args.seed,
+        surrogate_min_samples=max(8, population),
+    )
+    executor = Executor(max_workers=args.jobs)
+
+    print(f"space size {space.size} genomes, objectives {OBJECTIVES}, "
+          f"population {population} x {generations} generations, "
+          f"seed {args.seed}")
+
+    started = time.perf_counter()
+    engine = DSEEngine(space, objectives, config, executor=executor)
+    engine.run()
+    elapsed = time.perf_counter() - started
+
+    savings = engine.evaluations_saved()
+    counters = engine.counters
+    result = DSEResult.from_archive(
+        space, objectives, engine.archive,
+        counters=counters, savings=savings,
+        surrogate_scores=engine.surrogate_scores,
+    )
+
+    print(f"  proposed candidates     : {savings['proposed']:.0f}")
+    print(f"  simulated               : {savings['simulated']:.0f}")
+    print(f"  archive/cache dedup hits: {counters['archive_hits']}")
+    print(f"  surrogate pre-screened  : {counters['surrogate_skipped']}")
+    print(f"  saved fraction          : {savings['saved_fraction']:.1%} "
+          f"(threshold {args.threshold:.0%})")
+    print(f"  vs exhaustive grid      : {savings['simulated']:.0f} of "
+          f"{space.size} genomes simulated")
+    print(f"  Pareto front            : {len(result.front)} member(s), "
+          f"hypervolume {result.hypervolume:.4g}")
+    print(f"  wall clock              : {elapsed:.2f}s "
+          f"({executor.stats.units_total} simulator runs)")
+
+    payload = {
+        "space": space.describe(),
+        "space_size": space.size,
+        "objectives": list(OBJECTIVES),
+        "population": population,
+        "generations": generations,
+        "seed": args.seed,
+        "counters": dict(sorted(counters.items())),
+        "savings": savings,
+        "front_size": len(result.front),
+        "hypervolume": result.hypervolume,
+        "surrogate_cv_r2": result.surrogate_scores,
+        "grid_fraction_simulated": savings["simulated"] / space.size,
+        "elapsed_seconds": elapsed,
+        "threshold": args.threshold,
+        "quick": args.quick,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  wrote {args.output}")
+
+    if savings["saved_fraction"] < args.threshold:
+        print(f"FAIL: saved fraction {savings['saved_fraction']:.1%} "
+              f"< {args.threshold:.0%}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

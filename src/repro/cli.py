@@ -23,6 +23,10 @@ Examples
     repro-noc worker --connect HOST:8765             # join from another host
     repro-noc cache verify --cache-dir .repro-cache  # scan cache for rot
     repro-noc cache verify --checkpoint-dir out/     # scan journal for rot
+    repro-noc dse screen --jobs 4                    # factorial effect ranking
+    repro-noc dse search --generations 8 --jobs 4    # NSGA-II Pareto search
+    repro-noc dse search --checkpoint-dir dse/ --resume dse/
+    repro-noc dse report dse_report.json             # re-render a saved front
 
 Pass ``-v``/``-q`` (before the subcommand, repeatable) to raise or
 lower stderr diagnostic verbosity; artifact output on stdout is
@@ -199,6 +203,48 @@ def _make_executor(args: argparse.Namespace, checkpoint=None):
 def _print_exec_summary(executor) -> None:
     if executor is not None:
         log.info(executor.summary())
+
+
+def _dse_blob(args: argparse.Namespace) -> dict:
+    """The resume-able description of a DSE run (journal meta payload)."""
+    return {
+        "nodes": args.nodes,
+        "vcs": args.vcs,
+        "rate": args.rate,
+        "traffic": args.traffic,
+        "cycles": args.cycles,
+        "warmup": args.warmup,
+        "seed": args.seed,
+        "params": list(args.param or ()),
+        "objectives": [
+            name.strip() for name in args.objectives.split(",") if name.strip()
+        ],
+    }
+
+
+def _dse_setup(blob: dict):
+    """(space, objectives) from a DSE description blob.
+
+    Rebuilding from the blob — not from live argparse values — is what
+    makes ``--resume`` restore the original space even when the retyped
+    flags disagree.
+    """
+    from repro.dse import default_space, parse_param_spec, resolve_objectives
+    from repro.dse.space import DesignSpace
+    from repro.experiments.config import ScenarioConfig
+
+    base = ScenarioConfig(
+        num_nodes=blob["nodes"], num_vcs=blob["vcs"],
+        injection_rate=blob["rate"], traffic=blob["traffic"],
+        cycles=blob["cycles"], warmup=blob["warmup"], seed=blob["seed"],
+    )
+    if blob["params"]:
+        space = DesignSpace(
+            [parse_param_spec(spec) for spec in blob["params"]], base=base
+        )
+    else:
+        space = default_space(base)
+    return space, resolve_objectives(blob["objectives"])
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -385,6 +431,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="also verify this checkpoint directory's scenario journal "
         "(header digest, per-record CRC, torn tail)",
     )
+
+    pdse = sub.add_parser(
+        "dse",
+        help="design-space exploration: factorial screening, surrogate-"
+        "assisted NSGA-II search, Pareto reports",
+    )
+    dse_sub = pdse.add_subparsers(dest="dse_command", required=True)
+
+    def _add_dse_base_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--nodes", type=int, default=4)
+        p.add_argument("--vcs", type=int, default=2)
+        p.add_argument("--rate", type=float, default=0.1, help="flits/cycle/node")
+        p.add_argument(
+            "--traffic", default="uniform",
+            help="synthetic pattern name or 'benchmark-mix'",
+        )
+        p.add_argument(
+            "--objectives", default="md_duty,p95_latency",
+            help="comma-separated objective names (see docs/DSE.md)",
+        )
+        p.add_argument(
+            "--param", action="append", default=None, metavar="NAME=V1,V2,...",
+            help="search this ScenarioConfig field over the listed levels "
+            "(repeatable; default: the stock sensor-wise space)",
+        )
+
+    pscreen = dse_sub.add_parser(
+        "screen",
+        help="two-level fractional-factorial screening: rank parameter "
+        "effects from a handful of corner runs",
+    )
+    _add_sim_args(pscreen, cycles=4_000)
+    _add_exec_args(pscreen)
+    _add_dse_base_args(pscreen)
+    pscreen.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="normalized-effect floor below which an axis is reported prunable",
+    )
+    pscreen.add_argument("--json", default=None, help="write the effects report here")
+
+    psearch = dse_sub.add_parser(
+        "search",
+        help="seeded NSGA-II search with surrogate pre-screening and "
+        "per-generation checkpoints",
+    )
+    _add_sim_args(psearch, cycles=4_000)
+    _add_exec_args(psearch)
+    _add_dse_base_args(psearch)
+    psearch.add_argument("--population", type=int, default=12)
+    psearch.add_argument("--generations", type=int, default=8)
+    psearch.add_argument(
+        "--offspring-multiplier", type=int, default=3,
+        help="candidates proposed per population slot; the surrogate "
+        "pre-screen keeps the predicted-best population-sized subset",
+    )
+    psearch.add_argument("--crossover-rate", type=float, default=0.9)
+    psearch.add_argument(
+        "--mutation-rate", type=float, default=None,
+        help="per-gene mutation probability (default 1/num_parameters)",
+    )
+    psearch.add_argument(
+        "--no-surrogate", action="store_true",
+        help="disable the surrogate pre-screen (every offspring is simulated)",
+    )
+    psearch.add_argument(
+        "--surrogate-min-samples", type=int, default=12,
+        help="archived evaluations required before the surrogate may gate",
+    )
+    psearch.add_argument(
+        "--surrogate-min-r2", type=float, default=0.5,
+        help="cross-validated R² every objective model must clear",
+    )
+    psearch.add_argument(
+        "--out", default="dse_report.json",
+        help="canonical Pareto-front JSON (byte-identical per seed)",
+    )
+    psearch.add_argument("--csv", default=None, help="also export the front as CSV")
+    _add_resume_arg(psearch)
+
+    preport = dse_sub.add_parser(
+        "report", help="re-render a saved dse search report"
+    )
+    preport.add_argument("json", help="report written by 'dse search --out'")
+    preport.add_argument("--csv", default=None, help="also export the front as CSV")
 
     psim = sub.add_parser("simulate", help="run one scenario and print a summary")
     _add_sim_args(psim)
@@ -730,6 +860,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                     log.warning("orphaned temp file: %s", name)
                 clean = clean and verdict.clean
             if args.checkpoint_dir is not None:
+                from pathlib import Path
+
                 from repro.experiments.checkpoint import verify_journal
 
                 report = verify_journal(args.checkpoint_dir)
@@ -737,8 +869,20 @@ def _dispatch(args: argparse.Namespace) -> int:
                 for line in report.torn:
                     log.warning("journal damage: %s", line)
                 clean = clean and report.clean
+                ga_state = Path(args.checkpoint_dir) / "ga.state.json"
+                if ga_state.exists():
+                    from repro.dse.ga import verify_ga_state
+
+                    ok, summary = verify_ga_state(ga_state)
+                    emit(summary)
+                    if not ok:
+                        log.warning("GA state damage: %s", summary)
+                    clean = clean and ok
             return 0 if clean else 1
         raise AssertionError(f"unhandled cache command {args.cache_command!r}")
+
+    if args.command == "dse":
+        return _dispatch_dse(args)
 
     if args.command == "simulate":
         from repro.experiments.config import ScenarioConfig
@@ -809,6 +953,128 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dispatch_dse(args: argparse.Namespace) -> int:
+    """The ``repro-noc dse`` command group (screen / search / report)."""
+    from repro.dse import DesignSpaceError
+
+    # Distinct meta commands keep a screening journal from being resumed
+    # as a search (and make the resume hint print the real invocation).
+    args.command = f"dse {args.dse_command}"
+
+    if args.dse_command == "report":
+        from repro.dse import DSEResult
+
+        try:
+            result = DSEResult.load(args.json)
+        except (OSError, ValueError) as exc:
+            log.error("cannot load %s: %s", args.json, exc)
+            return 2
+        emit(result.format())
+        if args.csv:
+            result.write_csv(args.csv)
+            emit(f"wrote {args.csv}")
+        return 0
+
+    try:
+        space, objectives = _dse_setup(_dse_blob(args))
+    except (DesignSpaceError, ValueError) as exc:
+        log.error("%s", exc)
+        return 2
+
+    if args.dse_command == "screen":
+        from repro.dse import run_screening
+        from repro.experiments.checkpoint import graceful_shutdown
+
+        checkpoint = _make_checkpoint(args, _dse_blob(args))
+        executor = _make_executor(args, checkpoint=checkpoint)
+        try:
+            with graceful_shutdown(executor, notify=log.warning):
+                report = run_screening(space, objectives, executor=executor)
+        finally:
+            _close_executor(executor)
+            if checkpoint is not None:
+                checkpoint.close()
+        emit(report.format())
+        prunable = report.prune(args.threshold)
+        if prunable:
+            emit(
+                f"prunable below {args.threshold:.2f}: {', '.join(prunable)}"
+            )
+        if args.json:
+            from repro.experiments.checkpoint import atomic_write_json
+
+            atomic_write_json(args.json, report.to_dict())
+            log.info("effects JSON written to %s", args.json)
+        _print_exec_summary(executor)
+        return 0
+
+    if args.dse_command == "search":
+        from repro.dse import DSEEngine, DSEResult, GAConfig
+        from repro.experiments.checkpoint import (
+            CampaignInterrupted,
+            graceful_shutdown,
+        )
+
+        blob = _dse_blob(args)
+        blob["ga"] = {
+            "population": args.population,
+            "generations": args.generations,
+            "seed": args.seed,
+            "crossover_rate": args.crossover_rate,
+            "mutation_rate": args.mutation_rate,
+            "offspring_multiplier": args.offspring_multiplier,
+            "use_surrogate": not args.no_surrogate,
+            "surrogate_min_samples": args.surrogate_min_samples,
+            "surrogate_min_r2": args.surrogate_min_r2,
+        }
+        checkpoint = _make_checkpoint(args, blob)
+        if args.resume is not None:
+            blob = checkpoint.meta["config"]
+            space, objectives = _dse_setup(blob)
+        try:
+            config = GAConfig(**blob["ga"])
+        except ValueError as exc:
+            log.error("%s", exc)
+            return 2
+        executor = _make_executor(args, checkpoint=checkpoint)
+        engine = DSEEngine(
+            space, objectives, config,
+            executor=executor, checkpoint=checkpoint,
+        )
+        failures = executor.failure_records if executor is not None else ()
+        try:
+            with graceful_shutdown(executor, notify=log.warning):
+                engine.run(resume=checkpoint is not None)
+            if checkpoint is not None:
+                checkpoint.write_state("complete", failures=failures)
+        except CampaignInterrupted as exc:
+            if checkpoint is not None:
+                checkpoint.write_state(
+                    "interrupted", pending=exc.pending, failures=failures
+                )
+            raise
+        finally:
+            _close_executor(executor)
+            if checkpoint is not None:
+                checkpoint.close()
+        result = DSEResult.from_archive(
+            space, objectives, engine.archive,
+            counters=engine.counters,
+            savings=engine.evaluations_saved(),
+            surrogate_scores=engine.surrogate_scores,
+        )
+        emit(result.format())
+        result.write_json(args.out)
+        emit(f"report written to {args.out}")
+        if args.csv:
+            result.write_csv(args.csv)
+            emit(f"wrote {args.csv}")
+        _print_exec_summary(executor)
+        return 0
+
+    raise AssertionError(f"unhandled dse command {args.dse_command!r}")
 
 
 if __name__ == "__main__":

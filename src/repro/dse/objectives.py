@@ -1,0 +1,130 @@
+"""Objective definitions: what the search optimizes, and in which direction.
+
+Each :class:`Objective` turns one ``(ScenarioConfig, ScenarioResult)``
+pair into a scalar.  Internally every algorithm in ``repro.dse`` works
+on *oriented* values — smaller is always better — so maximization
+objectives are negated once, here, instead of sprinkling sign logic
+through the Pareto machinery.  Reports show the raw (un-negated) value.
+
+The stock objectives cover the axes the ROADMAP names:
+
+``md_duty``
+    NBTI duty cycle (%) of the most-degraded VC at the measured port —
+    the paper's reliability headline; minimize.
+``p95_latency`` / ``avg_latency``
+    Tail / mean packet latency over the measured window; minimize.
+``throughput``
+    Delivered flits per node per cycle; maximize.
+``area_overhead``
+    Sensor-wise area overhead of the decoded router geometry as a
+    fraction of the baseline NoC (:func:`repro.area.compute_overhead_report`
+    — pure function of the configuration, no simulation); minimize.
+``vth_shift_3y``
+    NBTI lifetime proxy: the calibrated model's |ΔVth| (mV) after three
+    years at the most-degraded duty cycle; minimize.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.area import RouterGeometry, compute_overhead_report
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import ScenarioResult
+from repro.nbti.constants import SECONDS_PER_YEAR
+from repro.nbti.model import NBTIModel
+
+
+@dataclasses.dataclass(frozen=True)
+class Objective:
+    """One optimization criterion.
+
+    ``evaluate`` maps a completed scenario to the raw metric;
+    ``maximize`` flips the orientation (internally everything is
+    minimized).
+    """
+
+    name: str
+    evaluate: Callable[[ScenarioConfig, ScenarioResult], float]
+    maximize: bool = False
+
+    def oriented(self, scenario: ScenarioConfig, result: ScenarioResult) -> float:
+        """The minimize-convention value the search algorithms consume."""
+        value = float(self.evaluate(scenario, result))
+        return -value if self.maximize else value
+
+    def raw(self, oriented_value: float) -> float:
+        """Invert the orientation for human-facing reports."""
+        return -oriented_value if self.maximize else oriented_value
+
+
+def _md_duty(scenario: ScenarioConfig, result: ScenarioResult) -> float:
+    return result.md_duty
+
+
+def _p95_latency(scenario: ScenarioConfig, result: ScenarioResult) -> float:
+    return result.net_stats.p95_packet_latency
+
+
+def _avg_latency(scenario: ScenarioConfig, result: ScenarioResult) -> float:
+    return result.net_stats.avg_packet_latency
+
+
+def _throughput(scenario: ScenarioConfig, result: ScenarioResult) -> float:
+    return result.net_stats.throughput_flits_per_node_cycle
+
+
+def _area_overhead(scenario: ScenarioConfig, result: ScenarioResult) -> float:
+    geometry = RouterGeometry(
+        num_ports=4,
+        num_vcs=scenario.num_vcs * scenario.num_vnets,
+        buffer_depth=scenario.buffer_depth,
+        flit_width_bits=scenario.flit_width_bits,
+    )
+    return compute_overhead_report(geometry).total_fraction_of_noc
+
+
+#: One shared calibrated aging model (stateless; safe across scenarios).
+_NBTI_MODEL = NBTIModel.calibrated()
+
+
+def _vth_shift_3y(scenario: ScenarioConfig, result: ScenarioResult) -> float:
+    alpha = min(max(result.md_duty / 100.0, 0.0), 1.0)
+    return 1e3 * _NBTI_MODEL.delta_vth(alpha, 3.0 * SECONDS_PER_YEAR)
+
+
+#: Registry of the stock objectives, keyed by CLI name.
+OBJECTIVES: Dict[str, Objective] = {
+    objective.name: objective
+    for objective in (
+        Objective("md_duty", _md_duty),
+        Objective("p95_latency", _p95_latency),
+        Objective("avg_latency", _avg_latency),
+        Objective("throughput", _throughput, maximize=True),
+        Objective("area_overhead", _area_overhead),
+        Objective("vth_shift_3y", _vth_shift_3y),
+    )
+}
+
+
+def resolve_objectives(names: Sequence[str]) -> Tuple[Objective, ...]:
+    """Look up objectives by name, preserving order (CLI entry point)."""
+    if not names:
+        raise ValueError("at least one objective is required")
+    missing = [name for name in names if name not in OBJECTIVES]
+    if missing:
+        known = ", ".join(sorted(OBJECTIVES))
+        raise ValueError(f"unknown objective(s) {missing}; known: {known}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate objectives in {list(names)}")
+    return tuple(OBJECTIVES[name] for name in names)
+
+
+def evaluate_objectives(
+    objectives: Sequence[Objective],
+    scenario: ScenarioConfig,
+    result: ScenarioResult,
+) -> Tuple[float, ...]:
+    """Oriented objective vector for one completed scenario."""
+    return tuple(obj.oriented(scenario, result) for obj in objectives)

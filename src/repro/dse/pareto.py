@@ -1,0 +1,198 @@
+"""Multi-objective machinery: dominance, fronts, hypervolume, knee point.
+
+Everything operates on *oriented* objective vectors (smaller is better;
+see :mod:`repro.dse.objectives`).  All algorithms are exact and
+deterministic — ties are broken by index order, never by dict/set
+iteration — because the acceptance bar for the whole DSE engine is
+byte-identical reports under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Vector = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Pareto dominance (minimize): ``a`` is nowhere worse, somewhere better."""
+    if len(a) != len(b):
+        raise ValueError(f"objective vectors differ in length: {len(a)} vs {len(b)}")
+    better = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            better = True
+    return better
+
+
+def non_dominated_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the exact non-dominated subset, in input order.
+
+    Duplicate vectors are all kept (they dominate nothing, and dropping
+    one would make the front depend on input order).
+    """
+    front: List[int] = []
+    for i, candidate in enumerate(points):
+        dominated = False
+        for j, other in enumerate(points):
+            if i != j and dominates(other, candidate):
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front
+
+
+def non_dominated_sort(points: Sequence[Sequence[float]]) -> List[List[int]]:
+    """NSGA-II fast non-dominated sort: successive fronts of indices."""
+    n = len(points)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(points[i], points[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(points[j], points[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: List[List[int]] = []
+    current = [i for i in range(n) if domination_count[i] == 0]
+    while current:
+        fronts.append(current)
+        upcoming: List[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    upcoming.append(j)
+        current = sorted(upcoming)
+    return fronts
+
+
+def crowding_distance(points: Sequence[Sequence[float]]) -> List[float]:
+    """NSGA-II crowding distance of each point within one front.
+
+    Boundary points get ``inf`` so they always survive truncation;
+    interior distances are normalized per objective by the front's
+    extent (degenerate extents contribute zero).
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    distance = [0.0] * n
+    dims = len(points[0])
+    for d in range(dims):
+        order = sorted(range(n), key=lambda i: (points[i][d], i))
+        low, high = points[order[0]][d], points[order[-1]][d]
+        distance[order[0]] = distance[order[-1]] = float("inf")
+        extent = high - low
+        if extent <= 0:
+            continue
+        for rank in range(1, n - 1):
+            gap = points[order[rank + 1]][d] - points[order[rank - 1]][d]
+            distance[order[rank]] += gap / extent
+    return distance
+
+
+def hypervolume(points: Sequence[Sequence[float]], reference: Sequence[float]) -> float:
+    """Exact hypervolume dominated by ``points`` w.r.t. ``reference``.
+
+    Minimize convention: the volume of the region between the front and
+    the (worse-everywhere) reference point.  Points at or beyond the
+    reference in any dimension contribute nothing.  Implemented by
+    recursive slicing on the first objective (HSO) — exponential in the
+    worst case, but Pareto fronts here are tens of points in 2-4
+    dimensions, where it is exact and fast.
+    """
+    reference = tuple(float(r) for r in reference)
+    filtered = [
+        tuple(float(x) for x in p)
+        for p in points
+        if all(x < r for x, r in zip(p, reference))
+    ]
+    if not filtered:
+        return 0.0
+    front = [filtered[i] for i in non_dominated_front(filtered)]
+    return _hv(sorted(set(front)), reference)
+
+
+def _hv(front: List[Vector], reference: Vector) -> float:
+    """Hypervolume of a sorted, deduplicated non-dominated front."""
+    if not front:
+        return 0.0
+    if len(reference) == 1:
+        return reference[0] - min(p[0] for p in front)
+    volume = 0.0
+    # Slice along the first objective: between consecutive coordinates,
+    # the dominated cross-section is fixed and recurses one dimension
+    # lower over the points already passed.
+    for index, point in enumerate(front):
+        width = (
+            front[index + 1][0] if index + 1 < len(front) else reference[0]
+        ) - point[0]
+        if width <= 0:
+            continue
+        slab = [q[1:] for q in front[: index + 1]]
+        slab = [slab[i] for i in non_dominated_front(slab)]
+        volume += width * _hv(sorted(set(slab)), reference[1:])
+    return volume
+
+
+def normalized(points: Sequence[Sequence[float]]) -> List[Vector]:
+    """Per-objective min-max normalization onto ``[0, 1]``.
+
+    Degenerate objectives (constant across the front) normalize to 0.
+    """
+    if not points:
+        return []
+    dims = len(points[0])
+    lows = [min(p[d] for p in points) for d in range(dims)]
+    highs = [max(p[d] for p in points) for d in range(dims)]
+    scaled: List[Vector] = []
+    for p in points:
+        row = []
+        for d in range(dims):
+            extent = highs[d] - lows[d]
+            row.append((p[d] - lows[d]) / extent if extent > 0 else 0.0)
+        scaled.append(tuple(row))
+    return scaled
+
+
+def knee_point(points: Sequence[Sequence[float]]) -> int:
+    """Index of the knee — the MCDM "build this one" pick.
+
+    Compromise-programming knee: normalize the front per objective and
+    take the point closest (L2) to the ideal corner (all objectives at
+    their best).  On a convex 2-D front this is the classic maximum-
+    curvature knee; in higher dimensions it remains well-defined and
+    scale-free.  Ties break toward the lowest index (determinism).
+    """
+    if not points:
+        raise ValueError("knee_point needs at least one point")
+    best_index, best_distance = 0, float("inf")
+    for index, row in enumerate(normalized(points)):
+        distance = sum(x * x for x in row) ** 0.5
+        if distance < best_distance - 1e-12:
+            best_index, best_distance = index, distance
+    return best_index
+
+
+def reference_point(
+    points: Sequence[Sequence[float]], margin: float = 0.1
+) -> Vector:
+    """A deterministic hypervolume reference: worst-per-objective + margin.
+
+    The margin keeps boundary points contributing (a point *at* the
+    reference has zero volume), scaled by each objective's extent.
+    """
+    if not points:
+        raise ValueError("reference_point needs at least one point")
+    dims = len(points[0])
+    worst = [max(p[d] for p in points) for d in range(dims)]
+    best = [min(p[d] for p in points) for d in range(dims)]
+    return tuple(
+        worst[d] + margin * max(worst[d] - best[d], 1e-9) for d in range(dims)
+    )

@@ -1,0 +1,182 @@
+"""NumPy-only regression surrogates that pre-screen GA offspring.
+
+The expensive step of design-space exploration is the simulator.  After
+the archive holds a few dozen evaluated genomes, a cheap polynomial
+ridge-regression model per objective predicts the outcome of a proposed
+genome well enough to *rank* candidates — so the GA can generate a large
+offspring pool and send only the predicted-promising fraction to the
+simulator (DAVOS's "regression model manager" stage, stdlib+NumPy only).
+
+Guard rails:
+
+* Every model reports a k-fold cross-validated R²; the bank refuses to
+  pre-screen (``reliable`` is False) until every objective clears a
+  threshold, so a bad fit degrades to "evaluate everything" rather than
+  to silently mis-steering the search.
+* Feature encoding is derived from the :class:`~repro.dse.space.Parameter`
+  declarations: numeric axes enter as a min-max-scaled scalar,
+  categorical axes as one-hot groups, then a full degree-2 polynomial
+  expansion (bias + linear + pairwise products) feeds the ridge solve.
+* Everything is deterministic: fold assignment is round-robin by index,
+  the solve is a fixed ``numpy.linalg`` call, no RNG anywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dse.space import DesignSpace, Genome
+
+
+def encode_genome(space: DesignSpace, genome: Genome) -> np.ndarray:
+    """Raw feature vector of one genome (before polynomial expansion)."""
+    features: List[float] = []
+    for parameter, index in zip(space.parameters, genome):
+        count = len(parameter)
+        if parameter.numeric:
+            features.append(index / (count - 1) if count > 1 else 0.0)
+        else:
+            one_hot = [0.0] * count
+            one_hot[index] = 1.0
+            features.extend(one_hot)
+    return np.asarray(features, dtype=np.float64)
+
+
+def _expand(raw: np.ndarray, degree: int) -> np.ndarray:
+    """Polynomial design row: [1, x_i, x_i * x_j (i <= j)] for degree 2."""
+    columns = [np.float64(1.0)]
+    columns.extend(raw)
+    if degree >= 2:
+        n = raw.shape[0]
+        for i in range(n):
+            for j in range(i, n):
+                columns.append(raw[i] * raw[j])
+    return np.asarray(columns, dtype=np.float64)
+
+
+@dataclasses.dataclass
+class RidgeSurrogate:
+    """One objective's polynomial ridge regression model.
+
+    ``alpha`` is the L2 penalty (the intercept column is not
+    penalized); ``degree`` selects linear (1) or quadratic (2) features.
+    """
+
+    space: DesignSpace
+    alpha: float = 1e-3
+    degree: int = 2
+    coefficients: np.ndarray = dataclasses.field(
+        default_factory=lambda: np.zeros(0)
+    )
+    cv_r2: float = float("-inf")
+
+    def _design_matrix(self, genomes: Sequence[Genome]) -> np.ndarray:
+        return np.stack(
+            [_expand(encode_genome(self.space, g), self.degree) for g in genomes]
+        )
+
+    def _solve(self, matrix: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        columns = matrix.shape[1]
+        penalty = self.alpha * np.eye(columns)
+        penalty[0, 0] = 0.0  # free intercept
+        gram = matrix.T @ matrix + penalty
+        return np.linalg.solve(gram, matrix.T @ targets)
+
+    def fit(self, genomes: Sequence[Genome], targets: Sequence[float], folds: int = 5) -> "RidgeSurrogate":
+        """Fit on the archive and measure k-fold cross-validated R².
+
+        Folds are assigned round-robin by sample index (deterministic);
+        with fewer samples than folds the fold count shrinks to leave at
+        least one training sample per fold.  A constant target scores
+        R² = 0 (no variance to explain — never "reliable").
+        """
+        if len(genomes) != len(targets):
+            raise ValueError(
+                f"{len(genomes)} genomes vs {len(targets)} targets"
+            )
+        if not genomes:
+            raise ValueError("cannot fit a surrogate on zero samples")
+        matrix = self._design_matrix(genomes)
+        y = np.asarray(targets, dtype=np.float64)
+        self.coefficients = self._solve(matrix, y)
+        self.cv_r2 = self._cross_validate(matrix, y, folds)
+        return self
+
+    def _cross_validate(self, matrix: np.ndarray, y: np.ndarray, folds: int) -> float:
+        n = y.shape[0]
+        folds = max(2, min(folds, n))
+        if n < 3:
+            return float("-inf")  # nothing meaningful to validate
+        assignment = np.arange(n) % folds
+        errors = np.zeros(n)
+        for fold in range(folds):
+            hold = assignment == fold
+            if hold.all() or not hold.any():
+                continue
+            beta = self._solve(matrix[~hold], y[~hold])
+            errors[hold] = y[hold] - matrix[hold] @ beta
+        total = float(np.sum((y - y.mean()) ** 2))
+        if total <= 0.0:
+            return 0.0
+        return 1.0 - float(np.sum(errors**2)) / total
+
+    def predict(self, genomes: Sequence[Genome]) -> np.ndarray:
+        """Predicted oriented objective values for a batch of genomes."""
+        if self.coefficients.size == 0:
+            raise RuntimeError("surrogate predict() before fit()")
+        return self._design_matrix(genomes) @ self.coefficients
+
+
+class SurrogateBank:
+    """One :class:`RidgeSurrogate` per objective + the reliability gate."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objective_names: Sequence[str],
+        alpha: float = 1e-3,
+        degree: int = 2,
+        min_r2: float = 0.5,
+    ) -> None:
+        self.space = space
+        self.objective_names = tuple(objective_names)
+        self.min_r2 = min_r2
+        self.models: Dict[str, RidgeSurrogate] = {
+            name: RidgeSurrogate(space, alpha=alpha, degree=degree)
+            for name in self.objective_names
+        }
+
+    def fit(
+        self, genomes: Sequence[Genome], objective_rows: Sequence[Sequence[float]]
+    ) -> "SurrogateBank":
+        """Fit every per-objective model on the evaluated archive."""
+        for column, name in enumerate(self.objective_names):
+            targets = [row[column] for row in objective_rows]
+            self.models[name].fit(genomes, targets)
+        return self
+
+    @property
+    def reliable(self) -> bool:
+        """True when every objective's CV R² clears the gate."""
+        return all(
+            model.cv_r2 >= self.min_r2 for model in self.models.values()
+        )
+
+    def scores(self) -> Dict[str, float]:
+        """Per-objective cross-validated R² (telemetry + reports)."""
+        return {
+            name: self.models[name].cv_r2 for name in self.objective_names
+        }
+
+    def predict(self, genomes: Sequence[Genome]) -> List[Tuple[float, ...]]:
+        """Predicted oriented objective vectors, genome-order preserved."""
+        columns = [
+            self.models[name].predict(genomes) for name in self.objective_names
+        ]
+        return [
+            tuple(float(column[i]) for column in columns)
+            for i in range(len(genomes))
+        ]

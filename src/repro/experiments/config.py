@@ -36,6 +36,11 @@ class ScenarioConfig:
     traffic:
         Synthetic pattern name (``"uniform"`` for the paper's tables) or
         :data:`REAL_TRAFFIC` for benchmark mixes.
+    topology:
+        Network topology name resolved by
+        :func:`repro.noc.topology.build_topology` (``"mesh"`` — the
+        paper's setup — plus ``"torus"`` and ``"ring"``); a design-space
+        axis for the DSE engine.
     cycles, warmup:
         Measured cycles and discarded warm-up cycles.  The paper runs
         30e6 cycles with 6-9e6 warm-up on a full-system simulator; the
@@ -72,6 +77,7 @@ class ScenarioConfig:
     injection_rate: float = 0.1
     policy: str = "sensor-wise"
     traffic: str = "uniform"
+    topology: str = "mesh"
     cycles: int = 20_000
     warmup: int = 2_000
     seed: int = 1
@@ -129,6 +135,7 @@ class ScenarioConfig:
         """The :class:`NoCConfig` this scenario simulates."""
         return NoCConfig(
             num_nodes=self.num_nodes,
+            topology=self.topology,
             num_vcs=self.num_vcs,
             num_vnets=self.num_vnets,
             buffer_depth=self.buffer_depth,
@@ -140,9 +147,19 @@ class ScenarioConfig:
             seed=self.seed,
         )
 
+    def replace(self, **kwargs) -> "ScenarioConfig":
+        """Validated copy with the given fields replaced.
+
+        The canonical way to derive one scenario from another (sweeps,
+        DSE genome decoding): the copy re-runs ``__post_init__``, so an
+        out-of-range override fails here rather than deep inside a
+        worker process.
+        """
+        return dataclasses.replace(self, **kwargs)
+
     def with_policy(self, policy: str) -> "ScenarioConfig":
         """Same scenario (same traffic, same PV sample), another policy."""
-        return dataclasses.replace(self, policy=policy)
+        return self.replace(policy=policy)
 
     def traced(self, trace_dir: Optional[str] = None, **kwargs) -> "ScenarioConfig":
         """Same scenario as a traced run: one call enables telemetry.
@@ -150,9 +167,7 @@ class ScenarioConfig:
         ``kwargs`` forward to :class:`TelemetryConfig` (e.g. ``formats``,
         ``metrics``, per-subsystem toggles).
         """
-        return dataclasses.replace(
-            self, telemetry=TelemetryConfig(trace_dir=trace_dir, **kwargs)
-        )
+        return self.replace(telemetry=TelemetryConfig(trace_dir=trace_dir, **kwargs))
 
 
 #: The paper's Table I, as (parameter, value) pairs.

@@ -153,9 +153,9 @@ def run_injection_sweep(
             executor.checkpoint = checkpoint
     base = base if base is not None else ScenarioConfig()
     if scenario_kwargs:
-        base = dataclasses.replace(base, **scenario_kwargs)
+        base = base.replace(**scenario_kwargs)
     units = [
-        (dataclasses.replace(base, injection_rate=rate).with_policy(policy), 0)
+        (base.replace(injection_rate=rate, policy=policy), 0)
         for rate in rates
         for policy in policies
     ]

@@ -1,0 +1,133 @@
+"""Tests for the multi-objective machinery (repro.dse.pareto)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.pareto import (
+    crowding_distance,
+    dominates,
+    hypervolume,
+    knee_point,
+    non_dominated_front,
+    non_dominated_sort,
+    normalized,
+    reference_point,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (2, 2))
+        assert not dominates((2, 2), (1, 2))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_incomparable(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+
+class TestFronts:
+    def test_simple_front(self):
+        points = [(1, 3), (2, 2), (3, 1), (3, 3), (4, 4)]
+        assert non_dominated_front(points) == [0, 1, 2]
+
+    def test_duplicates_all_kept(self):
+        points = [(1, 1), (1, 1), (2, 2)]
+        assert non_dominated_front(points) == [0, 1]
+
+    def test_sort_layers(self):
+        points = [(1, 3), (3, 1), (2, 4), (4, 2), (5, 5)]
+        fronts = non_dominated_sort(points)
+        assert fronts[0] == [0, 1]
+        assert fronts[1] == [2, 3]
+        assert fronts[2] == [4]
+        # Every index appears exactly once.
+        flat = sorted(i for front in fronts for i in front)
+        assert flat == list(range(len(points)))
+
+    def test_sort_empty(self):
+        assert non_dominated_sort([]) == []
+
+
+class TestCrowding:
+    def test_boundaries_infinite(self):
+        points = [(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]
+        distance = crowding_distance(points)
+        assert distance[0] == float("inf")
+        assert distance[2] == float("inf")
+        assert distance[1] == pytest.approx(2.0)
+
+    def test_degenerate_objective_contributes_zero(self):
+        points = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]
+        distance = crowding_distance(points)
+        assert distance[1] == pytest.approx(1.0)  # only the first axis counts
+
+    def test_empty(self):
+        assert crowding_distance([]) == []
+
+
+class TestHypervolume:
+    def test_known_2d_value(self):
+        points = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        assert hypervolume(points, (4.0, 4.0)) == pytest.approx(6.0)
+
+    def test_single_point(self):
+        assert hypervolume([(1.0, 1.0)], (3.0, 4.0)) == pytest.approx(6.0)
+
+    def test_point_beyond_reference_ignored(self):
+        points = [(1.0, 1.0), (5.0, 0.5)]
+        assert hypervolume(points, (3.0, 3.0)) == pytest.approx(4.0)
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume([(1.0, 1.0)], (3.0, 3.0))
+        with_dominated = hypervolume([(1.0, 1.0), (2.0, 2.0)], (3.0, 3.0))
+        assert with_dominated == pytest.approx(base)
+
+    def test_3d(self):
+        # Two disjoint-ish boxes against (2,2,2): unit cube at origin
+        # plus the sliver (1..2)x(0..2)x(0..1) the second point adds.
+        points = [(1.0, 1.0, 1.0), (0.0, 0.0, 0.0)]
+        assert hypervolume(points, (2.0, 2.0, 2.0)) == pytest.approx(8.0)
+
+    def test_empty(self):
+        assert hypervolume([], (1.0, 1.0)) == 0.0
+
+
+class TestKneeAndNormalization:
+    def test_normalized_unit_box(self):
+        points = [(0.0, 10.0), (5.0, 5.0), (10.0, 0.0)]
+        scaled = normalized(points)
+        assert scaled[0] == (0.0, 1.0)
+        assert scaled[1] == (0.5, 0.5)
+        assert scaled[2] == (1.0, 0.0)
+
+    def test_knee_prefers_balanced_point(self):
+        # The middle point is closest to the (0,0) ideal after scaling.
+        points = [(0.0, 10.0), (2.0, 2.0), (10.0, 0.0)]
+        assert knee_point(points) == 1
+
+    def test_knee_tie_breaks_low_index(self):
+        points = [(0.0, 1.0), (1.0, 0.0)]
+        assert knee_point(points) == 0
+
+    def test_knee_empty(self):
+        with pytest.raises(ValueError):
+            knee_point([])
+
+    def test_reference_point_strictly_worse(self):
+        points = [(1.0, 3.0), (2.0, 1.0)]
+        reference = reference_point(points)
+        for p in points:
+            assert all(x < r for x, r in zip(p, reference))
+
+    def test_reference_point_degenerate_axis(self):
+        reference = reference_point([(1.0, 5.0), (2.0, 5.0)])
+        assert reference[1] > 5.0

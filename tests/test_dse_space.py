@@ -1,0 +1,176 @@
+"""Tests for the declarative design-space layer (repro.dse.space)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dse.space import (
+    DesignSpace,
+    DesignSpaceError,
+    Parameter,
+    default_space,
+    parse_param_spec,
+)
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import cache_key
+
+
+class TestParameter:
+    def test_levels_required(self):
+        with pytest.raises(DesignSpaceError):
+            Parameter("buffer_depth", ())
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            Parameter("buffer_depth", (4, 4))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            Parameter("not_a_field", (1, 2))
+
+    def test_int_range_linear(self):
+        p = Parameter.int_range("buffer_depth", 2, 8, count=4)
+        assert p.levels == (2, 4, 6, 8)
+        assert p.numeric
+
+    def test_int_range_log(self):
+        p = Parameter.int_range("rotation_period", 16, 4096, count=5, log=True)
+        assert p.levels == (16, 64, 256, 1024, 4096)
+
+    def test_int_range_dedups_rounding_collisions(self):
+        p = Parameter.int_range("wake_latency", 1, 2, count=5)
+        assert p.levels == (1, 2)
+
+    def test_int_range_empty_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            Parameter.int_range("buffer_depth", 8, 2)
+
+    def test_value_bounds(self):
+        p = Parameter("buffer_depth", (2, 4))
+        assert p.value(1) == 4
+        with pytest.raises(DesignSpaceError):
+            p.value(2)
+
+    def test_categorical_not_numeric(self):
+        p = Parameter.categorical("policy", ("a", "b"))
+        assert not p.numeric
+
+
+class TestDesignSpace:
+    def space(self, **kwargs):
+        base = ScenarioConfig(num_nodes=2, cycles=400, warmup=100)
+        return DesignSpace(
+            parameters=(
+                Parameter.categorical("policy", ("rr-no-sensor", "sensor-wise")),
+                Parameter("buffer_depth", (2, 4, 8)),
+            ),
+            base=base,
+            **kwargs,
+        )
+
+    def test_size_and_enumeration(self):
+        space = self.space()
+        genomes = list(space.enumerate_genomes())
+        assert space.size == 6
+        assert len(genomes) == 6
+        assert genomes[0] == (0, 0)
+        assert genomes[-1] == (1, 2)
+        assert genomes == sorted(genomes)  # lexicographic
+
+    def test_decode_overrides_only_named_fields(self):
+        space = self.space()
+        scenario = space.decode((1, 2))
+        assert scenario.policy == "sensor-wise"
+        assert scenario.buffer_depth == 8
+        assert scenario.num_nodes == 2      # frozen base field
+        assert scenario.cycles == 400
+
+    def test_decode_wrong_arity(self):
+        with pytest.raises(DesignSpaceError):
+            self.space().decode((0,))
+
+    def test_values_mapping(self):
+        assert self.space().values((0, 1)) == {
+            "policy": "rr-no-sensor", "buffer_depth": 4,
+        }
+
+    def test_genome_identity_is_cache_identity(self):
+        """The core dedup invariant: genome hash == executor cache key."""
+        space = self.space()
+        genome = (1, 1)
+        assert space.scenario_hash(genome) == cache_key(space.decode(genome), 0)
+        # Stable across independently constructed spaces.
+        assert space.scenario_hash(genome) == self.space().scenario_hash(genome)
+
+    def test_structural_validity(self):
+        base = ScenarioConfig(num_nodes=2, cycles=400, warmup=100)
+        space = DesignSpace(
+            (Parameter("buffer_depth", (0, 4)),), base=base
+        )
+        assert not space.valid((0,))   # zero-depth buffer fails validation
+        assert space.valid((1,))
+
+    def test_user_constraints(self):
+        space = self.space(
+            constraints=(lambda s: s.buffer_depth <= 4,),
+        )
+        assert space.valid((0, 1))
+        assert not space.valid((0, 2))
+
+    def test_random_genome_deterministic_and_valid(self):
+        space = self.space(constraints=(lambda s: s.buffer_depth <= 4,))
+        a = [space.random_genome(random.Random(3)) for _ in range(5)]
+        b = [space.random_genome(random.Random(3)) for _ in range(5)]
+        assert a == b
+        assert all(space.valid(g) for g in a)
+
+    def test_random_genome_exhausted_constraints(self):
+        space = self.space(constraints=(lambda s: False,))
+        with pytest.raises(DesignSpaceError):
+            space.random_genome(random.Random(0), max_attempts=16)
+
+    def test_corner_genomes(self):
+        space = self.space()
+        assert space.corner_genome(False) == (0, 0)
+        assert space.corner_genome(True) == (1, 2)
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace(
+                (Parameter("buffer_depth", (2,)), Parameter("buffer_depth", (4,))),
+            )
+
+    def test_describe_is_deterministic(self):
+        assert self.space().describe() == self.space().describe()
+
+
+class TestDefaultSpaceAndSpecs:
+    def test_default_space_covers_paper_knobs(self):
+        space = default_space()
+        names = {p.name for p in space.parameters}
+        assert {"policy", "rotation_period", "buffer_depth", "num_vcs"} <= names
+        assert space.size > 100
+
+    def test_parse_int_spec(self):
+        p = parse_param_spec("buffer_depth=2,4,8")
+        assert p.levels == (2, 4, 8)
+        assert p.numeric
+
+    def test_parse_float_spec(self):
+        p = parse_param_spec("injection_rate=0.1,0.3")
+        assert p.levels == (0.1, 0.3)
+
+    def test_parse_categorical_spec(self):
+        p = parse_param_spec("policy=rr-no-sensor,sensor-wise")
+        assert p.levels == ("rr-no-sensor", "sensor-wise")
+        assert not p.numeric
+
+    def test_parse_rejects_unknown_field(self):
+        with pytest.raises(DesignSpaceError):
+            parse_param_spec("bogus=1,2")
+
+    def test_parse_rejects_missing_values(self):
+        with pytest.raises(DesignSpaceError):
+            parse_param_spec("buffer_depth=")

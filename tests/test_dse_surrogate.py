@@ -1,0 +1,134 @@
+"""Tests for the ridge-regression surrogate bank (repro.dse.surrogate)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.dse.space import DesignSpace, Parameter
+from repro.dse.surrogate import RidgeSurrogate, SurrogateBank, encode_genome
+from repro.experiments.config import ScenarioConfig
+
+
+def make_space():
+    base = ScenarioConfig(num_nodes=2, cycles=400, warmup=100)
+    return DesignSpace(
+        parameters=(
+            Parameter("buffer_depth", (2, 4, 6, 8)),
+            Parameter("wake_latency", (1, 2, 3, 4)),
+            Parameter.categorical("policy", ("rr-no-sensor", "sensor-wise")),
+        ),
+        base=base,
+    )
+
+
+def quadratic_target(space, genome):
+    """A learnable degree-2 function of the encoded features."""
+    x = encode_genome(space, genome)
+    return 3.0 + 2.0 * x[0] - x[1] + 1.5 * x[0] * x[1] + 0.5 * x[2]
+
+
+class TestEncoding:
+    def test_numeric_scaled_categorical_one_hot(self):
+        space = make_space()
+        x = encode_genome(space, (3, 0, 1))
+        assert x[0] == pytest.approx(1.0)   # buffer_depth at max level
+        assert x[1] == pytest.approx(0.0)   # wake_latency at min level
+        assert list(x[2:]) == [0.0, 1.0]    # policy one-hot
+        assert x.shape == (4,)
+
+    def test_single_level_numeric_encodes_zero(self):
+        base = ScenarioConfig(num_nodes=2, cycles=400, warmup=100)
+        space = DesignSpace((Parameter("buffer_depth", (4,)),), base=base)
+        assert encode_genome(space, (0,))[0] == 0.0
+
+
+class TestRidgeSurrogate:
+    def test_learns_quadratic_exactly(self):
+        space = make_space()
+        genomes = list(space.enumerate_genomes())
+        targets = [quadratic_target(space, g) for g in genomes]
+        model = RidgeSurrogate(space, alpha=1e-8).fit(genomes, targets)
+        assert model.cv_r2 > 0.99
+        predictions = model.predict(genomes)
+        assert np.allclose(predictions, targets, atol=1e-3)
+
+    def test_noise_scores_poorly(self):
+        space = make_space()
+        genomes = list(space.enumerate_genomes())
+        rng = random.Random(0)
+        targets = [rng.gauss(0.0, 1.0) for _ in genomes]
+        model = RidgeSurrogate(space).fit(genomes, targets)
+        assert model.cv_r2 < 0.5
+
+    def test_constant_target_never_reliable(self):
+        space = make_space()
+        genomes = list(space.enumerate_genomes())[:8]
+        model = RidgeSurrogate(space).fit(genomes, [7.0] * len(genomes))
+        assert model.cv_r2 == 0.0
+
+    def test_too_few_samples_flagged(self):
+        space = make_space()
+        genomes = list(space.enumerate_genomes())[:2]
+        model = RidgeSurrogate(space).fit(genomes, [1.0, 2.0])
+        assert model.cv_r2 == float("-inf")
+
+    def test_fit_deterministic(self):
+        space = make_space()
+        genomes = list(space.enumerate_genomes())
+        targets = [quadratic_target(space, g) for g in genomes]
+        a = RidgeSurrogate(space).fit(genomes, targets)
+        b = RidgeSurrogate(space).fit(genomes, targets)
+        assert np.array_equal(a.coefficients, b.coefficients)
+        assert a.cv_r2 == b.cv_r2
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeSurrogate(make_space()).predict([(0, 0, 0)])
+
+    def test_length_mismatch_rejected(self):
+        space = make_space()
+        with pytest.raises(ValueError):
+            RidgeSurrogate(space).fit([(0, 0, 0)], [1.0, 2.0])
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeSurrogate(make_space()).fit([], [])
+
+
+class TestSurrogateBank:
+    def test_reliability_gate_requires_every_objective(self):
+        space = make_space()
+        genomes = list(space.enumerate_genomes())
+        rng = random.Random(1)
+        rows = [
+            (quadratic_target(space, g), rng.gauss(0.0, 1.0)) for g in genomes
+        ]
+        bank = SurrogateBank(space, ("good", "noise"), min_r2=0.5)
+        bank.fit(genomes, rows)
+        scores = bank.scores()
+        assert scores["good"] > 0.9
+        assert scores["noise"] < 0.5
+        assert not bank.reliable
+
+    def test_reliable_when_all_learnable(self):
+        space = make_space()
+        genomes = list(space.enumerate_genomes())
+        rows = [
+            (quadratic_target(space, g), -2.0 * quadratic_target(space, g))
+            for g in genomes
+        ]
+        bank = SurrogateBank(space, ("a", "b"), min_r2=0.5)
+        bank.fit(genomes, rows)
+        assert bank.reliable
+
+    def test_predict_preserves_order_and_shape(self):
+        space = make_space()
+        genomes = list(space.enumerate_genomes())
+        rows = [(quadratic_target(space, g), 1.0 + g[0]) for g in genomes]
+        bank = SurrogateBank(space, ("a", "b")).fit(genomes, rows)
+        predicted = bank.predict(genomes[:5])
+        assert len(predicted) == 5
+        assert all(len(vector) == 2 for vector in predicted)
