@@ -56,9 +56,17 @@ log = get_logger("cli")
 
 
 def _add_sim_args(parser: argparse.ArgumentParser, cycles: int = 20_000) -> None:
+    from repro.nbti.regime import ALL_REGIMES
+
     parser.add_argument("--cycles", type=int, default=cycles, help="measured cycles")
     parser.add_argument("--warmup", type=int, default=2_000, help="warm-up cycles to discard")
     parser.add_argument("--seed", type=int, default=1, help="master seed")
+    parser.add_argument(
+        "--regime", choices=ALL_REGIMES, default="fresh",
+        help="stress regime the devices age under (burn-in pre-stress, "
+        "joint NBTI+PBTI, technology override); 'fresh' reproduces the "
+        "paper's NBTI-only behaviour",
+    )
 
 
 def _jobs_count(text: str) -> int:
@@ -215,6 +223,7 @@ def _dse_blob(args: argparse.Namespace) -> dict:
         "cycles": args.cycles,
         "warmup": args.warmup,
         "seed": args.seed,
+        "regime": args.regime,
         "params": list(args.param or ()),
         "objectives": [
             name.strip() for name in args.objectives.split(",") if name.strip()
@@ -237,6 +246,7 @@ def _dse_setup(blob: dict):
         num_nodes=blob["nodes"], num_vcs=blob["vcs"],
         injection_rate=blob["rate"], traffic=blob["traffic"],
         cycles=blob["cycles"], warmup=blob["warmup"], seed=blob["seed"],
+        regime=blob.get("regime", "fresh"),  # pre-regime journals resume
     )
     if blob["params"]:
         space = DesignSpace(
@@ -623,7 +633,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         checkpoint = _make_checkpoint(
             args,
             {"num_vcs": num_vcs, "cycles": args.cycles,
-             "warmup": args.warmup, "seed": args.seed},
+             "warmup": args.warmup, "seed": args.seed,
+             "regime": args.regime},
         )
         executor = _make_executor(args, checkpoint=checkpoint)
         try:
@@ -631,6 +642,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 table = run_synthetic_table(
                     num_vcs=num_vcs, cycles=args.cycles, warmup=args.warmup,
                     seed=args.seed, executor=executor,
+                    scenario_kwargs={"regime": args.regime},
                 )
         finally:
             _close_executor(executor)
@@ -647,7 +659,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         checkpoint = _make_checkpoint(
             args,
             {"iterations": args.iterations, "cycles": args.cycles,
-             "warmup": args.warmup, "seed": args.seed},
+             "warmup": args.warmup, "seed": args.seed,
+             "regime": args.regime},
         )
         executor = _make_executor(args, checkpoint=checkpoint)
         try:
@@ -658,6 +671,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     warmup=args.warmup,
                     seed=args.seed,
                     executor=executor,
+                    scenario_kwargs={"regime": args.regime},
                 )
         finally:
             _close_executor(executor)
@@ -683,6 +697,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         scenario = ScenarioConfig(
             num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
             cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+            regime=args.regime,
         )
         emit(run_vth_saving(scenario, years=args.years).format())
         return 0
@@ -694,6 +709,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         scenario = ScenarioConfig(
             num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
             cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+            regime=args.regime,
         )
         emit(run_cooperation_gain(scenario).format())
         return 0
@@ -710,6 +726,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             iterations=args.iterations,
             seed=args.seed,
             include_real_traffic=not args.skip_real,
+            regime=args.regime,
         )
         checkpoint = _make_checkpoint(args, dataclasses.asdict(config))
         if args.resume is not None:
@@ -742,12 +759,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         base = ScenarioConfig(
             num_nodes=args.nodes, num_vcs=args.vcs,
             cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+            regime=args.regime,
         )
         checkpoint = _make_checkpoint(
             args,
             {"nodes": args.nodes, "vcs": args.vcs, "rates": rates,
              "policies": policies, "cycles": args.cycles,
-             "warmup": args.warmup, "seed": args.seed},
+             "warmup": args.warmup, "seed": args.seed,
+             "regime": args.regime},
         )
         executor = _make_executor(args, checkpoint=checkpoint)
         try:
@@ -774,7 +793,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         scenario = ScenarioConfig(
             num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
             policy=args.policy, cycles=args.cycles, warmup=args.warmup,
-            seed=args.seed,
+            seed=args.seed, regime=args.regime,
         )
         network = build_network(scenario)
         network.run(scenario.warmup)
@@ -794,6 +813,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.experiments.parallel import make_executor
         from repro.faults.campaign import FaultCampaignConfig, run_fault_campaign
 
+        if args.regime != "fresh":
+            # FaultCampaignConfig is pinned by the fault-campaign golden
+            # (its asdict is embedded verbatim), so it cannot grow a
+            # regime field; fault campaigns always run fresh devices.
+            log.warning(
+                "fault-campaign ignores --regime %s: fault campaigns "
+                "always run the fresh (NBTI-only) regime", args.regime,
+            )
         kwargs = {}
         if args.kinds:
             kwargs["kinds"] = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
@@ -892,6 +919,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
             policy=args.policy, traffic=args.traffic,
             cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+            regime=args.regime,
         )
         result = run_scenario(scenario)
         emit(f"scenario      : {scenario.label} policy={scenario.policy}")
@@ -914,6 +942,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
             policy=args.policy, traffic=args.traffic,
             cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+            regime=args.regime,
         ).traced(trace_dir=args.out_dir, formats=formats)
         result = run_scenario(scenario)
         summary = result.telemetry
@@ -940,6 +969,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             num_nodes=args.nodes, num_vcs=args.vcs, injection_rate=args.rate,
             policy=args.policy, traffic=args.traffic,
             cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+            regime=args.regime,
         ).traced(trace_dir=None, formats=())
         result = run_scenario(scenario)
         metrics = result.telemetry.metrics

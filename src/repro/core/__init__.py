@@ -5,6 +5,8 @@ from repro.core.policies import (
     ALL_POLICIES,
     PAPER_POLICIES,
     BaselinePolicy,
+    RejuvenationPolicy,
+    RejuvenationSensorPolicy,
     RoundRobinNoTrafficPolicy,
     RoundRobinSensorlessPolicy,
     SensorWisePolicy,
@@ -16,6 +18,8 @@ __all__ = [
     "ALL_POLICIES",
     "PAPER_POLICIES",
     "BaselinePolicy",
+    "RejuvenationPolicy",
+    "RejuvenationSensorPolicy",
     "RoundRobinNoTrafficPolicy",
     "RoundRobinSensorlessPolicy",
     "SensorWisePolicy",

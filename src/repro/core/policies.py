@@ -19,6 +19,12 @@ Four policies are provided:
 * :class:`RoundRobinNoTrafficPolicy` — an extra ablation completing the
   2x2 {sensor, traffic} matrix (not in the paper's tables): round-robin
   candidate, no traffic information.
+* :class:`RejuvenationPolicy` / :class:`RejuvenationSensorPolicy`
+  (*rejuvenation*, *rejuvenation-sensor*) — scheduled deep-recovery
+  windows instead of per-cycle gating: buffers run ungated most of the
+  time and periodically enter a long recovery window (BTI rejuvenation,
+  after Gürsoy et al.).  The sensor variant gates the most-degraded VC
+  first inside each window.
 
 All policies are deterministic and stateless across cycles (the
 round-robin candidate derives from the cycle counter, mimicking the
@@ -28,6 +34,7 @@ paper's "changed cyclically on a time basis").
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Callable, Dict, Optional
 
 from repro.noc.policy_api import (
@@ -293,6 +300,128 @@ class SensorWisePolicy(RecoveryPolicy):
         return self.fallback.decide(ctx)
 
 
+class RejuvenationPolicy(RecoveryPolicy):
+    """Scheduled deep-recovery windows (BTI *rejuvenation*).
+
+    Instead of gating idle VCs every cycle, the port runs fully awake
+    for most of each ``period`` and enters one long recovery window of
+    ``duration`` cycles at the start of it: within the window the
+    round-robin-style survivor scan keeps exactly one non-ACTIVE VC
+    awake for new traffic (or gates everything when no traffic waits),
+    outside the window nothing is ever gated.  Long uninterrupted
+    recovery windows let the reaction-diffusion recovery front run much
+    deeper than per-cycle toggling (Gürsoy et al., *On BTI Aging
+    Rejuvenation in Memory Address Decoders*), at the cost of a higher
+    average duty cycle.
+
+    The surviving VC rotates with the window index, spreading the
+    kept-awake stress across the VCs over successive windows.
+
+    Engine eligibility
+    ------------------
+    The decision reads ``ctx.cycle`` only through the window index and
+    the in-window bit, both constant between multiples of
+    ``gcd(period, duration)`` — so the policy declares
+    ``epoch_period = gcd(period, duration)`` and an :meth:`epoch` that
+    distinguishes in-window from out-of-window buckets.  That keeps both
+    the quiescence fast-forward and the SoA engine eligible (their
+    planners pin jumps at declared epoch boundaries), verified by the
+    three-way equivalence tests in ``tests/test_regime.py``.
+    """
+
+    name = "rejuvenation"
+    uses_sensor = False
+    uses_traffic = True
+    stable = True
+
+    def __init__(self, period: int = 1024, duration: int = 256) -> None:
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        if not 1 <= duration <= period:
+            raise ValueError(
+                f"duration must be in [1, period={period}], got {duration}"
+            )
+        self.period = period
+        self.duration = duration
+        self.epoch_period = math.gcd(period, duration)
+
+    def epoch(self, cycle: int) -> int:
+        """Two buckets per period: in-window (even), out-of-window (odd).
+
+        Window boundaries (``k*period`` and ``k*period + duration``) are
+        multiples of ``gcd(period, duration)``, so the epoch is constant
+        within every ``epoch_period`` bucket — the declared-period
+        contract the fast-forward and SoA planners rely on.
+        """
+        k, offset = divmod(cycle, self.period)
+        return 2 * k + (0 if offset < self.duration else 1)
+
+    def in_window(self, cycle: int) -> bool:
+        """Whether ``cycle`` falls inside a deep-recovery window."""
+        return cycle % self.period < self.duration
+
+    def decide(self, ctx: PolicyContext) -> PolicyDecision:
+        if not self.in_window(ctx.cycle):
+            return PolicyDecision.all_awake(ctx.num_vcs)
+        candidate = (ctx.cycle // self.period) % ctx.num_vcs
+        if not ctx.new_traffic:
+            # Deep recovery: every idle VC may recover for the whole window.
+            return PolicyDecision.gate_all(idle_vc=candidate)
+        # Keep awake the first non-ACTIVE VC at or after the rotating
+        # survivor candidate (same scan as Algorithm 1).
+        offset = self._survivor(ctx, candidate)
+        if offset is None:
+            # Every VC is ACTIVE: nothing to keep idle, nothing to gate.
+            return PolicyDecision.gate_all(idle_vc=candidate)
+        if self.trace is not None:
+            self.trace.instant(
+                probes.POLICY_KEEP_AWAKE, "policy", tid=self.trace_tid,
+                args={"candidate": candidate, "kept": offset},
+                ts=ctx.cycle,
+            )
+        return PolicyDecision.keep_one(offset)
+
+    def _survivor(self, ctx: PolicyContext, candidate: int) -> Optional[int]:
+        """First idle-or-recovering VC at/after ``candidate``, else None."""
+        offset = candidate
+        for _ in range(ctx.num_vcs):
+            if not ctx.is_active(offset):
+                return offset
+            offset = (offset + 1) % ctx.num_vcs
+        return None
+
+
+class RejuvenationSensorPolicy(RejuvenationPolicy):
+    """Sensor-triggered rejuvenation: recover the most-degraded VC first.
+
+    Identical window schedule, but inside each window the survivor scan
+    *skips* the Down_Up most-degraded VC so it is always among the gated
+    (deep-recovering) VCs — the window's recovery budget is spent where
+    the sensors say it matters.  When the port's watchdog flags the
+    sensor information untrustworthy (``ctx.sensor_faulted``), or the
+    port has no sensors, the scan degrades to the static variant.
+    """
+
+    name = "rejuvenation-sensor"
+    uses_sensor = True
+
+    def _survivor(self, ctx: PolicyContext, candidate: int) -> Optional[int]:
+        md = ctx.most_degraded_vc
+        if ctx.sensor_faulted or md is None:
+            return super()._survivor(ctx, candidate)
+        offset = candidate
+        fallback: Optional[int] = None
+        for _ in range(ctx.num_vcs):
+            if not ctx.is_active(offset):
+                if offset != md:
+                    return offset
+                fallback = offset
+            offset = (offset + 1) % ctx.num_vcs
+        # The MD VC is the only non-ACTIVE one (or none is): keeping it
+        # awake beats blocking new traffic on a fully gated port.
+        return fallback
+
+
 #: Registry of policy names to zero-argument factories-of-factories: the
 #: outer call fixes parameters, the inner callable builds one instance
 #: per upstream port.
@@ -324,6 +453,49 @@ _register(
 _register(
     "static-reserve",
     lambda reserved_vc=0, **kw: (lambda: StaticReservePolicy(reserved_vc=reserved_vc)),
+)
+
+
+def _rejuvenation_schedule(
+    rotation_period: int,
+    rejuvenation_period: Optional[int],
+    rejuvenation_duration: Optional[int],
+) -> tuple:
+    """Window schedule from policy knobs.
+
+    Explicit ``rejuvenation_period``/``rejuvenation_duration`` win; the
+    defaults derive from the scenario's ``rotation_period`` (16x period,
+    4x duration — a 25 % recovery window at a much coarser grain than
+    per-cycle rotation), so every existing config knob keeps working.
+    """
+    period = (
+        rejuvenation_period if rejuvenation_period is not None else 16 * rotation_period
+    )
+    duration = (
+        rejuvenation_duration if rejuvenation_duration is not None else 4 * rotation_period
+    )
+    return period, duration
+
+
+_register(
+    "rejuvenation",
+    lambda rotation_period=64, rejuvenation_period=None, rejuvenation_duration=None, **kw: (
+        lambda: RejuvenationPolicy(
+            *_rejuvenation_schedule(
+                rotation_period, rejuvenation_period, rejuvenation_duration
+            )
+        )
+    ),
+)
+_register(
+    "rejuvenation-sensor",
+    lambda rotation_period=64, rejuvenation_period=None, rejuvenation_duration=None, **kw: (
+        lambda: RejuvenationSensorPolicy(
+            *_rejuvenation_schedule(
+                rotation_period, rejuvenation_period, rejuvenation_duration
+            )
+        )
+    ),
 )
 
 #: The three policies evaluated by the paper's tables, in table order.

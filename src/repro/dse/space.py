@@ -274,19 +274,25 @@ def default_space(base: Optional[ScenarioConfig] = None) -> DesignSpace:
     """The stock search space: every knob the paper fixes by hand.
 
     {policy, rotation period, sensor sample period, wake latency,
-    buffer depth, VC count} around the paper's Table I design point —
-    the question the ROADMAP's north star asks ("which configuration
-    should I build?") rather than the one the paper answers ("how good
-    is this one?").
+    buffer depth, VC count, stress regime} around the paper's Table I
+    design point — the question the ROADMAP's north star asks ("which
+    configuration should I build?") rather than the one the paper
+    answers ("how good is this one?").  The regime axis explores how
+    robust a design point is to pre-aged parts and joint NBTI+PBTI
+    stress; the rejuvenation policy trades throughput inside scheduled
+    deep-recovery windows for extra recovery time.
     """
     return DesignSpace(
         parameters=(
-            Parameter.categorical("policy", ("rr-no-sensor", "sensor-wise")),
+            Parameter.categorical(
+                "policy", ("rr-no-sensor", "sensor-wise", "rejuvenation")
+            ),
             Parameter("rotation_period", (16, 64, 256)),
             Parameter("sensor_sample_period", (256, 1024)),
             Parameter("wake_latency", (1, 2, 4)),
             Parameter("buffer_depth", (2, 4, 8)),
             Parameter("num_vcs", (2, 4)),
+            Parameter.categorical("regime", ("fresh", "burn-in", "nbti-pbti")),
         ),
         base=base,
     )

@@ -21,6 +21,7 @@ from repro.experiments.checkpoint import (
     atomic_write_text,
 )
 from repro.experiments.config import ScenarioConfig, format_experimental_setup
+from repro.nbti.regime import get_regime
 from repro.experiments.parallel import Executor
 from repro.experiments.tables import (
     run_cooperation_gain,
@@ -39,8 +40,10 @@ class CampaignConfig:
     iterations: int = 10
     seed: int = 1
     include_real_traffic: bool = True
+    regime: str = "fresh"
 
     def __post_init__(self) -> None:
+        get_regime(self.regime)  # fail fast on unknown regime names
         if self.cycles < 1:
             raise ValueError(f"cycles must be >= 1, got {self.cycles}")
         if self.warmup < 0:
@@ -65,11 +68,15 @@ class CampaignResult:
 
     def to_markdown(self) -> str:
         cfg = self.config
+        # Only non-default regimes print themselves: the fresh campaign
+        # report must stay byte-identical to the historical renderer.
+        regime_note = "" if cfg.regime == "fresh" else f" Stress regime: {cfg.regime}."
         parts = [
             "# Reproduction campaign report",
             "",
             f"Budget: {cfg.cycles} measured cycles (+{cfg.warmup} warm-up), "
-            f"{cfg.iterations} benchmark-mix iterations, seed {cfg.seed}. "
+            f"{cfg.iterations} benchmark-mix iterations, seed {cfg.seed}."
+            f"{regime_note} "
             f"Wall time: {self.wall_seconds:.0f}s.",
             "",
             "## Table I — setup",
@@ -186,13 +193,16 @@ def _run_campaign_body(
     executor: Optional[Executor],
 ) -> CampaignResult:
     started = time.perf_counter()
+    # The stress regime rides into every scenario the campaign builds;
+    # the default ("fresh") keeps all artifacts byte-identical.
+    regime_kwargs = {"regime": config.regime}
     table2 = run_synthetic_table(
         num_vcs=4, cycles=config.cycles, warmup=config.warmup, seed=config.seed,
-        executor=executor,
+        executor=executor, scenario_kwargs=regime_kwargs,
     )
     table3 = run_synthetic_table(
         num_vcs=2, cycles=config.cycles, warmup=config.warmup, seed=config.seed,
-        executor=executor,
+        executor=executor, scenario_kwargs=regime_kwargs,
     )
     table4 = None
     if config.include_real_traffic:
@@ -203,15 +213,18 @@ def _run_campaign_body(
             warmup=config.warmup,
             seed=config.seed,
             executor=executor,
+            scenario_kwargs=regime_kwargs,
         )
     vth_scenario = ScenarioConfig(
         num_nodes=4, num_vcs=4, injection_rate=0.3,
         cycles=config.cycles, warmup=config.warmup, seed=config.seed,
+        regime=config.regime,
     )
     vth_report = run_vth_saving(vth_scenario, executor=executor)
     coop_scenario = ScenarioConfig(
         num_nodes=4, num_vcs=2, injection_rate=0.3,
         cycles=config.cycles, warmup=config.warmup, seed=config.seed,
+        regime=config.regime,
     )
     cooperation = run_cooperation_gain(coop_scenario, executor=executor)
     area_text = compute_overhead_report().as_text()

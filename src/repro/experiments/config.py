@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 from repro.faults.spec import FaultSpec
 from repro.nbti.process_variation import scenario_seed
+from repro.nbti.regime import StressRegime, get_regime
 from repro.noc.config import NoCConfig
 from repro.telemetry.config import TelemetryConfig
 
@@ -69,6 +70,13 @@ class ScenarioConfig:
         Opt-in :class:`~repro.telemetry.config.TelemetryConfig` turning
         the run into a traced/metered run (see :meth:`traced`).  ``None``
         (the default) keeps the simulator completely uninstrumented.
+    regime:
+        Name of the :class:`~repro.nbti.regime.StressRegime` the
+        scenario ages under (burn-in pre-stress, joint NBTI+PBTI,
+        technology override).  The default, ``"fresh"``, is the
+        historical NBTI-only behaviour and is provably a no-op — a
+        design-space axis for the DSE engine and the CLI ``--regime``
+        flag.
     """
 
     num_nodes: int = 4
@@ -94,8 +102,10 @@ class ScenarioConfig:
     faults: Tuple[FaultSpec, ...] = ()
     validate_every: int = 0
     telemetry: Optional[TelemetryConfig] = None
+    regime: str = "fresh"
 
     def __post_init__(self) -> None:
+        get_regime(self.regime)  # fail fast on unknown regime names
         if self.cycles < 1:
             raise ValueError(f"cycles must be >= 1, got {self.cycles}")
         if self.warmup < 0:
@@ -131,8 +141,23 @@ class ScenarioConfig:
         traffic_key = "real" if self.is_real_traffic else self.injection_rate
         return scenario_seed("pv", self.num_nodes, self.num_vcs, traffic_key)
 
+    @property
+    def stress_regime(self) -> StressRegime:
+        """The resolved :class:`~repro.nbti.regime.StressRegime`."""
+        return get_regime(self.regime)
+
     def noc_config(self) -> NoCConfig:
-        """The :class:`NoCConfig` this scenario simulates."""
+        """The :class:`NoCConfig` this scenario simulates.
+
+        A regime with a technology override (e.g. ``finfet-pbti``)
+        swaps the node here, so the PV sampler, the calibrated models
+        and the per-cycle aging time all follow it; the default regime
+        builds the exact historical config.
+        """
+        kwargs = {}
+        regime = self.stress_regime
+        if regime.technology is not None:
+            kwargs["technology"] = regime.resolve_technology(None)
         return NoCConfig(
             num_nodes=self.num_nodes,
             topology=self.topology,
@@ -145,6 +170,7 @@ class ScenarioConfig:
             wake_latency=self.wake_latency,
             sensor_sample_period=self.sensor_sample_period,
             seed=self.seed,
+            **kwargs,
         )
 
     def replace(self, **kwargs) -> "ScenarioConfig":

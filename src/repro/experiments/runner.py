@@ -143,11 +143,28 @@ def build_network(
     iteration: int = 0,
     nbti_model: Optional[NBTIModel] = None,
 ) -> Network:
-    """Assemble the network for a scenario (traffic + policy + PV)."""
+    """Assemble the network for a scenario (traffic + policy + PV).
+
+    The scenario's stress regime is resolved here: a technology
+    override already reached ``config`` via :meth:`ScenarioConfig.noc_config`,
+    burn-in pre-stress becomes a constant Vth offset on the PV sampler
+    (computed from the same calibrated model the network will age
+    under, so sensors and the MD ranking see pre-aged devices), and the
+    PBTI companion model is attached to every device.  The default
+    ``fresh`` regime takes none of these branches and builds the exact
+    historical network.
+    """
     config = scenario.noc_config()
+    regime = scenario.stress_regime
     pv = ProcessVariationModel.for_technology(
         config.technology, seed=scenario.effective_pv_seed
     )
+    if regime.burn_in_years > 0.0:
+        aging_model = (
+            nbti_model if nbti_model is not None
+            else NBTIModel.calibrated(config.technology)
+        )
+        pv = pv.with_burn_in(regime.burn_in_shift(aging_model))
     factory = make_policy_factory(
         scenario.policy, rotation_period=scenario.rotation_period
     )
@@ -157,6 +174,7 @@ def build_network(
         traffic=build_traffic(scenario, iteration),
         nbti_model=nbti_model,
         pv_model=pv,
+        pbti_model=regime.pbti_model(config.technology),
     )
 
 

@@ -15,7 +15,10 @@ the reliability side:
 """
 
 from repro.nbti.constants import (
+    PBTI_ANCHOR_DELTA_VTH,
+    PBTI_ANCHOR_YEARS,
     SECONDS_PER_YEAR,
+    TECH_14NM_FINFET,
     TECH_32NM,
     TECH_45NM,
     TECHNOLOGY_NODES,
@@ -29,6 +32,13 @@ from repro.nbti.delay import (
     frequency_factor,
     frequency_trajectory,
     guardband_lifetime_years,
+    joint_bti_delay_factor,
+)
+from repro.nbti.regime import (
+    ALL_REGIMES,
+    STRESS_REGIMES,
+    StressRegime,
+    get_regime,
 )
 from repro.nbti.duty_cycle import DutyCycleCounter, WindowedDutyCycle
 from repro.nbti.model import NBTIModel, NBTIModelError
@@ -49,7 +59,10 @@ from repro.nbti.sensor import (
 from repro.nbti.transistor import PMOSDevice
 
 __all__ = [
+    "PBTI_ANCHOR_DELTA_VTH",
+    "PBTI_ANCHOR_YEARS",
     "SECONDS_PER_YEAR",
+    "TECH_14NM_FINFET",
     "TECH_32NM",
     "TECH_45NM",
     "TECHNOLOGY_NODES",
@@ -61,6 +74,11 @@ __all__ = [
     "frequency_factor",
     "frequency_trajectory",
     "guardband_lifetime_years",
+    "joint_bti_delay_factor",
+    "ALL_REGIMES",
+    "STRESS_REGIMES",
+    "StressRegime",
+    "get_regime",
     "DutyCycleCounter",
     "WindowedDutyCycle",
     "NBTIModel",

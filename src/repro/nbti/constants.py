@@ -48,6 +48,17 @@ TIME_EXPONENT_N: float = 1.0 / 6.0
 #: Seconds in a Julian year; used for lifetime projections.
 SECONDS_PER_YEAR: float = 365.25 * 24.0 * 3600.0
 
+#: Calibration anchor for the PBTI (NMOS, electron-trapping) companion
+#: model: |dVth| after three years at 100 % stress.  PBTI is a second-
+#: order effect on SiO2/poly nodes but reaches roughly half the NBTI
+#: magnitude on high-k metal-gate and FinFET processes (Khalid et al.,
+#: and the HKMG reliability literature), which is what the default
+#: anchor encodes.  Regimes may override it per scenario.
+PBTI_ANCHOR_DELTA_VTH: float = 0.025
+
+#: Horizon of the PBTI calibration anchor, in years.
+PBTI_ANCHOR_YEARS: float = 3.0
+
 
 @dataclasses.dataclass(frozen=True)
 class TechnologyNode:
@@ -118,10 +129,27 @@ TECH_32NM = TechnologyNode(
     clock_period_s=1.0e-9,
 )
 
+#: FinFET-flavored node for the joint NBTI+PBTI regimes.  The tri-gate
+#: geometry brings a lower supply, a higher |Vth| and a markedly tighter
+#: within-die spread (no random-dopant channel), while the high-k metal
+#: gate makes PBTI on the NMOS side a first-class aging contributor —
+#: which is why the NBTI+PBTI regimes default to this node.
+TECH_14NM_FINFET = TechnologyNode(
+    name="14nm-finfet",
+    feature_nm=14.0,
+    vdd=0.80,
+    vth_nominal=0.250,
+    vth_sigma=0.003,
+    tox_nm=0.9,
+    temperature_k=350.0,
+    clock_period_s=1.0e-9,
+)
+
 #: Registry of known nodes keyed by name.
 TECHNOLOGY_NODES = {
     TECH_45NM.name: TECH_45NM,
     TECH_32NM.name: TECH_32NM,
+    TECH_14NM_FINFET.name: TECH_14NM_FINFET,
 }
 
 
@@ -131,7 +159,8 @@ def get_technology(name: str) -> TechnologyNode:
     Raises
     ------
     KeyError
-        If ``name`` is not a known node (``"45nm"`` or ``"32nm"``).
+        If ``name`` is not a known node (``"45nm"``, ``"32nm"`` or
+        ``"14nm-finfet"``).
     """
     try:
         return TECHNOLOGY_NODES[name]

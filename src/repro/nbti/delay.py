@@ -85,6 +85,27 @@ def frequency_factor(
     return 1.0 / delay_factor(delta_vth, initial_vth, tech, alpha)
 
 
+def joint_bti_delay_factor(
+    nbti_delta_vth: float,
+    pbti_delta_vth: float,
+    initial_vth: Optional[float] = None,
+    tech: TechnologyNode = TECH_45NM,
+    alpha: float = ALPHA_POWER_EXPONENT,
+) -> float:
+    """Gate-delay multiplier under joint NBTI+PBTI aging.
+
+    First-order treatment matching
+    :meth:`repro.nbti.transistor.PMOSDevice.delta_vth`: the PMOS (NBTI)
+    and NMOS (PBTI) shifts are summed into one effective threshold shift
+    before the alpha-power translation.  Both shifts must be >= 0; the
+    NBTI-only case (``pbti_delta_vth == 0``) reduces exactly to
+    :func:`delay_factor`.
+    """
+    if pbti_delta_vth < 0.0:
+        raise ValueError(f"pbti_delta_vth must be >= 0, got {pbti_delta_vth}")
+    return delay_factor(nbti_delta_vth + pbti_delta_vth, initial_vth, tech, alpha)
+
+
 @dataclasses.dataclass(frozen=True)
 class FrequencyTrajectory:
     """Max-frequency evolution of a device at a fixed duty cycle."""

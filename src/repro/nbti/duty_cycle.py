@@ -72,6 +72,16 @@ class DutyCycleCounter:
         """Duty cycle as a stress probability in ``[0, 1]`` (model input)."""
         return self.duty_cycle / 100.0
 
+    @property
+    def recovery_fraction(self) -> float:
+        """Fraction of observed cycles spent power-gated, in ``[0, 1]``.
+
+        The complement of :attr:`alpha` (0.0 when nothing was observed);
+        the quantity the rejuvenation policies maximize during their
+        deep-recovery windows.
+        """
+        return 1.0 - self.alpha
+
     def reset(self) -> None:
         """Zero both tallies (used when discarding warm-up cycles)."""
         self.stress_cycles = 0

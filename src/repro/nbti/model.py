@@ -54,6 +54,8 @@ from repro.nbti.constants import (
     BOLTZMANN_EV,
     DIFFUSION_T0_S_PER_NM2,
     FIELD_ACCELERATION_E0_V_PER_NM,
+    PBTI_ANCHOR_DELTA_VTH,
+    PBTI_ANCHOR_YEARS,
     SECONDS_PER_YEAR,
     TECH_45NM,
     TIME_EXPONENT_N,
@@ -136,6 +138,39 @@ class NBTIModel:
             / math.sqrt(tech.clock_period_s * anchor_alpha)
         )
         return cls(kv=kv, tech=tech, temperature_k=temperature_k)
+
+    @classmethod
+    def calibrated_pbti(
+        cls,
+        tech: TechnologyNode = TECH_45NM,
+        anchor_delta_vth: float = PBTI_ANCHOR_DELTA_VTH,
+        anchor_years: float = PBTI_ANCHOR_YEARS,
+        anchor_alpha: float = 1.0,
+        temperature_k: Optional[float] = None,
+    ) -> "NBTIModel":
+        """Build the PBTI (NMOS, electron-trapping) companion model.
+
+        PBTI shares the reaction-diffusion time dependence with NBTI —
+        the same Eq. 1 closed form applies — but with its own, smaller
+        pre-factor: electron trapping in the high-k dielectric rather
+        than interface-trap generation under the PMOS gate.  The default
+        anchor is half the NBTI magnitude (see
+        :data:`repro.nbti.constants.PBTI_ANCHOR_DELTA_VTH`), the
+        accepted first-order ratio for HKMG/FinFET nodes.
+
+        The stress orientation is the *powered fraction* as well: a
+        rail-gated buffer removes bias from both device flavours, so the
+        NBTI duty-cycle counter doubles as the PBTI stress probability
+        and the two shifts are summed into the effective |Vth|
+        (:meth:`repro.nbti.transistor.PMOSDevice.delta_vth`).
+        """
+        return cls.calibrated(
+            tech=tech,
+            anchor_delta_vth=anchor_delta_vth,
+            anchor_years=anchor_years,
+            anchor_alpha=anchor_alpha,
+            temperature_k=temperature_k,
+        )
 
     # ------------------------------------------------------------------
     # Physics pieces

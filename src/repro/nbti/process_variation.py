@@ -55,23 +55,37 @@ class ProcessVariationModel:
     die_to_die_offset:
         Constant offset applied to every device on the chip, modelling
         die-to-die variation (paper assumes it constant; default 0).
+    vth_offset:
+        Constant pre-aging shift added *after* sampling (and after the
+        1 mV floor), modelling a burn-in pre-stress phase applied before
+        cycle 0: sensors, the most-degraded ranking and delay
+        projections all see the pre-aged thresholds.  Applied outside
+        the RNG path, so a zero offset leaves the sampled stream — and
+        every downstream golden — bit-identical.
     """
 
     mean_vth: float = TECH_45NM.vth_nominal
     sigma_vth: float = TECH_45NM.vth_sigma
     seed: int = 0
     die_to_die_offset: float = 0.0
+    vth_offset: float = 0.0
 
     def __post_init__(self) -> None:
         if self.mean_vth <= 0.0:
             raise ValueError(f"mean_vth must be positive, got {self.mean_vth}")
         if self.sigma_vth < 0.0:
             raise ValueError(f"sigma_vth must be non-negative, got {self.sigma_vth}")
+        if self.vth_offset < 0.0:
+            raise ValueError(f"vth_offset must be >= 0, got {self.vth_offset}")
 
     @classmethod
     def for_technology(cls, tech: TechnologyNode, seed: int = 0) -> "ProcessVariationModel":
         """Build a model from a :class:`TechnologyNode`'s Vth parameters."""
         return cls(mean_vth=tech.vth_nominal, sigma_vth=tech.vth_sigma, seed=seed)
+
+    def with_burn_in(self, vth_offset: float) -> "ProcessVariationModel":
+        """Copy of this model with a burn-in pre-stress offset applied."""
+        return dataclasses.replace(self, vth_offset=vth_offset)
 
     def sample(self, count: int) -> List[float]:
         """Draw ``count`` initial |Vth| values (volts), deterministically.
@@ -86,6 +100,8 @@ class ProcessVariationModel:
         lo = self.mean_vth - 4.0 * self.sigma_vth
         hi = self.mean_vth + 4.0 * self.sigma_vth
         draws = np.clip(draws, lo, hi) + self.die_to_die_offset
+        if self.vth_offset:
+            return [max(1e-3, float(v)) + self.vth_offset for v in draws]
         return [max(1e-3, float(v)) for v in draws]
 
     def sample_chip(self, vc_keys: List[VCKey]) -> Dict[VCKey, float]:

@@ -35,9 +35,16 @@ class PMOSDevice:
         the paper, where the MD VC is fixed per scenario by the Vth
         sampling.  Lifetime studies pass an *acceleration factor* so that
         simulated duty cycles can be projected over years.
+    pbti_model:
+        Optional PBTI companion model for the buffer's NMOS side (joint
+        NBTI+PBTI regimes).  The buffer is rail-gated, so power-gating
+        removes bias from both device flavours and the NBTI duty-cycle
+        counter doubles as the PBTI stress probability; the two shifts
+        are summed into the effective |Vth|.  ``None`` (the default)
+        keeps the historical NBTI-only accounting bit-identical.
     """
 
-    __slots__ = ("initial_vth", "model", "cycle_time_s", "counter")
+    __slots__ = ("initial_vth", "model", "cycle_time_s", "counter", "pbti_model")
 
     def __init__(
         self,
@@ -45,6 +52,7 @@ class PMOSDevice:
         model: NBTIModel,
         cycle_time_s: Optional[float] = None,
         counter: Optional[DutyCycleCounter] = None,
+        pbti_model: Optional[NBTIModel] = None,
     ) -> None:
         if initial_vth <= 0.0:
             raise ValueError(f"initial_vth must be positive, got {initial_vth}")
@@ -56,6 +64,7 @@ class PMOSDevice:
         if self.cycle_time_s <= 0.0:
             raise ValueError(f"cycle_time_s must be positive, got {self.cycle_time_s}")
         self.counter = counter if counter is not None else DutyCycleCounter()
+        self.pbti_model = pbti_model
 
     # ------------------------------------------------------------------
     # Aging bookkeeping
@@ -83,15 +92,32 @@ class PMOSDevice:
     # Threshold voltage
     # ------------------------------------------------------------------
     def delta_vth(self, at_seconds: Optional[float] = None) -> float:
-        """NBTI shift for the device's duty cycle after ``at_seconds``.
+        """Effective BTI shift for the device's duty cycle after ``at_seconds``.
 
         With no argument, uses the elapsed simulated time; passing a
         horizon (e.g. 3 years) projects the *measured* duty cycle over a
         lifetime, which is how the paper extracts absolute Vth numbers
-        from duty-cycle statistics.
+        from duty-cycle statistics.  Under a joint NBTI+PBTI regime the
+        NMOS companion shift is summed in (same stress probability, its
+        own calibrated pre-factor).
         """
         t = self.elapsed_seconds if at_seconds is None else at_seconds
+        shift = self.model.delta_vth(self.alpha, t)
+        if self.pbti_model is not None:
+            shift += self.pbti_model.delta_vth(self.alpha, t)
+        return shift
+
+    def nbti_delta_vth(self, at_seconds: Optional[float] = None) -> float:
+        """The NBTI-only component of :meth:`delta_vth`."""
+        t = self.elapsed_seconds if at_seconds is None else at_seconds
         return self.model.delta_vth(self.alpha, t)
+
+    def pbti_delta_vth(self, at_seconds: Optional[float] = None) -> float:
+        """The PBTI component of :meth:`delta_vth` (0.0 when NBTI-only)."""
+        if self.pbti_model is None:
+            return 0.0
+        t = self.elapsed_seconds if at_seconds is None else at_seconds
+        return self.pbti_model.delta_vth(self.alpha, t)
 
     def vth(self, at_seconds: Optional[float] = None) -> float:
         """Current total |Vth| = initial + accumulated shift, in volts."""

@@ -87,6 +87,10 @@ class Network:
         see :class:`repro.traffic.base.TrafficGenerator`.
     nbti_model:
         Shared aging model; default is the calibrated 45 nm model.
+    pbti_model:
+        Optional PBTI companion model attached to every device (joint
+        NBTI+PBTI regimes; see :mod:`repro.nbti.regime`).  ``None``
+        keeps the historical NBTI-only accounting.
     pv_model:
         Process-variation sampler for initial Vth values; default uses
         ``config.seed`` (scenario runners freeze it per scenario).
@@ -110,12 +114,14 @@ class Network:
         nbti_model: Optional[NBTIModel] = None,
         pv_model: Optional[ProcessVariationModel] = None,
         sensor_factory: Optional[SensorFactory] = None,
+        pbti_model: Optional[NBTIModel] = None,
     ) -> None:
         self.config = config
         self.topology: Topology = build_topology(config.topology, config.num_nodes)
         self.routing = build_routing(config.routing, self.topology)
         self.traffic = traffic
         self.nbti_model = nbti_model if nbti_model is not None else NBTIModel.calibrated(config.technology)
+        self.pbti_model = pbti_model
         self.pv_model = (
             pv_model
             if pv_model is not None
@@ -178,7 +184,8 @@ class Network:
         cycle_time = cfg.technology.clock_period_s * cfg.aging_time_scale
         for key, vth in initial_vths.items():
             self.devices[key] = PMOSDevice(
-                vth, self.nbti_model, cycle_time_s=cycle_time
+                vth, self.nbti_model, cycle_time_s=cycle_time,
+                pbti_model=self.pbti_model,
             )
 
         # Channels for every upstream->downstream pair, keyed by the
@@ -777,10 +784,24 @@ class Network:
 
 def neighbor_of_inverse(topology: Topology, node: int, in_port: int) -> Tuple[int, int]:
     """Find the (upstream router, upstream output port) feeding an input
-    port — the inverse of the topology's link direction."""
-    for link in topology.links():
-        if link.dst_router == node and link.dst_port == in_port:
-            return (link.src_router, link.src_port)
-    raise ValueError(
-        f"no upstream feeds router {node} port {port_name(in_port)}"
-    )
+    port — the inverse of the topology's link direction.
+
+    Backed by a per-topology ``(dst, dst_port) -> (src, src_port)`` map
+    built on first use, mirroring :meth:`Topology.neighbor`'s forward
+    map: network construction queries this once per input port, and a
+    linear link scan each time made the wiring quadratic on large
+    meshes.
+    """
+    table = getattr(topology, "_upstream_map", None)
+    if table is None:
+        table = {
+            (link.dst_router, link.dst_port): (link.src_router, link.src_port)
+            for link in topology.links()
+        }
+        topology._upstream_map = table
+    try:
+        return table[(node, in_port)]
+    except KeyError:
+        raise ValueError(
+            f"no upstream feeds router {node} port {port_name(in_port)}"
+        ) from None

@@ -85,15 +85,28 @@ class Topology:
     def neighbor(self, node: int, port: int) -> int:
         """Node reached by leaving ``node`` through ``port``.
 
+        Backed by a ``(node, port) -> node`` map built on first use, so
+        XY-routing setup and network wiring don't pay an O(links) scan
+        per query (quadratic on a 16x16 mesh).
+
         Raises
         ------
         ValueError
             If the port does not lead anywhere from this node.
         """
-        for link in self.links():
-            if link.src_router == node and link.src_port == port:
-                return link.dst_router
-        raise ValueError(f"node {node} has no neighbor through port {port_name(port)}")
+        table = getattr(self, "_neighbor_map", None)
+        if table is None:
+            table = {
+                (link.src_router, link.src_port): link.dst_router
+                for link in self.links()
+            }
+            self._neighbor_map = table
+        try:
+            return table[(node, port)]
+        except KeyError:
+            raise ValueError(
+                f"node {node} has no neighbor through port {port_name(port)}"
+            ) from None
 
     def hop_distance(self, src: int, dst: int) -> int:
         """Minimal hop count between two nodes."""
@@ -170,25 +183,39 @@ class Mesh2D(Topology):
 class Torus2D(Mesh2D):
     """A 2D torus: a mesh with wrap-around links.
 
+    Both dimensions must be at least 3: on a 1- or 2-wide dimension a
+    wrap link would duplicate an existing mesh link on the same port
+    pair (or loop a node onto itself), so such a "torus" silently
+    degenerates into a mesh that still hashes and reports as a torus —
+    exactly the confusion a DSE axis must not produce.  Use
+    :class:`Mesh2D` (or :class:`Ring`) for those shapes.
+
     Note that plain XY routing on a torus is **not** deadlock-free without
     extra escape VCs; the torus is provided for topology-exploration
     extensions and its tests use it below saturation only.
     """
 
+    def __init__(self, width: int, height: int) -> None:
+        if width < 3 or height < 3:
+            raise ValueError(
+                f"torus dimensions must be >= 3, got {width}x{height}: "
+                "wrap-around links degenerate on 1- or 2-wide dimensions "
+                "(the result would be a plain mesh); use mesh or ring instead"
+            )
+        super().__init__(width, height)
+
     def _build_links(self) -> List[LinkSpec]:
         links = super()._build_links()
-        if self.width > 2:
-            for y in range(self.height):
-                west_edge = self.node_at(0, y)
-                east_edge = self.node_at(self.width - 1, y)
-                links.append(LinkSpec(east_edge, EAST, west_edge, WEST))
-                links.append(LinkSpec(west_edge, WEST, east_edge, EAST))
-        if self.height > 2:
-            for x in range(self.width):
-                north_edge = self.node_at(x, 0)
-                south_edge = self.node_at(x, self.height - 1)
-                links.append(LinkSpec(south_edge, SOUTH, north_edge, NORTH))
-                links.append(LinkSpec(north_edge, NORTH, south_edge, SOUTH))
+        for y in range(self.height):
+            west_edge = self.node_at(0, y)
+            east_edge = self.node_at(self.width - 1, y)
+            links.append(LinkSpec(east_edge, EAST, west_edge, WEST))
+            links.append(LinkSpec(west_edge, WEST, east_edge, EAST))
+        for x in range(self.width):
+            north_edge = self.node_at(x, 0)
+            south_edge = self.node_at(x, self.height - 1)
+            links.append(LinkSpec(south_edge, SOUTH, north_edge, NORTH))
+            links.append(LinkSpec(north_edge, NORTH, south_edge, SOUTH))
         return links
 
     def hop_distance(self, src: int, dst: int) -> int:
@@ -196,10 +223,10 @@ class Torus2D(Mesh2D):
         dx, dy = self.coordinates(dst)
         ddx = abs(sx - dx)
         ddy = abs(sy - dy)
-        if self.width > 2:
-            ddx = min(ddx, self.width - ddx)
-        if self.height > 2:
-            ddy = min(ddy, self.height - ddy)
+        # Both dimensions are >= 3 (enforced at construction), so the
+        # wrap-around path is always available.
+        ddx = min(ddx, self.width - ddx)
+        ddy = min(ddy, self.height - ddy)
         return ddx + ddy
 
     def __repr__(self) -> str:
@@ -253,7 +280,13 @@ def build_topology(name: str, num_nodes: int) -> Topology:
     """Build a topology by name for a node count.
 
     ``"mesh"`` requires a perfect-square or rectangular count and chooses
-    the squarest factorization (the paper uses 2x2 and 4x4).
+    the squarest factorization (the paper uses 2x2 and 4x4).  Prime node
+    counts above 2 are rejected: their only factorization is the
+    degenerate Nx1 chain, which silently behaves like a worse ring (the
+    paper's 2-node setup stays legal as the trivial 2x1 mesh).  A torus
+    additionally needs both dimensions >= 3 for its wrap-around links to
+    exist (see :class:`Torus2D`), so e.g. 4 torus nodes raise here
+    instead of silently building a 2x2 mesh.
     """
     lowered = name.lower()
     if lowered == "ring":
@@ -261,6 +294,12 @@ def build_topology(name: str, num_nodes: int) -> Topology:
     if lowered in ("mesh", "torus"):
         width = _squarest_width(num_nodes)
         height = num_nodes // width
+        if height == 1 and num_nodes > 2:
+            raise ValueError(
+                f"{num_nodes} nodes only factorize into a degenerate "
+                f"{width}x1 {lowered} (prime count); pick a composite "
+                "node count, or use the ring topology for a chain"
+            )
         cls = Mesh2D if lowered == "mesh" else Torus2D
         return cls(width, height)
     raise ValueError(f"unknown topology {name!r} (expected mesh, torus or ring)")

@@ -12,7 +12,10 @@ into a deterministic packet stream:
 
 The per-flit offered load of a profile is preserved: the request packet
 rate is scaled so requests + responses together average the profile's
-``on_rate`` flits/cycle while bursting.
+``on_rate`` flits/cycle while bursting.  The injector issues at most one
+request per core per cycle, so a profile hotter than that ceiling is
+clamped — and logs a warning, since the preservation guarantee no longer
+holds for that core.
 """
 
 from __future__ import annotations
@@ -22,8 +25,11 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.telemetry.log import get_logger
 from repro.traffic.base import Injection, TrafficGenerator, grid_shape
 from repro.traffic.benchmarks import BenchmarkProfile, random_mix
+
+log = get_logger("traffic")
 
 #: Cycles an L2 bank takes to turn a request into a response.
 DEFAULT_SERVICE_DELAY = 20
@@ -32,7 +38,7 @@ DEFAULT_SERVICE_DELAY = 20
 class _CoreState:
     """Mutable per-core Markov state."""
 
-    __slots__ = ("profile", "rng", "on", "remaining", "request_rate")
+    __slots__ = ("profile", "rng", "on", "remaining", "request_rate", "clamped")
 
     def __init__(self, profile: BenchmarkProfile, seed: int) -> None:
         self.profile = profile
@@ -44,7 +50,12 @@ class _CoreState:
             profile.request_length
             + profile.reply_probability * profile.response_length
         )
-        self.request_rate = min(1.0, profile.on_rate / flits_per_request)
+        raw_rate = profile.on_rate / flits_per_request
+        # One request per core per cycle is the injector's hard ceiling;
+        # a hotter profile silently delivered less than its on_rate until
+        # the clamp was surfaced (the caller warns once per profile).
+        self.clamped = raw_rate > 1.0
+        self.request_rate = min(1.0, raw_rate)
 
     def advance_state(self) -> None:
         """Tick the ON/OFF Markov chain by one cycle."""
@@ -113,6 +124,23 @@ class BenchmarkTraffic(TrafficGenerator):
             _CoreState(profile, seed * 1_000_003 + node)
             for node, profile in enumerate(self.profiles)
         ]
+        for node, core in enumerate(self._cores):
+            if core.clamped:
+                # The profile asks for more flits/cycle than one request
+                # per cycle can carry: the ON-state offered load is
+                # capped, so the module's "per-flit offered load is
+                # preserved" guarantee does not hold for this core.
+                flits_per_request = (
+                    core.profile.request_length
+                    + core.profile.reply_probability * core.profile.response_length
+                )
+                log.warning(
+                    "core %d profile %r: on_rate %.3f flits/cycle exceeds "
+                    "the 1-request/cycle injector ceiling; ON-state "
+                    "offered load clamped to %.3f flits/cycle",
+                    node, core.profile.name, core.profile.on_rate,
+                    flits_per_request,
+                )
         #: Pending responses: (due_cycle, order, src, dst, length).
         self._responses: List[Tuple[int, int, int, int, int]] = []
         self._response_seq = 0

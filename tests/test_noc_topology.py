@@ -111,13 +111,19 @@ class TestTorus2D:
         assert torus.neighbor(3, EAST) == 0  # right edge wraps
         assert torus.neighbor(0, NORTH) == 12  # top edge wraps
 
-    def test_no_wrap_on_width_two(self):
-        """Width-2 dimensions would duplicate the existing links."""
-        torus = Torus2D(2, 4)
-        east_links = [
-            l for l in torus.links() if l.src_router == 1 and l.src_port == EAST
-        ]
-        assert east_links == []
+    def test_narrow_dimensions_rejected(self):
+        """A 1- or 2-wide dimension would duplicate the existing links,
+        silently degenerating the torus into a mesh — rejected outright."""
+        for width, height in ((2, 4), (4, 2), (2, 2), (1, 5)):
+            with pytest.raises(ValueError, match="torus dimensions must be >= 3"):
+                Torus2D(width, height)
+
+    def test_every_router_has_all_four_wrap_ports(self):
+        """On a legal torus every router drives every compass port."""
+        torus = Torus2D(3, 3)
+        for node in range(torus.num_nodes):
+            for port in (NORTH, SOUTH, EAST, WEST):
+                torus.neighbor(node, port)  # must not raise
 
     def test_hop_distance_uses_wraparound(self):
         torus = Torus2D(4, 4)
@@ -163,3 +169,32 @@ class TestBuildTopology:
         for nodes, shape in ((4, (2, 2)), (16, (4, 4))):
             topo = build_topology("mesh", nodes)
             assert (topo.width, topo.height) == shape
+
+    def test_two_node_mesh_stays_legal(self):
+        """The paper's 2-node setup is the trivial 2x1 mesh."""
+        topo = build_topology("mesh", 2)
+        assert (topo.width, topo.height) == (2, 1)
+
+    def test_prime_node_counts_rejected(self):
+        """Prime counts only factorize into a degenerate Nx1 chain."""
+        for nodes in (3, 5, 7, 13):
+            with pytest.raises(ValueError, match="degenerate"):
+                build_topology("mesh", nodes)
+        # Rings remain the intended way to build a chain of that size.
+        assert build_topology("ring", 7).num_nodes == 7
+
+    def test_degenerate_torus_node_count_rejected(self):
+        """4 torus nodes would silently build a wrapless 2x2 'torus'."""
+        with pytest.raises(ValueError, match="torus dimensions must be >= 3"):
+            build_topology("torus", 4)
+        # 2x3 factorization: rejected by the >= 3 dimension rule too.
+        with pytest.raises(ValueError, match="torus dimensions must be >= 3"):
+            build_topology("torus", 6)
+
+    def test_neighbor_map_matches_link_scan(self):
+        """The precomputed (node, port) -> node map is exactly the scan."""
+        topo = build_topology("mesh", 16)
+        for link in topo.links():
+            assert topo.neighbor(link.src_router, link.src_port) == link.dst_router
+        with pytest.raises(ValueError, match="no neighbor"):
+            topo.neighbor(0, NORTH)  # top-left corner has no north link

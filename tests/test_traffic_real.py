@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import contextlib
+import logging
+
 import pytest
 
 from repro.traffic.benchmarks import (
@@ -161,3 +164,67 @@ class TestBenchmarkTraffic:
     def test_describe_lists_benchmarks(self):
         gen = self.make()
         assert "benchmark-mix" in gen.describe()
+
+
+class TestOfferedLoadClamp:
+    """The injector issues at most one request per core per cycle; a
+    profile hotter than that ceiling is clamped — audibly."""
+
+    @staticmethod
+    def overheated_profile() -> BenchmarkProfile:
+        """A profile whose on_rate exceeds the 1-request/cycle ceiling.
+
+        Validated profiles can't exceed it (``on_rate <= 1`` and a
+        request carries >= 1 flit), so this forges the field past
+        validation to exercise the defensive clamp path.
+        """
+        profile = BenchmarkProfile(
+            "hotloop", "test", on_rate=1.0, burst_mean=50, idle_mean=50,
+            reply_probability=0.0, request_length=1,
+        )
+        object.__setattr__(profile, "on_rate", 3.0)
+        return profile
+
+    @staticmethod
+    @contextlib.contextmanager
+    def captured_warnings():
+        """Capture repro.traffic records on the logger itself.
+
+        The CLI's logging setup flips the ``repro`` hierarchy to
+        ``propagate=False`` (and other tests invoke it), so pytest's
+        root-logger caplog can't be relied on here.
+        """
+        logger = logging.getLogger("repro.traffic")
+        records: list = []
+
+        class _Collector(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        handler = _Collector(level=logging.WARNING)
+        old_level = logger.level
+        logger.addHandler(handler)
+        logger.setLevel(logging.WARNING)
+        try:
+            yield records
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+
+    def test_clamp_warns_once_per_core(self):
+        profile = self.overheated_profile()
+        with self.captured_warnings() as records:
+            gen = BenchmarkTraffic([profile, profile], seed=3)
+        clamp_warnings = [
+            r for r in records if "injector ceiling" in r.getMessage()
+        ]
+        assert len(clamp_warnings) == 2
+        assert "hotloop" in clamp_warnings[0].getMessage()
+        assert all(core.clamped for core in gen._cores)
+        assert all(core.request_rate == 1.0 for core in gen._cores)
+
+    def test_normal_profiles_stay_silent(self):
+        with self.captured_warnings() as records:
+            gen = BenchmarkTraffic.random(4, mix_seed=1)
+        assert not [r for r in records if "injector ceiling" in r.getMessage()]
+        assert not any(core.clamped for core in gen._cores)
