@@ -21,6 +21,9 @@ Examples
     repro-noc campaign --workers 4                   # 4 loopback lease workers
     repro-noc serve --checkpoint-dir out/            # coordinator on :8765
     repro-noc worker --connect HOST:8765             # join from another host
+    repro-noc health --connect HOST:8765             # probe /healthz (overload)
+    repro-noc fault-campaign --budget --retries 1    # adaptive resource budgets
+    repro-noc campaign --budget-cpu 120 --budget-rss 8192  # explicit caps
     repro-noc cache verify --cache-dir .repro-cache  # scan cache for rot
     repro-noc cache verify --checkpoint-dir out/     # scan journal for rot
     repro-noc dse screen --jobs 4                    # factorial effect ranking
@@ -41,7 +44,9 @@ killed run resumes from where it stopped, with byte-identical output).
 
 Exit codes: 0 success, 75 (``EX_TEMPFAIL``) campaign drained after
 SIGINT/SIGTERM with the journal flushed (resumable), 130 hard cancel
-on a second signal, 2 unusable checkpoint directory.
+on a second signal, 2 unusable checkpoint directory, 3 resource budget
+exceeded (every other scenario completed and was journaled; re-run
+with a larger ``--budget-*`` to retry the offenders).
 """
 
 from __future__ import annotations
@@ -125,6 +130,37 @@ def _add_exec_args(
         help="seconds without a heartbeat before a worker's scenario "
         "lease expires and is reassigned",
     )
+    parser.add_argument(
+        "--poison-threshold", type=int, default=3, metavar="N",
+        help="distinct workers that must fail a scenario before it is "
+        "quarantined as poisoned instead of requeued",
+    )
+    parser.add_argument(
+        "--budget", action="store_true",
+        help="govern every scenario with adaptive resource budgets "
+        "derived from its predicted cost (cycles x routers x VCs); "
+        "budget breaches become typed failures and repeat offenders "
+        "are quarantined",
+    )
+    parser.add_argument(
+        "--budget-wall", type=float, default=None, metavar="SECONDS",
+        help="explicit per-scenario wall-clock budget (implies --budget)",
+    )
+    parser.add_argument(
+        "--budget-cpu", type=float, default=None, metavar="SECONDS",
+        help="explicit per-scenario CPU budget, enforced in the worker "
+        "via RLIMIT_CPU (implies --budget)",
+    )
+    parser.add_argument(
+        "--budget-rss", type=float, default=None, metavar="MB",
+        help="explicit per-scenario memory budget in MB, enforced via "
+        "RLIMIT_AS/RLIMIT_DATA (implies --budget)",
+    )
+    parser.add_argument(
+        "--budget-scale", type=float, default=None, metavar="FACTOR",
+        help="stretch (or tighten) the adaptive budget defaults by this "
+        "factor (implies --budget)",
+    )
 
 
 def _make_distributed(args: argparse.Namespace):
@@ -140,7 +176,28 @@ def _make_distributed(args: argparse.Namespace):
         port=port if port is not None else 0,
         local_workers=workers,
         lease_timeout=args.lease_timeout,
+        poison_threshold=getattr(args, "poison_threshold", 3),
         port_file=args.port_file,
+    )
+
+
+def _make_governor(args: argparse.Namespace):
+    """GovernorSpec from --budget/--budget-* (None = ungoverned)."""
+    wall = getattr(args, "budget_wall", None)
+    cpu = getattr(args, "budget_cpu", None)
+    rss_mb = getattr(args, "budget_rss", None)
+    scale = getattr(args, "budget_scale", None)
+    if not getattr(args, "budget", False) and all(
+        value is None for value in (wall, cpu, rss_mb, scale)
+    ):
+        return None
+    from repro.experiments.governor import GovernorSpec
+
+    return GovernorSpec(
+        wall_seconds=wall,
+        cpu_seconds=cpu,
+        rss_bytes=int(rss_mb * 1024 * 1024) if rss_mb is not None else None,
+        scale=scale if scale is not None else 1.0,
     )
 
 
@@ -204,6 +261,7 @@ def _make_executor(args: argparse.Namespace, checkpoint=None):
         profile=getattr(args, "profile", False),
         checkpoint=checkpoint,
         distributed=_make_distributed(args),
+        governor=_make_governor(args),
     )
     return executor
 
@@ -358,6 +416,20 @@ def build_parser() -> argparse.ArgumentParser:
     pworker.add_argument(
         "--max-errors", type=int, default=30, metavar="N",
         help="exit 1 after this many consecutive connection failures",
+    )
+
+    phealth = sub.add_parser(
+        "health",
+        help="probe a coordinator's /healthz endpoint (overload verdict, "
+        "queue depth, lease churn, memory pressure, commit breaker)",
+    )
+    phealth.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address, e.g. 127.0.0.1:8765",
+    )
+    phealth.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="probe timeout",
     )
 
     psweep = sub.add_parser("sweep", help="injection-rate sweep with CSV export")
@@ -582,6 +654,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         CampaignInterrupted,
         CheckpointError,
     )
+    from repro.experiments.governor import BudgetExceeded
 
     args = build_parser().parse_args(argv)
     setup_cli_logging(args.verbose - args.quiet)
@@ -590,6 +663,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CheckpointError as exc:
         log.error("%s", exc)
         return 2
+    except BudgetExceeded as exc:
+        log.error("%s", exc)
+        return 3
     except CampaignInterrupted as exc:
         directory = getattr(args, "resume", None) or getattr(
             args, "checkpoint_dir", None
@@ -618,6 +694,27 @@ def _dispatch(args: argparse.Namespace) -> int:
             poll=args.poll,
             max_errors=args.max_errors,
         )
+
+    if args.command == "health":
+        import json as json_module
+
+        from repro.experiments.distributed.protocol import (
+            ProtocolError,
+            URLError,
+            get_json,
+        )
+
+        base = (
+            args.connect if "://" in args.connect else f"http://{args.connect}"
+        )
+        url = base.rstrip("/") + "/healthz"
+        try:
+            blob = get_json(url, timeout=args.timeout)
+        except (URLError, OSError, ProtocolError) as exc:
+            log.error("coordinator unreachable at %s: %s", url, exc)
+            return 2
+        emit(json_module.dumps(blob, indent=2, sort_keys=True))
+        return 0 if blob.get("status") == "ok" else 1
 
     if args.command == "setup":
         from repro.experiments.config import format_experimental_setup
@@ -849,6 +946,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             profile=args.profile,
             checkpoint=checkpoint,
             distributed=_make_distributed(args),
+            governor=_make_governor(args),
         )
         try:
             with graceful_shutdown(executor, notify=log.warning):

@@ -21,6 +21,7 @@ from repro.experiments.checkpoint import (
     atomic_write_text,
 )
 from repro.experiments.config import ScenarioConfig, format_experimental_setup
+from repro.experiments.governor import BudgetExceeded
 from repro.nbti.regime import get_regime
 from repro.experiments.parallel import Executor
 from repro.experiments.tables import (
@@ -178,6 +179,15 @@ def run_campaign(
         if checkpoint is not None:
             checkpoint.write_state(
                 "interrupted", pending=exc.pending, failures=failures
+            )
+        raise
+    except BudgetExceeded as exc:
+        # Every other scenario completed and is journaled; the state
+        # file names the offenders (typed kind + predicted vs actual
+        # cost) so users can re-run with a larger --budget-*.
+        if checkpoint is not None:
+            checkpoint.write_state(
+                "budget-exceeded", pending=len(exc.failures), failures=failures
             )
         raise
     if checkpoint is not None:

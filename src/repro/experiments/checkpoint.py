@@ -655,6 +655,12 @@ def _failure_to_dict(failure: object) -> Dict[str, Any]:
         "message": getattr(failure, "message", str(failure)),
         "attempts": getattr(failure, "attempts", None),
         "timed_out": getattr(failure, "timed_out", None),
+        # Typed failure kind (timeout/cpu/oom/crash) and governor
+        # verdicts, so resource-budget casualties are distinguishable
+        # from plain crashes without reading tracebacks.
+        "kind": getattr(failure, "kind", None),
+        "quarantined": bool(getattr(failure, "quarantined", False)),
+        "budget": getattr(failure, "budget", None),
         # Bounded: a crash-looping worker must not balloon the state file.
         "traceback": bound_traceback(getattr(failure, "traceback", None)),
     }

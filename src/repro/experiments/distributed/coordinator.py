@@ -39,6 +39,13 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.telemetry.log import get_logger
+from repro.experiments.governor import (
+    BROWNOUT,
+    SHED,
+    CircuitBreaker,
+    OverloadGuard,
+    process_rss_bytes,
+)
 from repro.experiments.parallel import RetryBackoff
 from repro.experiments.distributed.lease import (
     COMMITTED,
@@ -104,6 +111,19 @@ class CoordinatorServer:
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._local: List[subprocess.Popen] = []
+        #: Admission control on /lease: shed (HTTP 503 + Retry-After)
+        #: when the pending-event queue or handler concurrency is
+        #: saturated, brownout (defer new grants only) at 75%.
+        self.guard = OverloadGuard(
+            max_queue_depth=spec.queue_limit,
+            max_inflight=spec.max_inflight,
+        )
+        #: Opens after K consecutive durable-commit failures: stop
+        #: acking completions and drain instead of wedging the fleet
+        #: against a broken journal.
+        self.breaker = CircuitBreaker(spec.commit_breaker_threshold)
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -216,6 +236,21 @@ class CoordinatorServer:
         while awaited - self._farewells and time.monotonic() < deadline:
             time.sleep(0.02)
 
+    # -- request accounting (handler threads) --------------------------
+    def _request_started(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def _request_finished(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Concurrently-processing HTTP requests (including this one)."""
+        with self._inflight_lock:
+            return self._inflight
+
     # -- reporting -----------------------------------------------------
     def summary(self) -> str:
         snap = self.table.snapshot()
@@ -234,6 +269,12 @@ class CoordinatorServer:
             extras.append(f"{counters['late_accepted']} late accepted")
         if counters["poisoned"]:
             extras.append(f"{counters['poisoned']} poisoned")
+        if self.guard.counters["sheds"]:
+            extras.append(f"{self.guard.counters['sheds']} lease(s) shed")
+        if self.guard.counters["brownouts"]:
+            extras.append(f"{self.guard.counters['brownouts']} brownout(s)")
+        if self.breaker.trips:
+            extras.append(f"commit breaker tripped {self.breaker.trips}x")
         if extras:
             line += " (" + ", ".join(extras) + ")"
         return line
@@ -251,6 +292,33 @@ class CoordinatorServer:
             },
         }
 
+    def healthz(self) -> Dict[str, object]:
+        """Overload health for probes (served even while shedding)."""
+        queue_depth = self.events.qsize()
+        inflight = self.inflight
+        verdict = self.guard.verdict(queue_depth, inflight)
+        counters = self.table.snapshot()["counters"]
+        healthy = verdict == "ok" and not self.breaker.open
+        return {
+            "status": "ok" if healthy else "degraded",
+            "verdict": verdict,
+            "state": self.state,
+            "protocol": PROTOCOL_VERSION,
+            "queue_depth": queue_depth,
+            "queue_limit": self.spec.queue_limit,
+            "inflight": inflight,
+            "max_inflight": self.spec.max_inflight,
+            "memory_rss_bytes": process_rss_bytes(),
+            "lease_churn": {
+                name: counters[name]
+                for name in ("leases_granted", "expiries", "requeued",
+                             "poisoned", "committed")
+            },
+            "workers": len(self.workers_seen),
+            "shed": dict(self.guard.counters),
+            "commit_breaker": self.breaker.snapshot(),
+        }
+
     # -- endpoint logic (called from handler threads) ------------------
     def handle_lease(self, body: Dict) -> Dict:
         worker = str(body.get("worker", "anonymous"))
@@ -260,6 +328,20 @@ class CoordinatorServer:
             return {"status": "shutdown"}
         if self.state == DRAINING:
             return {"status": "draining", "retry_after": self.spec.poll_interval}
+        # Admission control: granting a lease is the one *optional*
+        # piece of work here (completions and heartbeats release
+        # resources; leases consume them), so it sheds first.  SHED is
+        # a hard 503 + Retry-After; BROWNOUT defers new grants while
+        # everything already in flight keeps being served.
+        verdict = self.guard.assess(self.events.qsize(), self.inflight)
+        if verdict == SHED:
+            return {"status": "busy", "retry_after": self.spec.poll_interval}
+        if verdict == BROWNOUT:
+            return {
+                "status": "wait",
+                "retry_after": self.spec.poll_interval,
+                "reason": "brownout",
+            }
         granted = self.table.grant(worker)
         if granted is None:
             return {"status": "wait", "retry_after": self.spec.poll_interval}
@@ -285,6 +367,14 @@ class CoordinatorServer:
         lease_id = str(body.get("lease", ""))
         key = str(body.get("key", ""))
         self.workers_seen[worker] = time.monotonic()
+        if self.breaker.open:
+            # The journal is broken: acking would promise durability we
+            # cannot deliver.  Leave the lease alone (it expires and
+            # requeues for the resume run) and keep draining.
+            return {
+                "status": "rejected",
+                "reason": "commit circuit open; coordinator draining",
+            }
         try:
             result = decode_payload(body.get("result", ""), body.get("crc", -1))
         except ProtocolError as exc:
@@ -306,7 +396,16 @@ class CoordinatorServer:
             except Exception as exc:  # noqa: BLE001 - never ack a lost commit
                 self.table.reopen(key)
                 log.error("durable commit of %s failed: %s", key[:12], exc)
+                if self.breaker.record_failure():
+                    log.error(
+                        "commit circuit breaker opened after %d consecutive "
+                        "failures; draining instead of wedging",
+                        self.breaker.consecutive_failures,
+                    )
+                    self.drain()
                 return {"status": "rejected", "reason": f"commit failed: {exc}"}
+            else:
+                self.breaker.record_success()
         self.events.put(("result", key, result))
         return {"status": COMMITTED}
 
@@ -355,34 +454,55 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         if handler_name is None:
             self._reply(404, {"status": "error", "reason": "unknown endpoint"})
             return
+        self.coordinator._request_started()
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            body = json.loads(self.rfile.read(length).decode("utf-8"))
-            if not isinstance(body, dict):
-                raise ValueError("body must be a JSON object")
-        except (ValueError, UnicodeDecodeError) as exc:
-            self._reply(400, {"status": "error", "reason": f"bad request: {exc}"})
-            return
-        try:
-            reply = getattr(self.coordinator, handler_name)(body)
-        except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the fleet
-            log.error("coordinator %s handler failed: %s", self.path, exc)
-            self._reply(500, {"status": "error", "reason": str(exc)})
-            return
-        self._reply(200, reply)
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                body = json.loads(self.rfile.read(length).decode("utf-8"))
+                if not isinstance(body, dict):
+                    raise ValueError("body must be a JSON object")
+            except (ValueError, UnicodeDecodeError) as exc:
+                self._reply(400, {"status": "error", "reason": f"bad request: {exc}"})
+                return
+            try:
+                reply = getattr(self.coordinator, handler_name)(body)
+            except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the fleet
+                log.error("coordinator %s handler failed: %s", self.path, exc)
+                self._reply(500, {"status": "error", "reason": str(exc)})
+                return
+            if reply.get("status") == "busy":
+                # Backpressure, not failure: 503 + Retry-After tells
+                # generic HTTP clients the same thing the JSON body
+                # tells repro-noc workers.
+                self._reply(503, reply, retry_after=reply.get("retry_after"))
+            else:
+                self._reply(200, reply)
+        finally:
+            self.coordinator._request_finished()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path != "/status":
+        if self.path == "/status":
+            self._reply(200, self.coordinator.status())
+        elif self.path == "/healthz":
+            # Served unconditionally — a saturated coordinator must
+            # still tell probes *why* it is shedding.
+            blob = self.coordinator.healthz()
+            self._reply(200 if blob["status"] == "ok" else 503, blob)
+        else:
             self._reply(404, {"status": "error", "reason": "unknown endpoint"})
-            return
-        self._reply(200, self.coordinator.status())
 
-    def _reply(self, code: int, blob: Dict) -> None:
+    def _reply(
+        self, code: int, blob: Dict, retry_after: Optional[float] = None
+    ) -> None:
         raw = json.dumps(blob).encode("utf-8")
         try:
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(raw)))
+            if retry_after is not None:
+                # RFC 7231 wants integral seconds; round up so clients
+                # never come back *before* the window ends.
+                self.send_header("Retry-After", str(max(1, int(retry_after + 0.5))))
             self.end_headers()
             self.wfile.write(raw)
         except (BrokenPipeError, ConnectionResetError):

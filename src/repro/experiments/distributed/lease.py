@@ -36,6 +36,7 @@ import time
 import uuid
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.experiments.governor import classify_failure_kind
 from repro.experiments.parallel import RetryBackoff
 
 #: WorkItem lifecycle states.
@@ -267,6 +268,9 @@ class LeaseTable:
             self.counters["expiries"] += 1
             error = {
                 "error_type": "LeaseExpired",
+                # A worker that stopped heartbeating is indistinguishable
+                # from a hang: same typed kind as a parent-side deadline.
+                "kind": "timeout",
                 "message": (
                     f"worker {worker!r} stopped heartbeating "
                     f"(lease timeout {self.lease_timeout}s)"
@@ -295,6 +299,10 @@ class LeaseTable:
             item.last_error = dict(error)
             item.last_error["attempts"] = item.attempts
             item.last_error["workers"] = sorted(item.failed_workers)
+            item.last_error.setdefault(
+                "kind",
+                classify_failure_kind(str(error.get("error_type") or "")),
+            )
         if len(item.failed_workers) >= self.poison_threshold:
             item.state = POISONED
             self.counters["poisoned"] += 1

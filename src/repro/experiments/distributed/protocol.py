@@ -16,7 +16,9 @@ Endpoints (all bodies are JSON objects):
                         "unit": b64, "crc": int, "lease_timeout": s,
                         "heartbeat": s}`` | ``{"status": "wait",
                         "retry_after": s}`` | ``{"status": "draining",
-                        ...}`` | ``{"status": "shutdown"}``
+                        ...}`` | ``{"status": "busy", "retry_after": s}``
+                        (HTTP 503 + ``Retry-After`` — admission control
+                        shed the request) | ``{"status": "shutdown"}``
 ``POST /heartbeat``     ``{"worker": id, "lease": id}`` →
                         ``{"status": "ok" | "unknown"}`` (``unknown``
                         means the lease expired and was reassigned)
@@ -29,6 +31,11 @@ Endpoints (all bodies are JSON objects):
                         "poisoned" | "duplicate"}``
 ``GET /status``         → coordinator state, lease-table snapshot,
                         per-worker last-heartbeat ages
+``GET /healthz``        → overload health: verdict (``ok`` |
+                        ``brownout`` | ``shed``), queue depth, in-flight
+                        requests, lease churn, memory pressure, commit
+                        circuit-breaker state.  Served even while
+                        ``/lease`` sheds, so probes see *why*.
 ======================  ================================================
 
 Robustness contract: a ``committed`` ack is sent only *after* the
@@ -95,6 +102,16 @@ class DistributedSpec:
     port_file:
         When set, ``host:port`` is written here (atomically) once the
         coordinator is bound — how scripts find an ephemeral port.
+    max_inflight:
+        Concurrently-processing HTTP requests above which ``/lease``
+        sheds (``busy`` + ``Retry-After``); brownout starts at 75%.
+    queue_limit:
+        Pending result-event queue depth (completions the executor has
+        not folded in yet) above which ``/lease`` sheds.
+    commit_breaker_threshold:
+        Consecutive durable-commit failures that open the circuit
+        breaker: the coordinator stops acking completions and drains
+        instead of wedging against a broken journal.
     shutdown_grace:
         Seconds ``close()`` keeps the socket answering ``shutdown`` so
         polling workers exit cleanly instead of spinning on a dead
@@ -113,6 +130,9 @@ class DistributedSpec:
     requeue_jitter: float = 0.5
     jitter_seed: Optional[int] = None
     port_file: Optional[str] = None
+    max_inflight: int = 32
+    queue_limit: int = 1024
+    commit_breaker_threshold: int = 5
     shutdown_grace: float = 1.0
 
     def __post_init__(self) -> None:
@@ -130,6 +150,35 @@ class DistributedSpec:
             )
         if self.local_workers < 0:
             raise ValueError(f"local_workers must be >= 0, got {self.local_workers}")
+        if self.heartbeat_interval is not None:
+            if self.heartbeat_interval <= 0:
+                raise ValueError(
+                    f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
+                )
+            if self.heartbeat_interval >= self.lease_timeout:
+                # A worker that heartbeats at (or slower than) the lease
+                # timeout always loses its lease between beats.
+                raise ValueError(
+                    f"heartbeat_interval ({self.heartbeat_interval}) must be "
+                    f"< lease_timeout ({self.lease_timeout})"
+                )
+        if self.requeue_backoff < 0:
+            raise ValueError(
+                f"requeue_backoff must be >= 0, got {self.requeue_backoff}"
+            )
+        if self.requeue_jitter < 0:
+            raise ValueError(
+                f"requeue_jitter must be >= 0, got {self.requeue_jitter}"
+            )
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.commit_breaker_threshold < 1:
+            raise ValueError(
+                f"commit_breaker_threshold must be >= 1, "
+                f"got {self.commit_breaker_threshold}"
+            )
 
     @property
     def heartbeat(self) -> float:

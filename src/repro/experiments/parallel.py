@@ -55,6 +55,14 @@ from repro.telemetry.log import current_log_level, setup_worker_logging
 from repro.telemetry.metrics import MetricsRegistry
 from repro.experiments.checkpoint import CampaignInterrupted, CheckpointManager
 from repro.experiments.config import ScenarioConfig
+from repro.experiments.governor import (
+    BUDGET_KINDS,
+    BudgetExceeded,
+    GovernorSpec,
+    ResourceBudget,
+    ScenarioGovernor,
+    classify_failure_kind,
+)
 from repro.experiments.runner import ScenarioResult, run_scenario
 
 #: One unit of simulation work: a fully-specified scenario + traffic
@@ -133,11 +141,22 @@ def _pool_worker_init(log_level: Optional[int]) -> None:
     setup_worker_logging(log_level)
 
 
-def _robust_child(worker: Callable, unit: WorkUnit, conn, log_level: Optional[int] = None) -> None:
+def _robust_child(
+    worker: Callable,
+    unit: WorkUnit,
+    conn,
+    log_level: Optional[int] = None,
+    budget: Optional[ResourceBudget] = None,
+) -> None:
     """Entry point of one killable per-attempt worker process."""
     _ignore_sigint()
     setup_worker_logging(log_level)
     try:
+        if budget is not None:
+            # Kernel-enforced CPU/address-space fences: a runaway
+            # scenario dies by SIGXCPU/MemoryError instead of starving
+            # its siblings.  The parent's deadline covers wall time.
+            budget.install()
         result = worker(unit)
         conn.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
@@ -170,14 +189,31 @@ class ScenarioFailure:
     #: Full formatted traceback from the worker (``None`` for timeouts
     #: and worker deaths, where no Python frame survives).
     traceback: Optional[str] = None
+    #: Typed failure kind: ``timeout``/``cpu``/``oom``/``crash``
+    #: (see :func:`repro.experiments.governor.classify_failure_kind`).
+    #: Derived from ``error_type``/``timed_out`` when not given.
+    kind: str = "crash"
+    #: Whether the governor quarantined this unit (budget busted on
+    #: enough distinct attempts that retrying stopped).
+    quarantined: bool = False
+    #: Governor cost report (predicted vs budget vs actual) for budget
+    #: breaches; ``None`` for ungoverned or plain-crash failures.
+    budget: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "crash":
+            self.kind = classify_failure_kind(self.error_type, timed_out=self.timed_out)
 
     def __str__(self) -> str:
-        kind = "timeout" if self.timed_out else self.error_type
-        return (
+        kind = self.error_type if self.kind == "crash" else self.kind
+        line = (
             f"{self.scenario.label} policy={self.scenario.policy} "
             f"iter={self.iteration}: {kind} after {self.attempts} attempt(s): "
             f"{self.message}"
         )
+        if self.quarantined:
+            line += " [quarantined]"
+        return line
 
 
 def cache_key(scenario: ScenarioConfig, iteration: int) -> str:
@@ -416,6 +452,18 @@ class Executor:
         coordinator kills compose with ``--resume``.  Call
         :meth:`close` when done (stops the coordinator and any local
         workers it spawned).
+    governor:
+        Optional :class:`~repro.experiments.governor.ScenarioGovernor`
+        (or a :class:`~repro.experiments.governor.GovernorSpec`, which
+        constructs one).  Every robust attempt then runs under a
+        per-scenario :class:`~repro.experiments.governor.ResourceBudget`
+        (wall deadline in the parent, ``RLIMIT_CPU``/``RLIMIT_AS`` in
+        the child); budget breaches become typed failures and repeat
+        offenders are quarantined instead of retried.  :meth:`map`
+        routes through the robust backend and raises
+        :class:`~repro.experiments.governor.BudgetExceeded` *after* all
+        other units completed (and were journaled), so ``--resume``
+        re-runs only the offenders.
 
     Results are returned in work-unit order regardless of completion
     order, and are bit-identical between backends: a unit's outcome is a
@@ -445,6 +493,7 @@ class Executor:
         retry_jitter: float = 0.5,
         retry_seed: Optional[int] = None,
         distributed=None,
+        governor: Optional[Union[ScenarioGovernor, GovernorSpec]] = None,
     ) -> None:
         if max_workers is None or max_workers == 0:
             max_workers = os.cpu_count() or 1
@@ -472,6 +521,9 @@ class Executor:
         )
         self.log_level = log_level if log_level is not None else current_log_level()
         self.checkpoint = checkpoint
+        if governor is not None and not isinstance(governor, ScenarioGovernor):
+            governor = ScenarioGovernor(governor)
+        self.governor = governor
         self._backoff = RetryBackoff(retry_backoff, retry_jitter, retry_seed)
         self.distributed = distributed
         self._server = None
@@ -497,7 +549,20 @@ class Executor:
 
     # -- public API ----------------------------------------------------
     def map(self, units: Sequence[WorkUnit]) -> List[ScenarioResult]:
-        """Execute every unit and return results in input order."""
+        """Execute every unit and return results in input order.
+
+        With a :attr:`governor`, units run through the robust backend
+        (budgets need killable per-attempt processes); if any unit
+        busts its budget the call raises
+        :class:`~repro.experiments.governor.BudgetExceeded` *after*
+        every other unit completed and was journaled.
+        """
+        if self.governor is not None:
+            outcome = self.map_robust(units)
+            failures = [r for r in outcome if isinstance(r, ScenarioFailure)]
+            if failures:
+                raise BudgetExceeded(failures)
+            return outcome  # type: ignore[return-value]  # no failures
         units = list(units)
         started = time.perf_counter()
         self.stats.units_total += len(units)
@@ -583,6 +648,10 @@ class Executor:
         )
         if distributed is not None:
             line += f"; {distributed}"
+        if self.governor is not None:
+            governor = self.governor.summary()
+            if governor is not None:
+                line += f"; {governor}"
         if self.metrics is not None:
             sim = self.metrics.histograms.get("scenario.sim_seconds")
             if sim is not None and sim.count:
@@ -701,7 +770,11 @@ class Executor:
                 try:
                     result = self.worker(unit)
                 except Exception as exc:  # noqa: BLE001 - becomes a record
-                    if attempt <= self.retries:
+                    kind = classify_failure_kind(type(exc).__name__)
+                    quarantined, budget_info = self._note_breach(
+                        unit, kind, time.perf_counter() - unit_started
+                    )
+                    if not quarantined and attempt <= self.retries:
                         self.stats.retries += 1
                         backoff = self._backoff.delay(attempt)
                         if backoff > 0:
@@ -718,6 +791,9 @@ class Executor:
                             timed_out=False,
                             wall_seconds=time.perf_counter() - unit_started,
                             traceback=traceback_module.format_exc(),
+                            kind=kind,
+                            quarantined=quarantined,
+                            budget=budget_info,
                         ),
                         results,
                     )
@@ -743,12 +819,29 @@ class Executor:
         queue: List[Tuple[int, int, float]] = [(i, 1, 0.0) for i in pending]
         running: dict = {}  # receiving pipe end -> task record
         unit_started = {i: time.perf_counter() for i in pending}
+        # Per-unit resource budget and effective wall limit (the tighter
+        # of the budget's wall cap and the executor timeout).  Without a
+        # governor these degrade to (None, self.timeout) — the
+        # historical behaviour, byte for byte.
+        budgets: Dict[int, Optional[ResourceBudget]] = {}
+        wall_limits: Dict[int, Optional[float]] = {}
+        for i in pending:
+            if self.governor is not None:
+                budget = self.governor.budget_for(units[i][0])
+                budgets[i] = budget
+                wall_limits[i] = budget.deadline(self.timeout)
+            else:
+                budgets[i] = None
+                wall_limits[i] = self.timeout
 
         def launch(index: int, attempt: int) -> None:
             recv_end, send_end = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_robust_child,
-                args=(self.worker, units[index], send_end, self.log_level),
+                args=(
+                    self.worker, units[index], send_end, self.log_level,
+                    budgets[index],
+                ),
                 daemon=True,
             )
             proc.start()
@@ -758,15 +851,24 @@ class Executor:
                 "attempt": attempt,
                 "proc": proc,
                 "deadline": (
-                    None if self.timeout is None
-                    else time.monotonic() + self.timeout
+                    None if wall_limits[index] is None
+                    else time.monotonic() + wall_limits[index]
                 ),
             }
 
         def retry_or_fail(index: int, attempt: int, error_type: str,
                           message: str, timed_out: bool,
-                          traceback: Optional[str] = None) -> None:
-            if attempt <= self.retries:
+                          traceback: Optional[str] = None,
+                          kind: Optional[str] = None) -> None:
+            if kind is None:
+                kind = classify_failure_kind(error_type, timed_out=timed_out)
+            quarantined, budget_info = self._note_breach(
+                units[index], kind, time.perf_counter() - unit_started[index]
+            )
+            # A quarantined unit stops retrying immediately: the budget
+            # verdict is final, remaining attempts would just burn the
+            # same budget again.
+            if not quarantined and attempt <= self.retries:
                 self.stats.retries += 1
                 backoff = self._backoff.delay(attempt)
                 queue.append((index, attempt + 1, time.monotonic() + backoff))
@@ -782,6 +884,9 @@ class Executor:
                     timed_out=timed_out,
                     wall_seconds=time.perf_counter() - unit_started[index],
                     traceback=traceback,
+                    kind=kind,
+                    quarantined=quarantined,
+                    budget=budget_info,
                 ),
                 results,
             )
@@ -804,7 +909,7 @@ class Executor:
                 self.stats.timeouts += 1
                 retry_or_fail(
                     index, attempt, "Timeout",
-                    f"attempt exceeded {self.timeout}s", timed_out=True,
+                    f"attempt exceeded {wall_limits[index]}s", timed_out=True,
                 )
             elif message is not None and message[0] == "ok":
                 self._finish(index, units[index], message[1], results)
@@ -814,9 +919,16 @@ class Executor:
                     traceback=message[3] if len(message) > 3 else None,
                 )
             else:
+                # No result made it up the pipe: the kernel killed the
+                # worker.  The exit signal tells us why — SIGXCPU is
+                # the CPU budget, SIGKILL is the OOM killer's (and the
+                # RLIMIT_CPU hard cap's) signature.
                 retry_or_fail(
                     index, attempt, "WorkerDied",
                     f"worker exited with code {proc.exitcode}", timed_out=False,
+                    kind=classify_failure_kind(
+                        "WorkerDied", exitcode=proc.exitcode
+                    ),
                 )
 
         try:
@@ -955,15 +1067,21 @@ class Executor:
                 if kind == "result":
                     self._finish(index, units[index], payload, results)
                 else:
+                    error_type = payload.get("error_type") or POISON_ERROR_TYPE
                     failure = ScenarioFailure(
                         scenario=units[index][0],
                         iteration=units[index][1],
-                        error_type=payload.get("error_type") or POISON_ERROR_TYPE,
+                        error_type=error_type,
                         message=payload.get("message", "poisoned scenario"),
                         attempts=int(payload.get("attempts") or 0),
                         timed_out=False,
                         wall_seconds=time.perf_counter() - submitted,
                         traceback=payload.get("traceback"),
+                        kind=(
+                            payload.get("kind")
+                            or classify_failure_kind(error_type)
+                        ),
+                        quarantined=kind == "poisoned",
                     )
                     if robust:
                         self._fail(index, failure, results)
@@ -981,6 +1099,27 @@ class Executor:
             self._distributed_summary = self._server.summary()
             self._server.close()
             self._server = None
+
+    def _note_breach(
+        self, unit: WorkUnit, kind: str, elapsed: float
+    ) -> Tuple[bool, Optional[Dict[str, object]]]:
+        """Record one budget breach with the governor (if any).
+
+        Returns ``(quarantined, budget_info)``; ``(False, None)`` when
+        ungoverned or when ``kind`` is not a budget kind — so callers
+        can consult it unconditionally on every failed attempt.
+        """
+        if self.governor is None or kind not in BUDGET_KINDS:
+            return False, None
+        scenario, iteration = unit
+        quarantined = self.governor.record_breach(
+            cache_key(scenario, iteration), scenario, iteration, kind, elapsed
+        )
+        if self.metrics is not None:
+            self.metrics.inc(f"governor.breach_{kind}")
+            if quarantined:
+                self.metrics.inc("governor.quarantined")
+        return quarantined, self.governor.budget_info(scenario, elapsed)
 
     def _fail(
         self,
@@ -1052,12 +1191,13 @@ def make_executor(
     profile: bool = False,
     checkpoint: Optional[CheckpointManager] = None,
     distributed=None,
+    governor: Optional[Union[ScenarioGovernor, GovernorSpec]] = None,
 ) -> Optional[Executor]:
     """CLI helper: build an :class:`Executor` only when one is wanted.
 
     ``jobs=1`` with no cache and no robustness/profiling/checkpoint/
-    distributed knobs keeps the historical in-function serial path
-    (returns ``None``); ``jobs=0`` auto-detects worker count.
+    distributed/governor knobs keeps the historical in-function serial
+    path (returns ``None``); ``jobs=0`` auto-detects worker count.
     """
     if (
         (jobs == 1 or jobs is None)
@@ -1067,12 +1207,13 @@ def make_executor(
         and not profile
         and checkpoint is None
         and distributed is None
+        and governor is None
     ):
         return None
     return Executor(
         max_workers=jobs, cache=cache_dir, progress=progress,
         timeout=timeout, retries=retries, profile=profile,
-        checkpoint=checkpoint, distributed=distributed,
+        checkpoint=checkpoint, distributed=distributed, governor=governor,
     )
 
 

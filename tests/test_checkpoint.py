@@ -225,6 +225,33 @@ class TestCheckpointManager:
         (entry,) = state["failed"]
         assert entry["error_type"] == "ValueError"
         assert "Traceback" in entry["traceback"]
+        # Typed-kind fields always ride along (derived "crash" here).
+        assert entry["kind"] == "crash"
+        assert entry["quarantined"] is False
+        assert entry["budget"] is None
+
+    def test_write_state_carries_budget_verdicts(self, tmp_path):
+        manager = CheckpointManager(tmp_path, meta={"command": "x", "config": {}})
+        scenario, iteration = tiny_units(1)[0]
+        budget = {
+            "predicted": {"work": 1.0, "cpu_seconds": 5.0, "rss_bytes": 1},
+            "budget": {"wall_seconds": 3.0, "cpu_seconds": 1.0, "rss_bytes": 1},
+            "actual_wall_seconds": 2.5,
+        }
+        failure = ScenarioFailure(
+            scenario=scenario, iteration=iteration, error_type="WorkerDied",
+            message="budget", attempts=2, timed_out=False, wall_seconds=2.5,
+            kind="cpu", quarantined=True, budget=budget,
+        )
+        manager.write_state("budget-exceeded", pending=1, failures=[failure])
+        manager.close()
+
+        state = json.loads((tmp_path / "campaign.state.json").read_text())
+        assert state["status"] == "budget-exceeded"
+        (entry,) = state["failed"]
+        assert entry["kind"] == "cpu"
+        assert entry["quarantined"] is True
+        assert entry["budget"] == budget
 
 
 # ----------------------------------------------------------------------

@@ -84,3 +84,90 @@ class TestCommands:
         captured = capsys.readouterr()
         assert captured.out == serial_out
         assert "(18 cached)" in captured.err
+
+
+class TestGovernanceFlags:
+    def _args(self, argv):
+        return build_parser().parse_args(argv)
+
+    def test_budget_and_poison_flags_parse_on_campaign_commands(self):
+        parser = build_parser()
+        for command in ("table3", "campaign", "sweep", "fault-campaign"):
+            args = parser.parse_args([
+                command, "--budget-cpu", "2", "--budget-wall", "30",
+                "--budget-rss", "512", "--budget-scale", "1.5",
+                "--poison-threshold", "2",
+            ])
+            assert args.budget_cpu == 2.0
+            assert args.poison_threshold == 2
+        assert parser.parse_args(["health", "--connect", "h:1"]).command == "health"
+
+    def test_no_budget_flags_means_no_governor(self):
+        from repro.cli import _make_governor
+
+        assert _make_governor(self._args(["campaign"])) is None
+
+    def test_budget_flag_enables_adaptive_governance(self):
+        from repro.cli import _make_governor
+
+        spec = _make_governor(self._args(["campaign", "--budget"]))
+        assert spec is not None
+        assert spec.adaptive
+        assert spec.cpu_seconds is None
+        assert spec.scale == 1.0
+
+    def test_explicit_budget_flags_imply_budget(self):
+        from repro.cli import _make_governor
+
+        spec = _make_governor(self._args([
+            "campaign", "--budget-cpu", "2.5", "--budget-rss", "64",
+            "--budget-scale", "2.0",
+        ]))
+        assert spec.cpu_seconds == 2.5
+        assert spec.rss_bytes == 64 * 1024 * 1024
+        assert spec.scale == 2.0
+        assert spec.wall_seconds is None
+
+    def test_poison_threshold_reaches_distributed_spec(self):
+        from repro.cli import _make_distributed
+
+        spec = _make_distributed(self._args([
+            "fault-campaign", "--workers", "1", "--poison-threshold", "5",
+        ]))
+        assert spec is not None
+        assert spec.poison_threshold == 5
+
+
+class TestHealthCommand:
+    def test_unreachable_coordinator_exits_2(self, capsys):
+        # A port nothing listens on: connection refused, not a hang.
+        assert main(["health", "--connect", "127.0.0.1:9", "--timeout", "2"]) == 2
+
+    def test_healthy_coordinator_exits_0(self, capsys):
+        from repro.experiments.distributed import CoordinatorServer, DistributedSpec
+
+        server = CoordinatorServer(DistributedSpec(bind="127.0.0.1", port=0))
+        server.start()
+        try:
+            host, port = server.address
+            assert main(["health", "--connect", f"{host}:{port}"]) == 0
+            out = capsys.readouterr().out
+            assert '"status": "ok"' in out
+            assert '"verdict": "ok"' in out
+        finally:
+            server.close()
+
+    def test_degraded_coordinator_exits_1(self, capsys):
+        from repro.experiments.distributed import CoordinatorServer, DistributedSpec
+
+        server = CoordinatorServer(
+            DistributedSpec(bind="127.0.0.1", port=0, queue_limit=1)
+        )
+        server.start()
+        try:
+            server.events.put(("noise", "", None))  # saturate the queue
+            host, port = server.address
+            assert main(["health", "--connect", f"{host}:{port}"]) == 1
+            assert '"verdict": "shed"' in capsys.readouterr().out
+        finally:
+            server.close()

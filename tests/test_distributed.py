@@ -770,3 +770,214 @@ class TestChaos:
         # them from the journal instead of re-running.
         assert "resumed from journal" in stderr
         assert resumed_json.read_bytes() == golden.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# Overload protection: spec knobs, /healthz, backpressure, breaker
+# ----------------------------------------------------------------------
+class TestGovernanceSpecValidation:
+    def test_heartbeat_interval_must_fit_inside_the_lease(self):
+        with pytest.raises(ValueError):
+            DistributedSpec(heartbeat_interval=0)
+        with pytest.raises(ValueError):
+            DistributedSpec(lease_timeout=10.0, heartbeat_interval=10.0)
+        with pytest.raises(ValueError):
+            DistributedSpec(lease_timeout=10.0, heartbeat_interval=15.0)
+        # The widest still-valid interval is accepted.
+        assert DistributedSpec(lease_timeout=10.0, heartbeat_interval=9.0)
+
+    def test_requeue_backoff_and_jitter_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            DistributedSpec(requeue_backoff=-0.1)
+        with pytest.raises(ValueError):
+            DistributedSpec(requeue_jitter=-0.1)
+        assert DistributedSpec(requeue_backoff=0.0, requeue_jitter=0.0)
+
+    def test_overload_knobs_validated(self):
+        with pytest.raises(ValueError):
+            DistributedSpec(max_inflight=0)
+        with pytest.raises(ValueError):
+            DistributedSpec(queue_limit=0)
+        with pytest.raises(ValueError):
+            DistributedSpec(commit_breaker_threshold=0)
+
+
+class TestLeaseFailureKinds:
+    def test_worker_failure_kind_derived_from_error_type(self):
+        clock = FakeClock()
+        table = make_table(clock)
+        table.load([("k1", "p", 0)])
+        grant, _, _ = table.grant("w1")
+        table.fail(
+            grant.lease_id, "k1", "w1",
+            {"error_type": "MemoryError", "message": "oom", "traceback": None},
+        )
+        assert table.error_of("k1")["kind"] == "oom"
+
+    def test_expiry_is_typed_timeout(self):
+        clock = FakeClock()
+        table = make_table(clock, lease_timeout=10.0)
+        table.load([("k1", "p", 0)])
+        table.grant("w1")
+        clock.now += 11.0
+        (expired,) = table.expire()
+        assert expired.error["kind"] == "timeout"
+        assert expired.error["error_type"] == "LeaseExpired"
+
+
+class TestOverloadProtection:
+    def test_healthz_reports_ok_when_idle(self):
+        with _LiveCoordinator(_spec()) as live:
+            blob = get_json(live.url + "/healthz")
+            assert blob["status"] == "ok"
+            assert blob["verdict"] == "ok"
+            assert blob["queue_depth"] == 0
+            assert blob["queue_limit"] == 1024
+            assert blob["max_inflight"] == 32
+            assert blob["memory_rss_bytes"] > 0
+            assert blob["commit_breaker"]["open"] is False
+            assert set(blob["lease_churn"]) == {
+                "leases_granted", "expiries", "requeued", "poisoned",
+                "committed",
+            }
+
+    def test_saturated_lease_sheds_with_503_and_retry_after(self):
+        import urllib.error
+        import urllib.request
+
+        with _LiveCoordinator(_spec(queue_limit=2)) as live:
+            live.server.submit([("k1", ("unit", 0))])
+            for _ in range(2):  # results nobody folded in yet: overload
+                live.server.events.put(("noise", "", None))
+            body = json.dumps({"worker": "w1"}).encode("utf-8")
+            request = urllib.request.Request(
+                live.url + "/lease", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            error = excinfo.value
+            assert error.code == 503
+            assert int(error.headers["Retry-After"]) >= 1
+            reply = json.loads(error.read().decode("utf-8"))
+            assert reply["status"] == "busy"
+            assert reply["retry_after"] > 0
+            # Shed means *no lease granted*, and the health probe says
+            # why — while still answering (degraded, never a hang).
+            assert live.server.table.snapshot()["counters"]["leases_granted"] == 0
+            health = get_json(live.url + "/healthz")
+            assert health["status"] == "degraded"
+            assert health["verdict"] == "shed"
+            assert live.server.guard.counters["sheds"] == 1
+            assert "1 lease(s) shed" in live.server.summary()
+
+    def test_brownout_defers_new_grants(self):
+        with _LiveCoordinator(_spec(queue_limit=4)) as live:
+            live.server.submit([("k1", ("unit", 0))])
+            for _ in range(3):  # 0.75 of the queue limit: brownout
+                live.server.events.put(("noise", "", None))
+            reply = post_json(live.url + "/lease", {"worker": "w1"})
+            assert reply["status"] == "wait"
+            assert reply["reason"] == "brownout"
+            assert get_json(live.url + "/healthz")["verdict"] == "brownout"
+            # Pressure released: the same worker gets its lease.
+            for _ in range(3):
+                live.server.events.get_nowait()
+            assert post_json(live.url + "/lease", {"worker": "w1"})["status"] == "lease"
+
+    def test_worker_rides_out_backpressure_and_completes(self):
+        spec = _spec(queue_limit=1, poll_interval=0.05)
+        with _LiveCoordinator(spec) as live:
+            live.server.events.put(("noise", "", None))  # saturate
+            live.server.submit([("k1", tiny_units(1)[0])])
+            host, port = live.server.address
+            thread = threading.Thread(
+                target=run_worker,
+                args=(f"{host}:{port}",),
+                kwargs=dict(worker_id="bp-worker", poll=0.05,
+                            execute=_echo_execute),
+                daemon=True,
+            )
+            thread.start()
+            time.sleep(0.5)
+            # Saturated the whole time: busy replies, no grants, and
+            # the worker treated them as backpressure, not errors.
+            counters = live.server.table.snapshot()["counters"]
+            assert counters["leases_granted"] == 0
+            assert live.server.guard.counters["sheds"] > 0
+            assert thread.is_alive()
+            live.server.events.get_nowait()  # relieve the pressure
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if live.server.table.snapshot()["counters"]["committed"] == 1:
+                    break
+                time.sleep(0.05)
+            assert live.server.table.snapshot()["counters"]["committed"] == 1
+            live.server.state = "shutdown"
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+
+    def test_commit_breaker_opens_and_drains(self):
+        def broken_commit(key, result):
+            raise OSError("disk full")
+
+        spec = _spec(commit_breaker_threshold=2)
+        with _LiveCoordinator(spec, commit=broken_commit) as live:
+            live.server.submit([("k1", ("unit", 0))])
+            payload, crc = encode_payload("result")
+            for attempt in range(2):
+                lease = post_json(live.url + "/lease", {"worker": "w1"})
+                assert lease["status"] == "lease"
+                ack = post_json(
+                    live.url + "/complete",
+                    {"worker": "w1", "lease": lease["lease"], "key": "k1",
+                     "result": payload, "crc": crc},
+                )
+                assert ack["status"] == "rejected"
+                assert "commit failed" in ack["reason"]
+            # Threshold hit: the breaker opened and the coordinator
+            # drains instead of wedging in a grant/commit-fail loop.
+            assert live.server.breaker.open
+            assert live.server.state == "draining"
+            ack = post_json(
+                live.url + "/complete",
+                {"worker": "w2", "lease": "stale", "key": "k1",
+                 "result": payload, "crc": crc},
+            )
+            assert ack["status"] == "rejected"
+            assert "commit circuit open" in ack["reason"]
+            assert post_json(live.url + "/lease", {"worker": "w1"})["status"] == "draining"
+            assert "commit breaker tripped 1x" in live.server.summary()
+            health = get_json(live.url + "/healthz")
+            assert health["status"] == "degraded"
+            assert health["commit_breaker"]["open"] is True
+
+
+def _oom_execute(unit):
+    scenario, iteration = unit
+    if scenario.policy == "rr-no-sensor":
+        raise MemoryError("worker address-space budget")
+    return _FakeResult(f"{scenario.policy}/{iteration}")
+
+
+class TestDistributedFailureKinds:
+    def test_poisoned_memory_failure_is_typed_oom_and_quarantined(self):
+        units = tiny_units(3)  # policies baseline, rr-no-sensor, sensor-wise
+        executor = Executor(
+            max_workers=1,
+            distributed=_spec(
+                poison_threshold=2, requeue_backoff=0.01, shutdown_grace=2.0
+            ),
+        )
+        threads = _worker_threads(executor, 2, _oom_execute)
+        try:
+            results = executor.map_robust(units)
+        finally:
+            _reap(executor, threads)
+        assert results[0].payload == "baseline/0"
+        assert results[2].payload == "sensor-wise/0"
+        failure = results[1]
+        assert isinstance(failure, ScenarioFailure)
+        assert failure.error_type == "MemoryError"
+        assert failure.kind == "oom"
+        assert failure.quarantined
